@@ -1,0 +1,143 @@
+#include "bench/datasets.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "graph/generators.h"
+
+namespace gum::bench {
+
+namespace {
+
+using graph::CsrBuildOptions;
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::Rmat;
+using graph::RmatOptions;
+using graph::RoadGrid;
+using graph::RoadGridOptions;
+
+EdgeList Social(int scale, double edge_factor, uint64_t seed) {
+  RmatOptions opt;
+  opt.scale = scale;
+  opt.edge_factor = edge_factor;
+  opt.seed = seed;
+  opt.weighted = true;
+  // Deeper-than-Graph500 skew: at 1/500 scale the hub share of a device's
+  // edge budget must stay comparable to twitter/sinaweibo class graphs for
+  // per-iteration frontier imbalance (the DLB driver) to survive scaling.
+  opt.a = 0.62;
+  opt.b = 0.19;
+  opt.c = 0.12;
+  // Keep RMAT's id-locality (community structure): vertices with nearby ids
+  // are correlated, so locality partitions concentrate frontiers — the
+  // per-iteration imbalance of paper Fig. 1/8 depends on it.
+  opt.permute_vertices = false;
+  return Rmat(opt);
+}
+
+// Web graphs: RMAT core + tendril chains. chain_len controls the diameter
+// (Table II: uk/arabic/it ~25, webbase 379).
+EdgeList Web(int scale, double edge_factor, uint32_t chain_len,
+             double tendril_fraction, uint64_t seed) {
+  graph::WebCrawlOptions opt;
+  opt.scale = scale;
+  opt.edge_factor = edge_factor;
+  opt.avg_chain_length = chain_len;
+  opt.tendril_fraction = tendril_fraction;
+  opt.weighted = true;
+  opt.seed = seed;
+  return graph::WebCrawl(opt);
+}
+
+EdgeList Road(uint32_t side, uint64_t seed) {
+  RoadGridOptions opt;
+  opt.rows = side;
+  opt.cols = side;
+  opt.seed = seed;
+  return RoadGrid(opt);
+}
+
+EdgeList Generate(const std::string& abbr) {
+  // Social networks (Table II rows 1-5, ascending size).
+  if (abbr == "LJ") return Social(13, 10, 101);
+  if (abbr == "OR") return Social(13, 24, 102);   // orkut: dense
+  if (abbr == "SW") return Social(14, 12, 103);   // sinaweibo: big, diam 5
+  if (abbr == "TW") return Social(14, 14, 104);
+  if (abbr == "CF") return Social(15, 16, 105);   // friendster: largest
+  // Web graphs (rows 6-10).
+  if (abbr == "U2") return Web(13, 14, 12, 0.25, 106);
+  if (abbr == "AR") return Web(14, 16, 14, 0.25, 107);
+  if (abbr == "IT") return Web(14, 14, 12, 0.25, 108);
+  if (abbr == "U5") return Web(14, 18, 12, 0.25, 109);
+  // webbase: largest web graph AND diameter 379 => long deep tendrils.
+  if (abbr == "WB") return Web(15, 12, 96, 0.45, 110);
+  // Road networks (rows 11-15, ascending size/diameter).
+  if (abbr == "TX") return Road(64, 111);
+  if (abbr == "CA") return Road(80, 112);
+  if (abbr == "GM") return Road(112, 113);
+  if (abbr == "USA") return Road(144, 114);
+  if (abbr == "EU") return Road(192, 115);
+  GUM_CHECK(false) << "unknown dataset abbreviation: " << abbr;
+  return {};
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec>* specs = new std::vector<DatasetSpec>{
+      {"LJ", "soc-livejournal-analog", Domain::kSocial},
+      {"OR", "soc-orkut-analog", Domain::kSocial},
+      {"SW", "soc-sinaweibo-analog", Domain::kSocial},
+      {"TW", "soc-twitter-analog", Domain::kSocial},
+      {"CF", "com-friendster-analog", Domain::kSocial},
+      {"U2", "uk-2002-analog", Domain::kWeb},
+      {"AR", "arabic-2005-analog", Domain::kWeb},
+      {"IT", "it-2004-analog", Domain::kWeb},
+      {"U5", "uk-2005-analog", Domain::kWeb},
+      {"WB", "webbase-2001-analog", Domain::kWeb},
+      {"TX", "roadnet-tx-analog", Domain::kRoad},
+      {"CA", "roadnet-ca-analog", Domain::kRoad},
+      {"GM", "germany-osm-analog", Domain::kRoad},
+      {"USA", "road-usa-analog", Domain::kRoad},
+      {"EU", "europe-osm-analog", Domain::kRoad},
+  };
+  return *specs;
+}
+
+const std::vector<std::string>& LargeDatasetAbbrs() {
+  static const std::vector<std::string>* abbrs =
+      new std::vector<std::string>{"CF", "U5", "WB", "USA", "EU"};
+  return *abbrs;
+}
+
+DatasetGraphs BuildDataset(const std::string& abbr) {
+  const DatasetSpec* spec = nullptr;
+  for (const DatasetSpec& s : AllDatasets()) {
+    if (s.abbr == abbr) spec = &s;
+  }
+  GUM_CHECK(spec != nullptr) << "unknown dataset: " << abbr;
+
+  const EdgeList list = Generate(abbr);
+  DatasetGraphs out;
+  out.spec = *spec;
+  auto directed = CsrGraph::FromEdgeList(list);
+  GUM_CHECK_OK(directed.status());
+  out.directed = std::move(directed).value();
+  CsrBuildOptions sym;
+  sym.symmetrize = true;
+  auto symmetric = CsrGraph::FromEdgeList(list, sym);
+  GUM_CHECK_OK(symmetric.status());
+  out.symmetric = std::move(symmetric).value();
+  return out;
+}
+
+graph::VertexId PickSource(const graph::CsrGraph& g) {
+  graph::VertexId best = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.OutDegree(v) > g.OutDegree(best)) best = v;
+  }
+  return best;
+}
+
+}  // namespace gum::bench

@@ -1,0 +1,51 @@
+// Scaled analogs of the paper's Table-II benchmark graphs.
+//
+// The originals (85M-1.8B edges) exceed a single-core simulation budget;
+// each analog keeps its domain's distinguishing structure — degree skew and
+// tiny diameter for social networks, hub-and-locality structure for web
+// graphs, near-constant degree and very long diameter for road networks —
+// at roughly 1/500 scale. The relative ordering of sizes within each domain
+// mirrors Table II.
+
+#ifndef GUM_BENCH_DATASETS_H_
+#define GUM_BENCH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace gum::bench {
+
+enum class Domain { kSocial, kWeb, kRoad };
+
+struct DatasetSpec {
+  std::string abbr;   // Table-II abbreviation (LJ, OR, ..., EU)
+  std::string name;   // analog name
+  Domain domain;
+};
+
+// The 15 Table-II rows, in table order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+// The five "large graphs" used by the paper's Exp-2 (Fig. 6/7).
+const std::vector<std::string>& LargeDatasetAbbrs();
+
+struct DatasetGraphs {
+  DatasetSpec spec;
+  graph::CsrGraph directed;   // weighted, with in-CSR (BFS/SSSP/PR)
+  graph::CsrGraph symmetric;  // symmetrized (WCC)
+};
+
+// Builds one dataset by abbreviation. Aborts on unknown abbreviation
+// (bench-internal misuse, not user input).
+DatasetGraphs BuildDataset(const std::string& abbr);
+
+// A deterministic non-trivial source vertex for traversal benchmarks: the
+// highest-out-degree vertex of the graph (paper-style "well connected
+// source", avoids degree-0 RMAT vertices).
+graph::VertexId PickSource(const graph::CsrGraph& g);
+
+}  // namespace gum::bench
+
+#endif  // GUM_BENCH_DATASETS_H_

@@ -1,0 +1,54 @@
+// Figure 11: GUM on different partitioners with and without stealing
+// (Exp-6). SSSP on the OR / U2 / LJ analogs under seg, random and
+// metis-like partitions; "+S" enables FSteal + OSteal.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/datasets.h"
+#include "bench/runner.h"
+#include "common/table_printer.h"
+
+using namespace gum;        // NOLINT(build/namespaces)
+using namespace gum::bench; // NOLINT(build/namespaces)
+
+int main() {
+  std::cout << "=== Figure 11: partitioners x stealing — SSSP, 8 GPUs "
+               "(simulated ms) ===\n\n";
+  const std::vector<graph::PartitionerKind> kinds = {
+      graph::PartitionerKind::kSegment, graph::PartitionerKind::kRandom,
+      graph::PartitionerKind::kMetisLike};
+
+  TablePrinter tp({"Graph", "Partitioner", "no steal", "+S", "gain"});
+  for (const std::string abbr :
+       {std::string("OR"), std::string("U2"), std::string("LJ")}) {
+    const DatasetGraphs data = BuildDataset(abbr);
+    for (graph::PartitionerKind kind : kinds) {
+      RunConfig config;
+      config.system = System::kGum;
+      config.algo = Algo::kSssp;
+      config.devices = 8;
+      config.partitioner = kind;
+
+      config.gum.enable_fsteal = false;
+      config.gum.enable_osteal = false;
+      const double off_ms = RunBenchmark(data, config).total_ms;
+
+      config.gum.enable_fsteal = true;
+      config.gum.enable_osteal = true;
+      const double on_ms = RunBenchmark(data, config).total_ms;
+
+      tp.AddRow({abbr, graph::PartitionerName(kind),
+                 TablePrinter::Num(off_ms, 1), TablePrinter::Num(on_ms, 1),
+                 TablePrinter::Num(off_ms / on_ms, 2) + "x"});
+    }
+    std::cerr << "done " << abbr << "\n";
+  }
+  tp.Print(std::cout);
+  std::cout << "\nShape check vs paper Fig. 11: stealing gains "
+               "1.25-1.63x on seg, 1.24-2.29x on random, 1.19-1.60x on "
+               "metis — largest on the partitioner with the worst dynamic "
+               "balance, and positive on every partitioner (stealing "
+               "rectifies suboptimal static partitions).\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 1: the motivation timeline — SSSP on the webbase analog, 8 GPUs,
+// static partition, NO stealing. Reproduces the two pathologies:
+//   (1) dynamic load imbalance: per-iteration straggler/fastest ratios;
+//   (2) long tail: thousands of latency-bound iterations where
+//       synchronization dominates.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench/datasets.h"
+#include "bench/runner.h"
+#include "common/table_printer.h"
+
+using namespace gum;        // NOLINT(build/namespaces)
+using namespace gum::bench; // NOLINT(build/namespaces)
+
+int main() {
+  std::cout << "=== Figure 1: SSSP timeline on webbase analog (8 GPUs, no "
+               "stealing) ===\n\n";
+  const DatasetGraphs data = BuildDataset("WB");
+  std::cout << "graph: " << data.spec.name << "  |V|="
+            << data.directed.num_vertices()
+            << " |E|=" << data.directed.num_edges() << "\n\n";
+
+  RunConfig config;
+  config.system = System::kGum;
+  config.algo = Algo::kSssp;
+  config.devices = 8;
+  // "The input graph is well-partitioned with each GPU processing the same
+  // amount of edges" (paper Example 1) — the locality-preserving seg
+  // partitioner with balanced edge quotas.
+  config.partitioner = graph::PartitionerKind::kSegment;
+  config.gum.enable_fsteal = false;
+  config.gum.enable_osteal = false;
+  const core::RunResult result = RunBenchmark(data, config);
+
+  std::cout << result.timeline.RenderAscii(96) << "\n";
+
+  // (1) DLB: straggler/fastest ratio of per-iteration WORK time (compute +
+  // data movement, excluding the barrier every device pays equally — the
+  // paper's Fig. 1/8 measures kernel time).
+  auto work_ms = [&](int it, int d) {
+    return result.timeline.Get(it, d, sim::TimeCategory::kCompute) +
+           result.timeline.Get(it, d, sim::TimeCategory::kCommunication) +
+           result.timeline.Get(it, d, sim::TimeCategory::kSerialization);
+  };
+  double worst_ratio = 1.0;
+  int worst_iter = -1;
+  double imbalance_sum = 0;
+  int busy_iters = 0;
+  for (int it = 0; it < result.timeline.num_iterations(); ++it) {
+    double max_busy = 0, min_busy = 1e18;
+    int active = 0;
+    for (int d = 0; d < 8; ++d) {
+      const double busy = work_ms(it, d);
+      if (busy > 0) {
+        ++active;
+        max_busy = std::max(max_busy, busy);
+        min_busy = std::min(min_busy, busy);
+      }
+    }
+    // Paper-style comparison: every worker has meaningful work.
+    if (active >= 4 && max_busy > 0.5 && min_busy > 0.05 * max_busy) {
+      const double ratio = max_busy / min_busy;
+      imbalance_sum += ratio;
+      ++busy_iters;
+      if (ratio > worst_ratio) {
+        worst_ratio = ratio;
+        worst_iter = it;
+      }
+    }
+  }
+  std::cout << "[DLB] busy iterations: " << busy_iters
+            << ", mean straggler/fastest ratio: "
+            << TablePrinter::Num(busy_iters ? imbalance_sum / busy_iters : 0,
+                                 2)
+            << ", worst: " << TablePrinter::Num(worst_ratio, 2)
+            << "x at iteration " << worst_iter
+            << "   (paper reports up to 4.2x)\n";
+
+  // (2) LT: share of wall time in sync/overhead during the tail.
+  const double stall = result.StarvationMs();
+  const double overhead = result.OverheadMs();
+  const double busy_total = result.ComputeMs() + result.CommunicationMs() +
+                            result.SerializationMs() + overhead;
+  std::cout << "[LT ] iterations: " << result.iterations
+            << ", total (simulated): " << TablePrinter::Num(result.total_ms, 1)
+            << " ms, synchronization overhead share: "
+            << TablePrinter::Num(100.0 * overhead / (busy_total + stall), 1)
+            << "% of device cycles, starvation share: "
+            << TablePrinter::Num(100.0 * stall / (busy_total + stall), 1)
+            << "%   (paper: sync ~21% of total on this workload)\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 9: ownership-stealing switching process (Exp-4). SSSP on the
+// webbase and road-USA analogs: the communication-group size over
+// iterations (shrinking through the long tail, re-growing if the workload
+// recovers), and the end-to-end gain vs OSteal off.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/datasets.h"
+#include "bench/runner.h"
+#include "common/table_printer.h"
+
+using namespace gum;        // NOLINT(build/namespaces)
+using namespace gum::bench; // NOLINT(build/namespaces)
+
+int main() {
+  std::cout << "=== Figure 9: OSteal switching process — SSSP, 8 GPUs ===\n";
+  for (const std::string abbr : {std::string("WB"), std::string("USA")}) {
+    const DatasetGraphs data = BuildDataset(abbr);
+    auto run = [&](bool osteal) {
+      RunConfig config;
+      config.system = System::kGum;
+      config.algo = Algo::kSssp;
+      config.devices = 8;
+      config.gum.enable_osteal = osteal;
+      return RunBenchmark(data, config);
+    };
+    const core::RunResult off = run(false);
+    const core::RunResult on = run(true);
+
+    std::cout << "\n--- " << data.spec.name << " (|E|="
+              << data.directed.num_edges() << ", " << on.iterations
+              << " iterations) ---\n";
+    std::cout << "group-size trace (iteration -> m):  8";
+    int current = 8;
+    for (const core::IterationStats& s : on.iteration_stats) {
+      if (s.group_size != current) {
+        std::cout << "  #" << s.iteration << "->" << s.group_size;
+        current = s.group_size;
+      }
+    }
+    std::cout << "\n";
+
+    // Tail statistics: how much of the run executes with a shrunken group.
+    int shrunk_iters = 0;
+    for (const core::IterationStats& s : on.iteration_stats) {
+      if (s.group_size < 8) ++shrunk_iters;
+    }
+    std::cout << "iterations with m < 8: " << shrunk_iters << "/"
+              << on.iterations << "\n";
+    std::cout << "runtime: OSteal off " << TablePrinter::Num(off.total_ms, 1)
+              << " ms -> on " << TablePrinter::Num(on.total_ms, 1)
+              << " ms  => " << TablePrinter::Num(off.total_ms / on.total_ms, 2)
+              << "x speedup\n";
+  }
+  std::cout << "\nShape check vs paper Fig. 9: webbase shrinks 8->6->4->1 "
+               "over the late iterations (+11% there); road-USA spends most "
+               "iterations shrunk and gains ~3.2x.\n";
+  return 0;
+}

@@ -1,0 +1,227 @@
+// Google-benchmark micro benchmarks for GUM's per-iteration decision
+// machinery and the supporting substrates. These bound the overhead terms
+// of paper Table IV from below: everything on the critical decision path
+// (cost matrix, MILP solve, vertex-range selection, feature extraction)
+// must stay in the tens-of-microseconds range for n <= 8 devices.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/parallel_primitives.h"
+#include "core/edge_cost_model.h"
+#include "core/fsteal.h"
+#include "core/osteal.h"
+#include "graph/csr.h"
+#include "graph/frontier_features.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "ml/dataset.h"
+#include "ml/polynomial_regression.h"
+#include "sim/reduction_schedule.h"
+#include "sim/topology.h"
+#include "solver/steal_problem.h"
+
+namespace {
+
+using namespace gum;  // NOLINT(build/namespaces)
+
+const graph::CsrGraph& BenchGraph() {
+  static const graph::CsrGraph* g = [] {
+    graph::RmatOptions opt;
+    opt.scale = 14;
+    opt.edge_factor = 12;
+    opt.seed = 33;
+    auto built = graph::CsrGraph::FromEdgeList(graph::Rmat(opt));
+    return new graph::CsrGraph(std::move(built).value());
+  }();
+  return *g;
+}
+
+std::vector<std::vector<double>> StealCost(int n) {
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 1.6));
+  for (int i = 0; i < n; ++i) cost[i][i] = 1.0;
+  return cost;
+}
+
+std::vector<double> StealLoads(int n) {
+  std::vector<double> loads(n);
+  for (int i = 0; i < n; ++i) loads[i] = 1000.0 * (i + 1) * (i + 1);
+  return loads;
+}
+
+std::vector<int> AllWorkers(int n) {
+  std::vector<int> workers(n);
+  std::iota(workers.begin(), workers.end(), 0);
+  return workers;
+}
+
+// --- the per-iteration decision path ---
+
+void BM_StealLpSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto cost = StealCost(n);
+  const auto loads = StealLoads(n);
+  const auto workers = AllWorkers(n);
+  for (auto _ : state) {
+    auto plan = solver::SolveStealProblem(cost, loads, workers);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_StealLpSolve)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_StealMilpExact(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto cost = StealCost(n);
+  const auto loads = StealLoads(n);
+  const auto workers = AllWorkers(n);
+  solver::StealProblemOptions options;
+  options.exact_milp = true;
+  for (auto _ : state) {
+    auto plan = solver::SolveStealProblem(cost, loads, workers, options);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_StealMilpExact)->Arg(2)->Arg(4);
+
+void BM_StealGreedy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto cost = StealCost(n);
+  const auto loads = StealLoads(n);
+  const auto workers = AllWorkers(n);
+  for (auto _ : state) {
+    auto plan = solver::GreedyStealPlan(cost, loads, workers);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_StealGreedy)->Arg(8);
+
+void BM_OStealEnumeration(benchmark::State& state) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  const auto schedule = sim::ReductionSchedule::Build(topo);
+  const auto cost = StealCost(8);
+  const auto loads = StealLoads(8);
+  for (auto _ : state) {
+    auto decision = core::DecideOSteal(cost, loads, schedule, 1e5, {});
+    benchmark::DoNotOptimize(decision);
+  }
+}
+BENCHMARK(BM_OStealEnumeration);
+
+void BM_FrontierFeatureExtraction(benchmark::State& state) {
+  const auto& g = BenchGraph();
+  std::vector<graph::VertexId> frontier(state.range(0));
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    frontier[i] =
+        static_cast<graph::VertexId>((i * 2654435761u) % g.num_vertices());
+  }
+  for (auto _ : state) {
+    auto features = graph::ExtractFrontierFeatures(g, frontier);
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetItemsProcessed(state.iterations() * frontier.size());
+}
+BENCHMARK(BM_FrontierFeatureExtraction)->Arg(1024)->Arg(16384);
+
+void BM_SelectStolenRanges(benchmark::State& state) {
+  const auto& g = BenchGraph();
+  std::vector<graph::VertexId> frontier(16384);
+  double total = 0;
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    frontier[i] = static_cast<graph::VertexId>(i);
+    total += g.OutDegree(frontier[i]);
+  }
+  std::vector<double> quota(8, total / 8);
+  const auto workers = AllWorkers(8);
+  for (auto _ : state) {
+    auto ranges = core::SelectStolenRanges(g, frontier, quota, workers);
+    benchmark::DoNotOptimize(ranges);
+  }
+  state.SetItemsProcessed(state.iterations() * frontier.size());
+}
+BENCHMARK(BM_SelectStolenRanges);
+
+void BM_CostModelInference(benchmark::State& state) {
+  ml::CostDatasetOptions opt;
+  opt.frontiers_per_graph = 60;
+  const ml::Dataset data = ml::GenerateDefaultCostDataset(opt);
+  ml::PolynomialRegression model(4);
+  (void)model.Fit(data);
+  graph::FrontierFeatures w;
+  w.avg_out_degree = 12;
+  w.avg_in_degree = 9;
+  w.gini = 0.4;
+  w.entropy = 0.8;
+  const auto arr = w.ToArray();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(arr));
+  }
+}
+BENCHMARK(BM_CostModelInference);
+
+// --- substrates ---
+
+void BM_ReductionScheduleBuild(benchmark::State& state) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  for (auto _ : state) {
+    auto schedule = sim::ReductionSchedule::Build(topo);
+    benchmark::DoNotOptimize(schedule);
+  }
+}
+BENCHMARK(BM_ReductionScheduleBuild);
+
+void BM_CsrBuild(benchmark::State& state) {
+  graph::RmatOptions opt;
+  opt.scale = static_cast<int>(state.range(0));
+  opt.edge_factor = 8;
+  const graph::EdgeList list = graph::Rmat(opt);
+  for (auto _ : state) {
+    auto g = graph::CsrGraph::FromEdgeList(list);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * list.edges.size());
+}
+BENCHMARK(BM_CsrBuild)->Arg(12)->Arg(14);
+
+void BM_Partition(benchmark::State& state) {
+  const auto& g = BenchGraph();
+  graph::PartitionOptions opt;
+  opt.kind = static_cast<graph::PartitionerKind>(state.range(0));
+  for (auto _ : state) {
+    auto p = graph::PartitionGraph(g, 8, opt);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetLabel(graph::PartitionerName(opt.kind));
+}
+BENCHMARK(BM_Partition)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  graph::RmatOptions opt;
+  opt.scale = 13;
+  opt.edge_factor = 8;
+  for (auto _ : state) {
+    auto list = graph::Rmat(opt);
+    benchmark::DoNotOptimize(list);
+  }
+}
+BENCHMARK(BM_RmatGeneration);
+
+void BM_PrefixSumAndSearch(benchmark::State& state) {
+  std::vector<uint64_t> degrees(65536);
+  for (size_t i = 0; i < degrees.size(); ++i) degrees[i] = i % 37;
+  for (auto _ : state) {
+    auto prefix = InclusivePrefixSum(degrees);
+    const std::vector<uint64_t> needles = {prefix.back() / 4,
+                                           prefix.back() / 2,
+                                           3 * prefix.back() / 4};
+    auto splits = SortedSearchLower(prefix, needles);
+    benchmark::DoNotOptimize(splits);
+  }
+  state.SetItemsProcessed(state.iterations() * degrees.size());
+}
+BENCHMARK(BM_PrefixSumAndSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Shared bench runner: executes one (system, algorithm, dataset, devices)
+// cell and returns the engine's RunResult. Simulated milliseconds are what
+// every harness reports (see DESIGN.md §1).
+
+#ifndef GUM_BENCH_RUNNER_H_
+#define GUM_BENCH_RUNNER_H_
+
+#include <string>
+
+#include "bench/datasets.h"
+#include "core/engine_options.h"
+#include "ml/model.h"
+#include "core/run_result.h"
+#include "graph/partition.h"
+
+namespace gum::bench {
+
+enum class System { kGunrock, kGroute, kGum };
+enum class Algo { kBfs, kWcc, kPr, kSssp };
+
+const char* SystemName(System system);
+const char* AlgoName(Algo algo);
+
+// Device calibration for the benchmark harness. The Table-II analogs are
+// ~400x smaller than the paper's graphs while per-iteration latency
+// (kernel launch, barrier, buffer bookkeeping) is size-independent, so an
+// unscaled V100 model would make EVERY iteration latency-bound. Scaling the
+// per-edge compute cost by the same factor restores the paper's regime:
+// heavy iterations compute-bound (DLB territory), tail iterations
+// latency-bound (LT territory).
+sim::DeviceParams BenchDeviceParams();
+
+struct RunConfig {
+  System system = System::kGum;
+  Algo algo = Algo::kBfs;
+  int devices = 8;
+  graph::PartitionerKind partitioner = graph::PartitionerKind::kRandom;
+  uint64_t partition_seed = 1;
+  int pagerank_rounds = 10;
+  // GUM-specific toggles (ignored by the baselines).
+  core::EngineOptions gum;
+  // Learned cost model for the GUM stealing policies; null = exact oracle.
+  const ml::RegressionModel* cost_model = nullptr;
+  // Force the GAS label-propagation WCC instead of the cost-based
+  // FastWcc/label-prop choice — used by fig10, which isolates the stealing
+  // increments and must keep the algorithm variant fixed.
+  bool force_labelprop_wcc = false;
+};
+
+// Runs the cell. WCC uses data.symmetric, everything else data.directed.
+// PR on the Groute baseline runs as delta-PageRank (the asynchronous model
+// has no synchronous rounds).
+core::RunResult RunBenchmark(const DatasetGraphs& data,
+                             const RunConfig& config);
+
+}  // namespace gum::bench
+
+#endif  // GUM_BENCH_RUNNER_H_

@@ -1,0 +1,84 @@
+// Table V: accuracy, training time and end-to-end effect of the learned
+// cost model (Exp-7). Four model families are trained on the same
+// running-log dataset; RMSRE is evaluated on a held-out split; "slowdown"
+// is the runtime achieved with the learned g(W) relative to the exact
+// oracle (1.0 = as good as knowing the true cost), measured on SSSP with
+// stealing engaged.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/datasets.h"
+#include "bench/runner.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_regression.h"
+#include "ml/polynomial_regression.h"
+#include "ml/svr.h"
+
+using namespace gum;        // NOLINT(build/namespaces)
+using namespace gum::bench; // NOLINT(build/namespaces)
+
+int main() {
+  std::cout << "=== Table V: accuracy and training time of the cost model "
+               "===\n\n";
+
+  // Running-log dataset, as in §III-B (the 624-graph corpus stand-in).
+  ml::CostDatasetOptions data_opt;
+  data_opt.frontiers_per_graph = 250;
+  data_opt.noise_stddev = 0.05;  // measurement noise of real running logs
+  data_opt.device = BenchDeviceParams();  // logs from the benchmark device
+  const ml::Dataset full = ml::GenerateDefaultCostDataset(data_opt);
+  const auto [train, test] = full.Split(0.8, 29);
+  std::cout << "training samples: " << train.size()
+            << ", held-out: " << test.size() << "\n\n";
+
+  const DatasetGraphs sw = BuildDataset("SW");
+  auto run_sssp = [&](const ml::RegressionModel* model) {
+    RunConfig config;
+    config.system = System::kGum;
+    config.algo = Algo::kSssp;
+    config.devices = 8;
+    config.partitioner = graph::PartitionerKind::kSegment;
+    config.cost_model = model;
+    return RunBenchmark(sw, config).total_ms;
+  };
+  const double oracle_ms = run_sssp(nullptr);
+
+  std::vector<std::unique_ptr<ml::RegressionModel>> models;
+  models.push_back(std::make_unique<ml::LinearRegression>());
+  models.push_back(std::make_unique<ml::PolynomialRegression>(4));
+  models.push_back(std::make_unique<ml::RbfSvr>());
+  models.push_back(std::make_unique<ml::DecisionTreeRegressor>());
+
+  TablePrinter tp({"Learning model", "RMSRE", "Training time (s)",
+                   "Slowdown"});
+  for (auto& model : models) {
+    Stopwatch timer;
+    const Status status = model->Fit(train);
+    const double train_s = timer.ElapsedSeconds();
+    if (!status.ok()) {
+      tp.AddRow({model->name(), "fit failed", "-", "-"});
+      continue;
+    }
+    const double rmsre = ml::Rmsre(*model, test);
+    const double learned_ms = run_sssp(model.get());
+    tp.AddRow({model->name(), TablePrinter::Num(rmsre, 3),
+               TablePrinter::Num(train_s, 1),
+               TablePrinter::Num(oracle_ms / learned_ms, 2)});
+    std::cerr << "done " << model->name() << "\n";
+  }
+  tp.Print(std::cout);
+  std::cout << "\n(exact-oracle SSSP runtime: "
+            << TablePrinter::Num(oracle_ms, 1) << " ms)\n";
+  std::cout << "\nShape check vs paper Table V: linear regression is far "
+               "less accurate on the relative-error metric; polynomial "
+               "regression is accurate, fast to train, and within a few "
+               "percent of the oracle (paper 0.93); SVR is the most "
+               "accurate but ~10x slower to train for a marginal gain "
+               "(paper 0.94) — hence GUM ships polynomial regression.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "algos/reference.h"
+
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace gum::algos::ref {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+std::vector<uint32_t> Bfs(const CsrGraph& g, VertexId source) {
+  std::vector<uint32_t> depth(g.num_vertices(),
+                              std::numeric_limits<uint32_t>::max());
+  std::deque<VertexId> queue;
+  depth[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (depth[v] == std::numeric_limits<uint32_t>::max()) {
+        depth[v] = depth[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<float> Sssp(const CsrGraph& g, VertexId source) {
+  std::vector<float> dist(g.num_vertices(),
+                          std::numeric_limits<float>::max());
+  using Item = std::pair<float, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  dist[source] = 0.0f;
+  heap.push({0.0f, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    const auto neighbors = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t e = 0; e < neighbors.size(); ++e) {
+      const float w = weights.empty() ? 1.0f : weights[e];
+      const float nd = d + w;
+      if (nd < dist[neighbors[e]]) {
+        dist[neighbors[e]] = nd;
+        heap.push({nd, neighbors[e]});
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+VertexId Find(std::vector<VertexId>& parent, VertexId v) {
+  while (parent[v] != v) {
+    parent[v] = parent[parent[v]];  // path halving
+    v = parent[v];
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<VertexId> Wcc(const CsrGraph& g) {
+  std::vector<VertexId> parent(g.num_vertices());
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      VertexId ru = Find(parent, u), rv = Find(parent, v);
+      if (ru != rv) parent[std::max(ru, rv)] = std::min(ru, rv);
+    }
+  }
+  std::vector<VertexId> label(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    label[v] = Find(parent, v);
+  }
+  return label;
+}
+
+std::vector<double> PageRank(const CsrGraph& g, double damping, int rounds) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> rank(n, 1.0 / n), next(n);
+  for (int r = 0; r < rounds; ++r) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId u = 0; u < n; ++u) {
+      const uint32_t deg = g.OutDegree(u);
+      if (deg == 0) continue;
+      const double share = rank[u] / deg;
+      for (VertexId v : g.OutNeighbors(u)) next[v] += share;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      next[v] = (1.0 - damping) / n + damping * next[v];
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace gum::algos::ref

@@ -1,0 +1,34 @@
+// Exact single-threaded reference implementations used to validate every
+// engine (GUM, Gunrock-like, Groute-like) bit-for-bit (BFS/SSSP/WCC) or to
+// numeric tolerance (PageRank).
+
+#ifndef GUM_ALGOS_REFERENCE_H_
+#define GUM_ALGOS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace gum::algos::ref {
+
+// BFS depths; unreached = UINT32_MAX.
+std::vector<uint32_t> Bfs(const graph::CsrGraph& g, graph::VertexId source);
+
+// Dijkstra distances over OutWeights (1.0 when unweighted); unreached =
+// FLT_MAX. Since the engine's Bellman-Ford accumulates along the same
+// shortest path edge-by-edge, results match bitwise.
+std::vector<float> Sssp(const graph::CsrGraph& g, graph::VertexId source);
+
+// Union-find components over the out-edge list treated as undirected;
+// every vertex labeled with the minimum vertex id of its component.
+std::vector<graph::VertexId> Wcc(const graph::CsrGraph& g);
+
+// Synchronous power iteration matching PageRankApp's semantics exactly
+// (dangling mass dropped, (1-d)/N base).
+std::vector<double> PageRank(const graph::CsrGraph& g, double damping,
+                             int rounds);
+
+}  // namespace gum::algos::ref
+
+#endif  // GUM_ALGOS_REFERENCE_H_

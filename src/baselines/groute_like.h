@@ -1,0 +1,243 @@
+// Groute-like baseline engine (paper §VI "Groute" comparator).
+//
+// Asynchronous execution model simulated with per-device local clocks and
+// message events, reproducing the properties the paper attributes to
+// Groute:
+//   * no global barriers — a device processes its worklist as soon as work
+//     is available, paying only a micro-batch launch overhead. This is why
+//     the asynchronous model wins WCC on long-diameter road networks
+//     (labels cross many hops per unit time, Exp-1);
+//   * communication uses a single ring chosen from the NVLink topology;
+//     messages to a non-neighbor hop device to device, and with an odd
+//     device count one ring segment falls back to PCIe (the odd/even
+//     scalability artifact of Fig. 7);
+//   * static partition, no work stealing: a straggler device bounds the
+//     total time because its worklist drains sequentially.
+//
+// Monotonic apps (BFS/SSSP/WCC min-combine; delta-PR) converge to the same
+// fixpoint as the BSP engines; PageRankApp (fixed synchronous rounds) is
+// not meaningful here and run as its delta variant by the benches.
+
+#ifndef GUM_BASELINES_GROUTE_LIKE_H_
+#define GUM_BASELINES_GROUTE_LIKE_H_
+
+#include <algorithm>
+#include <optional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/logging.h"
+#include "core/run_result.h"
+#include "graph/csr.h"
+#include "graph/frontier_features.h"
+#include "graph/partition.h"
+#include "sim/device.h"
+#include "sim/kernel_cost.h"
+#include "sim/timeline.h"
+#include "sim/topology.h"
+
+namespace gum::baselines {
+
+struct GrouteOptions {
+  sim::DeviceParams device;
+  double batch_overhead_us = 12.0;  // async micro-kernel launch + bookkeeping
+  double hop_latency_us = 2.0;      // per ring hop
+  double ring_gbps = sim::Topology::kNvlinkLaneGBps;
+  // Groute forwards messages in fixed-size router segments; an under-filled
+  // segment waits for the flush timer at EVERY store-and-forward hop. This
+  // is the mechanism that makes the real system excellent on all-active
+  // workloads (full segments, no barrier) yet poor on single-source
+  // traversals of long-diameter graphs (tiny wavefront messages eat the
+  // timeout on every hop) — the Table III / Fig. 7 road-network pattern.
+  double segment_size_bytes = 16.0 * 1024;
+  double flush_timeout_us = 1000.0;
+  long long max_batches = 20'000'000;
+};
+
+template <typename App>
+class GrouteLikeEngine {
+ public:
+  using VertexId = graph::VertexId;
+  using Value = typename App::Value;
+  using Message = typename App::Message;
+
+  GrouteLikeEngine(const graph::CsrGraph* g, graph::Partition partition,
+                   GrouteOptions options)
+      : g_(g), partition_(std::move(partition)), options_(options) {}
+
+  core::RunResult Run(App& app, std::vector<Value>* values_out = nullptr) {
+    const int n = partition_.num_parts;
+    const VertexId num_v = g_->num_vertices();
+    const sim::DeviceParams& dev = options_.device;
+
+    core::RunResult result;
+    result.timeline = sim::Timeline(n);
+
+    std::vector<Value> values(num_v);
+    for (VertexId v = 0; v < num_v; ++v) values[v] = app.InitValue(v);
+
+    struct Bundle {
+      double arrival_ms;
+      std::vector<std::pair<VertexId, Message>> messages;
+      bool operator>(const Bundle& other) const {
+        return arrival_ms > other.arrival_ms;
+      }
+    };
+    std::vector<std::priority_queue<Bundle, std::vector<Bundle>,
+                                    std::greater<Bundle>>> pending(n);
+    std::vector<std::vector<VertexId>> active(n);
+    Bitmap in_worklist(num_v);
+
+    for (VertexId v = 0; v < num_v; ++v) {
+      if (app.IsInitiallyActive(v)) {
+        active[partition_.owner[v]].push_back(v);
+        in_worklist.Set(v);
+      }
+    }
+
+    std::vector<double> clock_ms(n, 0.0);
+    std::vector<std::vector<std::pair<VertexId, Message>>> outgoing(n);
+    std::vector<VertexId> batch;
+
+    long long batches = 0;
+    while (batches < options_.max_batches) {
+      // Pick the device that can make progress earliest.
+      int d = -1;
+      double ready = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < n; ++i) {
+        double r;
+        if (!active[i].empty()) {
+          r = clock_ms[i];
+        } else if (!pending[i].empty()) {
+          r = std::max(clock_ms[i], pending[i].top().arrival_ms);
+        } else {
+          continue;
+        }
+        if (r < ready) {
+          ready = r;
+          d = i;
+        }
+      }
+      if (d == -1) break;  // quiescent: converged
+      ++batches;
+
+      const double t_start = ready;
+      // Ingest all messages that have arrived by now.
+      while (!pending[d].empty() &&
+             pending[d].top().arrival_ms <= t_start) {
+        const Bundle& bundle = pending[d].top();
+        for (const auto& [v, msg] : bundle.messages) {
+          if (app.Apply(v, values[v], msg) && in_worklist.TestAndSet(v)) {
+            active[d].push_back(v);
+          }
+        }
+        pending[d].pop();
+      }
+      if (active[d].empty()) {
+        clock_ms[d] = t_start;  // messages applied but nothing activated
+        continue;
+      }
+
+      batch.swap(active[d]);
+      active[d].clear();
+      std::sort(batch.begin(), batch.end());
+      for (VertexId u : batch) in_worklist.Reset(u);
+
+      const auto features = graph::ExtractFrontierFeatures(*g_, batch);
+      const double edge_cost_ns = sim::TrueEdgeCostNs(features, dev);
+
+      for (auto& out : outgoing) out.clear();
+      double edges = 0;
+      for (const VertexId u : batch) {
+        const uint32_t deg = g_->OutDegree(u);
+        const Message payload = app.OnFrontier(u, values[u], deg);
+        const auto neighbors = g_->OutNeighbors(u);
+        const auto weights = g_->OutWeights(u);
+        for (size_t e = 0; e < neighbors.size(); ++e) {
+          const VertexId v = neighbors[e];
+          const float w_e = weights.empty() ? 1.0f : weights[e];
+          std::optional<Message> msg = app.Scatter(payload, v, w_e);
+          if (!msg.has_value()) continue;
+          outgoing[partition_.owner[v]].emplace_back(v, *msg);
+          result.messages_sent++;
+        }
+        edges += deg;
+        result.edges_processed += deg;
+      }
+
+      const double compute_ms = edges * edge_cost_ns / 1e6;
+      const double local_fetch_ms = edges * dev.bytes_per_remote_edge /
+                                    sim::Topology::kLocalMemoryGBps / 1e6;
+      double serial_ms = 0;
+      double send_ms = 0;
+      const double overhead_ms = options_.batch_overhead_us / 1000.0;
+      double t_end = t_start + overhead_ms + compute_ms + local_fetch_ms;
+
+      // Local messages become available at the end of this batch.
+      if (!outgoing[d].empty()) {
+        Bundle bundle;
+        bundle.arrival_ms = t_end;
+        bundle.messages = std::move(outgoing[d]);
+        pending[d].push(std::move(bundle));
+      }
+      // Remote messages hop along the ring.
+      for (int f = 0; f < n; ++f) {
+        if (f == d || outgoing[f].empty()) continue;
+        const double bytes =
+            static_cast<double>(outgoing[f].size()) * dev.bytes_per_message;
+        serial_ms += bytes / dev.serialization_gbps / 1e6;
+        // Under-filled segments wait (pro-rata) for the flush timer at each
+        // store-and-forward hop.
+        const double fill =
+            std::min(1.0, bytes / options_.segment_size_bytes);
+        const double flush_ms =
+            options_.flush_timeout_us * (1.0 - fill) / 1000.0;
+        double arrival = t_end + serial_ms;
+        for (int hop = d; hop != f; hop = (hop + 1) % n) {
+          arrival += options_.hop_latency_us / 1000.0 + flush_ms +
+                     bytes / HopBandwidth(hop, n) / 1e6;
+        }
+        send_ms += bytes / HopBandwidth(d, n) / 1e6;
+        Bundle bundle;
+        bundle.arrival_ms = arrival;
+        bundle.messages = std::move(outgoing[f]);
+        pending[f].push(std::move(bundle));
+      }
+      t_end += serial_ms + send_ms;
+      clock_ms[d] = t_end;
+
+      result.timeline.Add(0, d, sim::TimeCategory::kCompute, compute_ms);
+      result.timeline.Add(0, d, sim::TimeCategory::kCommunication,
+                          send_ms + local_fetch_ms);
+      result.timeline.Add(0, d, sim::TimeCategory::kSerialization, serial_ms);
+      result.timeline.Add(0, d, sim::TimeCategory::kOverhead, overhead_ms);
+    }
+    GUM_CHECK(batches < options_.max_batches)
+        << "Groute-like engine hit the batch limit before quiescence";
+
+    result.iterations = static_cast<int>(batches);
+    result.total_ms = *std::max_element(clock_ms.begin(), clock_ms.end());
+    if (values_out != nullptr) *values_out = std::move(values);
+    return result;
+  }
+
+ private:
+  // Ring hop bandwidth; with an odd device count one segment (the wrap-
+  // around) cannot be an NVLink lane and falls back to PCIe.
+  double HopBandwidth(int hop_src, int n) const {
+    if (n > 1 && n % 2 == 1 && hop_src == n - 1) {
+      return sim::Topology::kPcieGBps;
+    }
+    return options_.ring_gbps;
+  }
+
+  const graph::CsrGraph* g_;
+  graph::Partition partition_;
+  GrouteOptions options_;
+};
+
+}  // namespace gum::baselines
+
+#endif  // GUM_BASELINES_GROUTE_LIKE_H_

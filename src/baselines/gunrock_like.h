@@ -1,0 +1,206 @@
+// Gunrock-like baseline engine (paper §VI "Gunrock" comparator).
+//
+// Same BSP substrate and App concept as the GUM engine, with the execution
+// model the paper attributes to multi-GPU Gunrock:
+//   * static edge-cut partition, every fragment processed by its owner —
+//     no frontier or ownership stealing;
+//   * all n devices synchronize every iteration (p * n overhead), however
+//     small the frontier — the long-tail pathology of Fig. 1;
+//   * communication is not topology-aware: peers talk over their direct
+//     link or PCIe, never routing through a transit GPU;
+//   * the "separate" kernel bins outgoing vertices into one buffer per peer
+//     every iteration (Fig. 4a), without GUM's early per-vertex message
+//     aggregation;
+//   * strong intra-GPU, algorithm-specific optimizations (direction-
+//     optimized BFS, near-far SSSP) modeled as a compute-rate boost that is
+//     most effective on a single GPU (paper Exp-2 discussion).
+
+#ifndef GUM_BASELINES_GUNROCK_LIKE_H_
+#define GUM_BASELINES_GUNROCK_LIKE_H_
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/logging.h"
+#include "core/run_result.h"
+#include "graph/csr.h"
+#include "graph/frontier_features.h"
+#include "graph/partition.h"
+#include "sim/device.h"
+#include "sim/kernel_cost.h"
+#include "sim/timeline.h"
+#include "sim/topology.h"
+
+namespace gum::baselines {
+
+struct GunrockOptions {
+  sim::DeviceParams device;
+  // Compute-rate multiplier from algorithm-specific kernels; fully effective
+  // on one GPU, partially effective across GPUs.
+  double single_gpu_compute_factor = 0.70;
+  double multi_gpu_compute_factor = 0.95;
+  int max_iterations = 200000;
+  bool record_iteration_stats = false;
+};
+
+template <typename App>
+class GunrockLikeEngine {
+ public:
+  using VertexId = graph::VertexId;
+  using Value = typename App::Value;
+  using Message = typename App::Message;
+
+  GunrockLikeEngine(const graph::CsrGraph* g, graph::Partition partition,
+                    sim::Topology topology, GunrockOptions options)
+      : g_(g),
+        partition_(std::move(partition)),
+        topology_(std::move(topology)),
+        options_(options) {
+    GUM_CHECK(partition_.num_parts == topology_.num_devices());
+  }
+
+  core::RunResult Run(App& app, std::vector<Value>* values_out = nullptr) {
+    const int n = partition_.num_parts;
+    const VertexId num_v = g_->num_vertices();
+    const sim::DeviceParams& dev = options_.device;
+    const double p_ns = dev.sync_per_peer_us * 1000.0;
+    const double compute_factor = n == 1
+                                      ? options_.single_gpu_compute_factor
+                                      : options_.multi_gpu_compute_factor;
+
+    core::RunResult result;
+    result.timeline = sim::Timeline(n);
+
+    std::vector<Value> values(num_v);
+    for (VertexId v = 0; v < num_v; ++v) values[v] = app.InitValue(v);
+    std::vector<std::vector<VertexId>> frontier(n);
+    for (VertexId v = 0; v < num_v; ++v) {
+      if (app.IsInitiallyActive(v)) frontier[partition_.owner[v]].push_back(v);
+    }
+    std::vector<Message> inbox(num_v);
+    Bitmap inbox_set(num_v);
+
+    const int fixed_rounds = app.fixed_rounds();
+    std::vector<double> raw_msgs_row(n);
+
+    for (int iter = 0; iter < options_.max_iterations; ++iter) {
+      if (fixed_rounds >= 0) {
+        if (iter >= fixed_rounds) break;
+        for (int i = 0; i < n; ++i) frontier[i] = partition_.part_vertices[i];
+      }
+      size_t total_frontier = 0;
+      for (int i = 0; i < n; ++i) total_frontier += frontier[i].size();
+      if (fixed_rounds < 0 && total_frontier == 0) break;
+
+      std::vector<std::vector<VertexId>> next_frontier(n);
+      for (int i = 0; i < n; ++i) {
+        if (frontier[i].empty()) {
+          // Even idle devices pay the barrier below.
+          continue;
+        }
+        const auto features =
+            graph::ExtractFrontierFeatures(*g_, frontier[i]);
+        const double edge_cost_ns =
+            sim::TrueEdgeCostNs(features, dev) * compute_factor;
+
+        double edges = 0;
+        std::fill(raw_msgs_row.begin(), raw_msgs_row.end(), 0.0);
+        for (const VertexId u : frontier[i]) {
+          const uint32_t deg = g_->OutDegree(u);
+          const Message payload = app.OnFrontier(u, values[u], deg);
+          const auto neighbors = g_->OutNeighbors(u);
+          const auto weights = g_->OutWeights(u);
+          for (size_t e = 0; e < neighbors.size(); ++e) {
+            const VertexId v = neighbors[e];
+            const float w_e = weights.empty() ? 1.0f : weights[e];
+            std::optional<Message> msg = app.Scatter(payload, v, w_e);
+            if (!msg.has_value()) continue;
+            raw_msgs_row[partition_.owner[v]] += 1.0;
+            if (inbox_set.TestAndSet(v)) {
+              inbox[v] = *msg;
+            } else {
+              inbox[v] = app.Combine(inbox[v], *msg);
+            }
+          }
+          edges += deg;
+          result.edges_processed += deg;
+        }
+
+        double compute_ns = edges * edge_cost_ns;
+        double comm_ns = edges * dev.bytes_per_remote_edge /
+                         topology_.EffectiveBandwidth(i, i);
+        double serial_ns = 0;
+        for (int f = 0; f < n; ++f) {
+          const double count = raw_msgs_row[f];
+          result.messages_sent += static_cast<uint64_t>(count);
+          if (count <= 0) continue;
+          const double bytes = count * dev.bytes_per_message;
+          serial_ns += bytes / dev.serialization_gbps;
+          if (f != i) comm_ns += bytes / PeerBandwidth(i, f);
+        }
+        // The separate kernel always runs with one bin per peer.
+        serial_ns += 3000.0 * std::max(1, n - 1);
+        const double overhead_ns =
+            5 * dev.kernel_launch_us * 1000.0 + p_ns * n;
+
+        result.timeline.Add(iter, i, sim::TimeCategory::kCompute,
+                            compute_ns / 1e6);
+        result.timeline.Add(iter, i, sim::TimeCategory::kCommunication,
+                            comm_ns / 1e6);
+        result.timeline.Add(iter, i, sim::TimeCategory::kSerialization,
+                            serial_ns / 1e6);
+        result.timeline.Add(iter, i, sim::TimeCategory::kOverhead,
+                            overhead_ns / 1e6);
+      }
+      // Idle devices still participate in the barrier.
+      for (int i = 0; i < n; ++i) {
+        if (frontier[i].empty() && n > 1) {
+          result.timeline.Add(iter, i, sim::TimeCategory::kOverhead,
+                              p_ns * n / 1e6);
+        }
+      }
+
+      if (fixed_rounds >= 0) {
+        for (VertexId v = 0; v < num_v; ++v) {
+          const Message msg = inbox_set.Test(v) ? inbox[v]
+                                                : app.InitialAccumulator();
+          app.Apply(v, values[v], msg);
+        }
+      } else {
+        inbox_set.ForEachSet([&](size_t vi) {
+          const VertexId v = static_cast<VertexId>(vi);
+          if (app.Apply(v, values[v], inbox[v])) {
+            next_frontier[partition_.owner[v]].push_back(v);
+          }
+        });
+      }
+      inbox_set.Clear();
+
+      result.total_ms += result.timeline.IterationWall(iter);
+      result.iterations = iter + 1;
+      frontier = std::move(next_frontier);
+    }
+
+    if (values_out != nullptr) *values_out = std::move(values);
+    return result;
+  }
+
+ private:
+  // Topology-oblivious peer path: direct link if present, else PCIe (no
+  // transit routing).
+  double PeerBandwidth(int i, int j) const {
+    const double direct = topology_.DirectBandwidth(i, j);
+    return direct > 0 ? direct : sim::Topology::kPcieGBps;
+  }
+
+  const graph::CsrGraph* g_;
+  graph::Partition partition_;
+  sim::Topology topology_;
+  GunrockOptions options_;
+};
+
+}  // namespace gum::baselines
+
+#endif  // GUM_BASELINES_GUNROCK_LIKE_H_

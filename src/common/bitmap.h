@@ -1,0 +1,79 @@
+// Fixed-size dense bitmap.
+//
+// Used for frontier membership, hub-vertex cache marks (paper Example 6),
+// and visited sets. Word-at-a-time Count()/Clear() keep the per-iteration
+// bookkeeping cheap.
+
+#ifndef GUM_COMMON_BITMAP_H_
+#define GUM_COMMON_BITMAP_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gum {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t size) { Resize(size); }
+
+  void Resize(size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void Reset(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  // Sets bit i; returns true iff it was previously clear.
+  bool TestAndSet(size_t i) {
+    const uint64_t mask = 1ULL << (i & 63);
+    uint64_t& word = words_[i >> 6];
+    const bool was_clear = (word & mask) == 0;
+    word |= mask;
+    return was_clear;
+  }
+
+  void Clear() { words_.assign(words_.size(), 0); }
+
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t word : words_) total += std::popcount(word);
+    return total;
+  }
+
+  bool Any() const {
+    for (uint64_t word : words_) {
+      if (word != 0) return true;
+    }
+    return false;
+  }
+
+  // Calls fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gum
+
+#endif  // GUM_COMMON_BITMAP_H_

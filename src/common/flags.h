@@ -1,0 +1,44 @@
+// Minimal --key=value command-line flag parser for the CLI tools.
+//
+// Supported forms: --name=value, --name value, bare --name (boolean true),
+// and positional arguments. "--" ends flag parsing. Unknown-flag validation
+// is the caller's job via KnownFlagsOnly().
+
+#ifndef GUM_COMMON_FLAGS_H_
+#define GUM_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gum {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  // Bare "--name" and "--name=true/1/yes/on" are true; "=false/0/no/off"
+  // false; anything else falls back to the default.
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // InvalidArgument listing any parsed flag not in `known`.
+  Status KnownFlagsOnly(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> flags_;  // name -> raw value ("" = bare)
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gum
+
+#endif  // GUM_COMMON_FLAGS_H_

@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+namespace gum {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), fatal_(fatal),
+      enabled_(fatal || static_cast<int>(level) >=
+                            static_cast<int>(GetLogLevel())) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (fatal_) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace gum

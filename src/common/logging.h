@@ -1,0 +1,60 @@
+// Minimal leveled logging + check macros.
+//
+// GUM_CHECK aborts on violated invariants (programming errors); recoverable
+// conditions use Status instead. Log level is controlled at runtime via
+// SetLogLevel (benches silence info logs).
+
+#ifndef GUM_COMMON_LOGGING_H_
+#define GUM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace gum {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gum
+
+#define GUM_LOG(level)                                                   \
+  ::gum::internal::LogMessage(::gum::LogLevel::k##level, __FILE__,       \
+                              __LINE__)                                  \
+      .stream()
+
+#define GUM_CHECK(cond)                                                  \
+  if (!(cond))                                                           \
+  ::gum::internal::LogMessage(::gum::LogLevel::kError, __FILE__,         \
+                              __LINE__, /*fatal=*/true)                  \
+          .stream()                                                      \
+      << "Check failed: " #cond " "
+
+#define GUM_CHECK_OK(expr)                                               \
+  do {                                                                   \
+    const ::gum::Status _gum_check_status = (expr);                      \
+    GUM_CHECK(_gum_check_status.ok()) << _gum_check_status.ToString();   \
+  } while (0)
+
+#define GUM_DCHECK(cond) GUM_CHECK(cond)
+
+#endif  // GUM_COMMON_LOGGING_H_

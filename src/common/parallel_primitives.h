@@ -1,0 +1,62 @@
+// Scan / search primitives used by the frontier-stealing selection step
+// (paper Algorithm 1, lines 9-18): exclusive prefix sums over frontier
+// out-degrees and a SortedSearch that maps per-destination edge quotas to
+// contiguous vertex ranges.
+//
+// On the real system these are GPU kernels (CUB/ModernGPU); here they are
+// the host equivalents with identical semantics.
+
+#ifndef GUM_COMMON_PARALLEL_PRIMITIVES_H_
+#define GUM_COMMON_PARALLEL_PRIMITIVES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace gum {
+
+// Exclusive prefix sum: out[i] = sum of in[0..i), out.size() == in.size()+1,
+// out.back() == total.
+template <typename T>
+std::vector<T> ExclusivePrefixSum(const std::vector<T>& in) {
+  std::vector<T> out(in.size() + 1);
+  T running = T{};
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = running;
+    running += in[i];
+  }
+  out[in.size()] = running;
+  return out;
+}
+
+// Inclusive prefix sum: out[i] = sum of in[0..i].
+template <typename T>
+std::vector<T> InclusivePrefixSum(const std::vector<T>& in) {
+  std::vector<T> out(in.size());
+  T running = T{};
+  for (size_t i = 0; i < in.size(); ++i) {
+    running += in[i];
+    out[i] = running;
+  }
+  return out;
+}
+
+// SortedSearch (lower-bound flavor): for each needle, the index of the first
+// element of haystack that is >= needle. haystack must be sorted ascending.
+// Matches ModernGPU's SortedSearch<MgpuBoundsLower> used by Algorithm 1 to
+// convert edge-count splits into vertex split points.
+template <typename T>
+std::vector<size_t> SortedSearchLower(const std::vector<T>& haystack,
+                                      const std::vector<T>& needles) {
+  std::vector<size_t> out(needles.size());
+  for (size_t i = 0; i < needles.size(); ++i) {
+    out[i] = static_cast<size_t>(
+        std::lower_bound(haystack.begin(), haystack.end(), needles[i]) -
+        haystack.begin());
+  }
+  return out;
+}
+
+}  // namespace gum
+
+#endif  // GUM_COMMON_PARALLEL_PRIMITIVES_H_

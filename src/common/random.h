@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in GUM that needs randomness (graph generators, partitioners,
+// model training, noise in the device model) goes through Rng so that every
+// test and benchmark is reproducible from a seed. The generator is
+// xoshiro256** seeded via SplitMix64, which has good statistical quality and
+// is trivially portable.
+
+#ifndef GUM_COMMON_RANDOM_H_
+#define GUM_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace gum {
+
+// SplitMix64 step; used for seeding and cheap hash mixing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless 64-bit mix of a value (for hash partitioning etc.).
+inline uint64_t HashMix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64(s);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Standard normal via Box-Muller (one value per call, cached pair).
+  double NextGaussian();
+
+  // True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace gum
+
+#endif  // GUM_COMMON_RANDOM_H_

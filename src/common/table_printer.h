@@ -1,0 +1,33 @@
+// Fixed-width ASCII table printer used by the benchmark harnesses to emit
+// rows in the same layout as the paper's tables.
+
+#ifndef GUM_COMMON_TABLE_PRINTER_H_
+#define GUM_COMMON_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gum {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds one row; cells beyond headers.size() are dropped, missing cells
+  // print empty.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 1);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gum
+
+#endif  // GUM_COMMON_TABLE_PRINTER_H_

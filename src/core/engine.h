@@ -1,0 +1,448 @@
+// The GUM multi-GPU graph processing engine (paper §V).
+//
+// BSP execution with remote work stealing. Per iteration (paper Example 4):
+//   Step 1  generate frontiers (apply previous messages);
+//   Step 2  ownership stealing — when the previous iteration was
+//           synchronization-bound, enumerate group sizes over the reduction
+//           tree and possibly shrink/grow the communication group;
+//   Step 3  frontier stealing — solve the Eq.-1 MILP over the cost
+//           coefficient matrix (with evicted devices forbidden) and split
+//           each fragment's frontier into per-worker contiguous ranges;
+//   Step 4  process the frontiers — every worker expands the vertices
+//           assigned to it (remote adjacency over NVLink unless hub-cached),
+//           messages are combined per target vertex and forwarded to the
+//           target fragment's owner.
+//
+// Algorithm semantics are exact; device time is accounted by the analytic
+// substrate model (see DESIGN.md §1). The App concept:
+//
+//   struct App {
+//     using Value = ...;            // per-vertex state
+//     using Message = ...;          // combined per target vertex
+//     std::string name() const;
+//     int fixed_rounds() const;     // -1 => data-driven, else round count
+//     Value InitValue(VertexId v) const;
+//     bool IsInitiallyActive(VertexId v) const;
+//     Message InitialAccumulator() const;  // Combine identity (fixed-rounds)
+//     // Called exactly once per active vertex per iteration; may mutate the
+//     // vertex value (delta-PageRank consumes its residual here). Returns
+//     // the payload broadcast along the vertex's out-edges.
+//     Message OnFrontier(VertexId u, Value& val, uint32_t out_degree);
+//     // Per-edge message; nullopt suppresses the edge.
+//     std::optional<Message> Scatter(const Message& payload, VertexId dst,
+//                                    float weight) const;
+//     Message Combine(const Message& a, const Message& b) const;  // assoc.
+//     // Applies the combined message; true activates dst next iteration.
+//     bool Apply(VertexId v, Value& val, const Message& msg) const;
+//   };
+
+#ifndef GUM_CORE_ENGINE_H_
+#define GUM_CORE_ENGINE_H_
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/logging.h"
+#include "core/edge_cost_model.h"
+#include "core/engine_options.h"
+#include "core/hub_cache.h"
+#include "core/run_result.h"
+#include "graph/csr.h"
+#include "graph/fragment.h"
+#include "graph/frontier_features.h"
+#include "graph/partition.h"
+#include "ml/model.h"
+#include "sim/kernel_cost.h"
+#include "sim/reduction_schedule.h"
+#include "sim/timeline.h"
+#include "sim/topology.h"
+
+namespace gum::core {
+
+template <typename App>
+class GumEngine {
+ public:
+  using VertexId = graph::VertexId;
+  using Value = typename App::Value;
+  using Message = typename App::Message;
+
+  // `g` and `cost_model` (if non-null) must outlive the engine. A null
+  // cost_model forces the exact oracle regardless of options.
+  GumEngine(const graph::CsrGraph* g, graph::Partition partition,
+            sim::Topology topology, EngineOptions options,
+            const ml::RegressionModel* cost_model = nullptr)
+      : g_(g),
+        partition_(std::move(partition)),
+        topology_(std::move(topology)),
+        options_(options),
+        schedule_(sim::ReductionSchedule::Build(topology_)),
+        cost_model_(cost_model != nullptr && !options.exact_cost_oracle
+                        ? EdgeCostModel::Learned(cost_model, options.device)
+                        : EdgeCostModel::ExactOracle(options.device)) {
+    GUM_CHECK(partition_.num_parts == topology_.num_devices())
+        << "partition parts must match device count";
+    if (options_.enable_hub_cache) {
+      hub_cache_ = HubCache(*g_, options_.t4_hub_in_degree);
+    }
+  }
+
+  // Runs the app to convergence; returns timing statistics and, optionally,
+  // the final vertex values.
+  RunResult Run(App& app, std::vector<Value>* values_out = nullptr) {
+    const int n = partition_.num_parts;
+    const VertexId num_v = g_->num_vertices();
+    const sim::DeviceParams& dev = options_.device;
+    const double p_ns = dev.sync_per_peer_us * 1000.0;
+
+    RunResult result;
+    result.timeline = sim::Timeline(n);
+    result.link_bytes.assign(n, std::vector<double>(n, 0.0));
+
+    std::vector<Value> values(num_v);
+    for (VertexId v = 0; v < num_v; ++v) values[v] = app.InitValue(v);
+
+    // Frontiers per fragment, sorted ascending.
+    std::vector<std::vector<VertexId>> frontier(n);
+    for (VertexId v = 0; v < num_v; ++v) {
+      if (app.IsInitiallyActive(v)) frontier[partition_.owner[v]].push_back(v);
+    }
+
+    std::vector<Message> inbox(num_v);
+    Bitmap inbox_set(num_v);
+
+    std::vector<int> owner_of_fragment(n);
+    for (int i = 0; i < n; ++i) owner_of_fragment[i] = i;
+    std::vector<int> active(n);
+    for (int i = 0; i < n; ++i) active[i] = i;
+    int group_size = n;
+
+    const int fixed_rounds = app.fixed_rounds();
+    double prev_wall_ms = 1e18;  // first iteration never triggers OSteal
+    // Eq. (4)'s p, estimated online from observed iterations (paper §IV-A:
+    // "a parameter that can be estimated during previous iterations").
+    double p_estimate_ns = options_.estimate_sync_online
+                               ? options_.sync_prior_us * 1000.0
+                               : p_ns;
+
+    // Scratch matrices reused across iterations.
+    std::vector<std::vector<double>> edges_done(n, std::vector<double>(n));
+    std::vector<std::vector<double>> hub_edges(n, std::vector<double>(n));
+    std::vector<std::vector<double>> agg_msgs(n, std::vector<double>(n));
+    std::vector<std::vector<double>> raw_msgs(n, std::vector<double>(n));
+    std::vector<double> apply_msgs(n);
+
+    for (int iter = 0; iter < options_.max_iterations; ++iter) {
+      if (fixed_rounds >= 0) {
+        if (iter >= fixed_rounds) break;
+        // Stationary workload: every inner vertex is active each round.
+        for (int i = 0; i < n; ++i) frontier[i] = partition_.part_vertices[i];
+      }
+
+      // --- Step 1: workload census ---
+      std::vector<double> loads(n, 0.0);
+      std::vector<graph::FrontierFeatures> features(n);
+      std::vector<double> remote_discount(n, 1.0);
+      double total_load = 0.0;
+      size_t total_frontier = 0;
+      for (int i = 0; i < n; ++i) {
+        double hub_load = 0.0;
+        for (VertexId v : frontier[i]) {
+          loads[i] += g_->OutDegree(v);
+          if (hub_cache_.IsHub(v)) hub_load += g_->OutDegree(v);
+        }
+        total_load += loads[i];
+        total_frontier += frontier[i].size();
+        features[i] = graph::ExtractFrontierFeatures(*g_, frontier[i]);
+        if (loads[i] > 0) remote_discount[i] = 1.0 - hub_load / loads[i];
+      }
+      if (fixed_rounds < 0 && total_frontier == 0) break;
+
+      IterationStats stats;
+      stats.iteration = iter;
+      stats.fragment_load = loads;
+
+      // --- Step 2: ownership stealing ---
+      // Evaluate OSteal when the previous iteration was latency-bound, or
+      // whenever the group is already shrunk (so it can grow back as the
+      // workload recovers, paper §IV-B).
+      if (options_.enable_osteal && n > 1 &&
+          (prev_wall_ms < options_.osteal.t3_trigger_ms ||
+           group_size < n)) {
+        const auto cost_full =
+            BuildCostMatrix(features, remote_discount, cost_model_,
+                            topology_, AllDevices(n));
+        OStealDecision dec = DecideOSteal(cost_full, loads, schedule_,
+                                          p_estimate_ns, options_.osteal);
+        stats.osteal_evaluated = true;
+        stats.osteal_decision_host_ms = dec.decision_host_ms;
+        result.osteal_decision_host_ms_total += dec.decision_host_ms;
+        if (dec.group_size != group_size) {
+          // Migrate residual frontier status from re-owned fragments.
+          for (int i = 0; i < n; ++i) {
+            if (dec.owner[i] != owner_of_fragment[i] &&
+                !frontier[i].empty()) {
+              const double bytes =
+                  static_cast<double>(frontier[i].size()) *
+                  dev.bytes_per_message;
+              const double ns =
+                  bytes / topology_.EffectiveBandwidth(owner_of_fragment[i],
+                                                       dec.owner[i]);
+              result.timeline.Add(iter, dec.owner[i],
+                                  sim::TimeCategory::kOverhead, ns / 1e6);
+            }
+          }
+          group_size = dec.group_size;
+          owner_of_fragment = dec.owner;
+          active = dec.active;
+          stats.group_size_changed = true;
+          ++result.osteal_shrink_events;
+        }
+        // Policy generation itself costs time on the coordinator and a
+        // broadcast to every worker.
+        const double osteal_sim_us = 12.0 + 4.0 * n;
+        for (int d : active) {
+          result.timeline.Add(iter, d, sim::TimeCategory::kOverhead,
+                              osteal_sim_us / 1000.0);
+        }
+        result.osteal_sim_overhead_ms += osteal_sim_us / 1000.0;
+      }
+      stats.group_size = group_size;
+
+      // --- Step 3: frontier stealing ---
+      const auto cost = BuildCostMatrix(features, remote_discount,
+                                        cost_model_, topology_, active);
+      FStealDecision fs;
+      if (options_.enable_fsteal && group_size > 1) {
+        fs = DecideFSteal(cost, loads, owner_of_fragment, active,
+                          options_.fsteal);
+      } else {
+        fs.assignment.assign(n, std::vector<double>(n, 0.0));
+        for (int i = 0; i < n; ++i) {
+          fs.assignment[i][owner_of_fragment[i]] = loads[i];
+        }
+      }
+      stats.fsteal_applied = fs.applied;
+      stats.fsteal_decision_host_ms = fs.decision_host_ms;
+      result.fsteal_decision_host_ms_total += fs.decision_host_ms;
+      if (fs.applied) ++result.fsteal_applied_iterations;
+
+      // --- Step 4: process the frontiers ---
+      for (auto& row : edges_done) std::fill(row.begin(), row.end(), 0.0);
+      for (auto& row : hub_edges) std::fill(row.begin(), row.end(), 0.0);
+      for (auto& row : agg_msgs) std::fill(row.begin(), row.end(), 0.0);
+      for (auto& row : raw_msgs) std::fill(row.begin(), row.end(), 0.0);
+      std::fill(apply_msgs.begin(), apply_msgs.end(), 0.0);
+
+      double stolen_edges_this_iter = 0.0;
+      for (int i = 0; i < n; ++i) {
+        if (frontier[i].empty()) continue;
+        // Split the fragment's frontier into per-worker ranges.
+        std::vector<std::pair<size_t, size_t>> ranges;
+        std::vector<int> executors;
+        if (fs.applied && loads[i] > 0) {
+          executors = active;
+          ranges = SelectStolenRanges(*g_, frontier[i], fs.assignment[i],
+                                      executors);
+        } else {
+          executors = {owner_of_fragment[i]};
+          ranges = {{0, frontier[i].size()}};
+        }
+        for (size_t w = 0; w < executors.size(); ++w) {
+          const int j = executors[w];
+          for (size_t k = ranges[w].first; k < ranges[w].second; ++k) {
+            const VertexId u = frontier[i][k];
+            const uint32_t deg = g_->OutDegree(u);
+            const Message payload = app.OnFrontier(u, values[u], deg);
+            const auto neighbors = g_->OutNeighbors(u);
+            const auto weights = g_->OutWeights(u);
+            for (size_t e = 0; e < neighbors.size(); ++e) {
+              const VertexId v = neighbors[e];
+              const float w_e = weights.empty() ? 1.0f : weights[e];
+              std::optional<Message> msg = app.Scatter(payload, v, w_e);
+              if (!msg.has_value()) continue;
+              const int f = static_cast<int>(partition_.owner[v]);
+              raw_msgs[j][f] += 1.0;
+              if (inbox_set.TestAndSet(v)) {
+                inbox[v] = *msg;
+                agg_msgs[j][f] += 1.0;  // first writer pays the transfer
+              } else {
+                inbox[v] = app.Combine(inbox[v], *msg);
+              }
+            }
+            edges_done[i][j] += deg;
+            if (j != i && hub_cache_.IsHub(u)) hub_edges[i][j] += deg;
+            if (j != owner_of_fragment[i]) stolen_edges_this_iter += deg;
+            result.edges_processed += deg;
+          }
+        }
+      }
+      result.stolen_edges_total += stolen_edges_this_iter;
+      stats.stolen_edges = stolen_edges_this_iter;
+
+      // --- apply phase (end of superstep; next frontier) ---
+      std::vector<std::vector<VertexId>> next_frontier(n);
+      if (fixed_rounds >= 0) {
+        for (VertexId v = 0; v < num_v; ++v) {
+          const Message msg = inbox_set.Test(v) ? inbox[v]
+                                                : app.InitialAccumulator();
+          app.Apply(v, values[v], msg);
+          apply_msgs[partition_.owner[v]] += 1.0;
+        }
+      } else {
+        inbox_set.ForEachSet([&](size_t vi) {
+          const VertexId v = static_cast<VertexId>(vi);
+          if (app.Apply(v, values[v], inbox[v])) {
+            next_frontier[partition_.owner[v]].push_back(v);
+          }
+          apply_msgs[partition_.owner[v]] += 1.0;
+        });
+      }
+      inbox_set.Clear();
+
+      // --- time accounting ---
+      AccountTime(iter, n, dev, p_ns, features, edges_done, hub_edges,
+                  agg_msgs, raw_msgs, apply_msgs, owner_of_fragment, active,
+                  fs, stolen_edges_this_iter, &result);
+
+      // Refresh the p estimate from this iteration's observed barrier cost:
+      // average per-device overhead minus the (known) kernel launches,
+      // divided by the group size.
+      if (options_.estimate_sync_online && !active.empty()) {
+        double overhead_sum = 0;
+        for (const int d : active) {
+          overhead_sum +=
+              result.timeline.Get(iter, d, sim::TimeCategory::kOverhead);
+        }
+        const double per_device_ns =
+            overhead_sum / active.size() * 1e6 -
+            5 * dev.kernel_launch_us * 1000.0;
+        const double observed_p =
+            std::max(0.0, per_device_ns / active.size());
+        p_estimate_ns = (1.0 - options_.sync_ewma_alpha) * p_estimate_ns +
+                        options_.sync_ewma_alpha * observed_p;
+      }
+
+      const double wall = result.timeline.IterationWall(iter);
+      result.total_ms += wall;
+      stats.wall_ms = wall;
+      stats.device_busy_ms.resize(n);
+      for (int d = 0; d < n; ++d) {
+        stats.device_busy_ms[d] = result.timeline.DeviceIterationTotal(iter, d);
+      }
+      if (options_.record_iteration_stats) {
+        result.iteration_stats.push_back(std::move(stats));
+      }
+      prev_wall_ms = wall;
+      result.iterations = iter + 1;
+      frontier = std::move(next_frontier);
+      if (fixed_rounds >= 0) frontier.assign(n, {});
+    }
+
+    if (values_out != nullptr) *values_out = std::move(values);
+    return result;
+  }
+
+ private:
+  static std::vector<int> AllDevices(int n) {
+    std::vector<int> all(n);
+    for (int i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+
+  void AccountTime(int iter, int n, const sim::DeviceParams& dev,
+                   double p_ns,
+                   const std::vector<graph::FrontierFeatures>& features,
+                   const std::vector<std::vector<double>>& edges_done,
+                   const std::vector<std::vector<double>>& hub_edges,
+                   const std::vector<std::vector<double>>& agg_msgs,
+                   const std::vector<std::vector<double>>& raw_msgs,
+                   const std::vector<double>& apply_msgs,
+                   const std::vector<int>& owner_of_fragment,
+                   const std::vector<int>& active, const FStealDecision& fs,
+                   double stolen_edges, RunResult* result) {
+    sim::Timeline& tl = result->timeline;
+    const int m = static_cast<int>(active.size());
+    for (const int j : active) {
+      double compute_ns = 0, comm_ns = 0, serial_ns = 0, overhead_ns = 0;
+      int kernels = 0;
+      int destinations = 0;
+      double worked = 0;
+      for (int i = 0; i < n; ++i) {
+        const double edges = edges_done[i][j];
+        if (edges <= 0) continue;
+        worked += edges;
+        ++kernels;  // one gather kernel per source fragment
+        compute_ns += edges * sim::TrueEdgeCostNs(features[i], dev);
+        const double remote_edges =
+            (i == j) ? 0.0 : edges - hub_edges[i][j];
+        const double local_edges = edges - remote_edges;
+        comm_ns += remote_edges * dev.bytes_per_remote_edge /
+                   topology_.EffectiveBandwidth(i, j);
+        comm_ns += local_edges * dev.bytes_per_remote_edge /
+                   topology_.EffectiveBandwidth(j, j);
+        result->link_bytes[i][j] +=
+            remote_edges * dev.bytes_per_remote_edge;
+        result->link_bytes[j][j] += local_edges * dev.bytes_per_remote_edge;
+      }
+      // Message forwarding to each destination fragment's owner.
+      for (int f = 0; f < n; ++f) {
+        const double count = options_.enable_message_aggregation
+                                 ? agg_msgs[j][f]
+                                 : raw_msgs[j][f];
+        if (count <= 0) continue;
+        const double bytes = count * dev.bytes_per_message;
+        const int owner = owner_of_fragment[f];
+        serial_ns += bytes / dev.serialization_gbps + 3000.0;  // binning
+        ++destinations;
+        if (owner != j) {
+          comm_ns += bytes / topology_.EffectiveBandwidth(j, owner);
+          result->link_bytes[j][owner] += bytes;
+        }
+      }
+      // Apply kernel on the fragments this device owns.
+      for (int f = 0; f < n; ++f) {
+        if (owner_of_fragment[f] == j && apply_msgs[f] > 0) {
+          compute_ns += apply_msgs[f] * 3.0;  // per-message update cost
+          ++kernels;
+        }
+      }
+      overhead_ns += (kernels + 2) * dev.kernel_launch_us * 1000.0;
+      overhead_ns += p_ns * m;  // barrier + buffer bookkeeping, Eq. (4)
+      // Id conversion for outgoing messages.
+      overhead_ns += 0.5 * (worked > 0 ? 1.0 : 0.0) * destinations * 1000.0;
+      if (fs.applied) {
+        // Decision broadcast + stolen-status copies (Table IV overhead).
+        const double fsteal_us = 18.0 + 2.5 * m;
+        overhead_ns += fsteal_us * 1000.0;
+        result->fsteal_sim_overhead_ms += fsteal_us / 1000.0;
+      }
+      tl.Add(iter, j, sim::TimeCategory::kCompute, compute_ns / 1e6);
+      tl.Add(iter, j, sim::TimeCategory::kCommunication, comm_ns / 1e6);
+      tl.Add(iter, j, sim::TimeCategory::kSerialization, serial_ns / 1e6);
+      tl.Add(iter, j, sim::TimeCategory::kOverhead, overhead_ns / 1e6);
+    }
+    if (fs.applied && stolen_edges > 0) {
+      result->fsteal_sim_overhead_ms +=
+          stolen_edges * 0.000008;  // 8 B status copy per stolen edge, ~GB/s
+    }
+    for (int f = 0; f < n; ++f) {
+      double sent = 0;
+      for (int j = 0; j < n; ++j) sent += raw_msgs[j][f];
+      result->messages_sent += static_cast<uint64_t>(sent);
+    }
+  }
+
+  const graph::CsrGraph* g_;
+  graph::Partition partition_;
+  sim::Topology topology_;
+  EngineOptions options_;
+  sim::ReductionSchedule schedule_;
+  EdgeCostModel cost_model_;
+  HubCache hub_cache_;
+};
+
+}  // namespace gum::core
+
+#endif  // GUM_CORE_ENGINE_H_

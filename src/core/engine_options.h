@@ -1,0 +1,50 @@
+// Options shared by the GUM engine and the baseline engines.
+
+#ifndef GUM_CORE_ENGINE_OPTIONS_H_
+#define GUM_CORE_ENGINE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "core/fsteal.h"
+#include "core/osteal.h"
+#include "sim/device.h"
+
+namespace gum::core {
+
+struct EngineOptions {
+  // --- stealing mechanisms (the paper's contribution) ---
+  bool enable_fsteal = true;
+  bool enable_osteal = true;
+  FStealConfig fsteal;
+  OStealConfig osteal;
+
+  // --- intra-GPU / communication optimizations ("opt" of Fig. 10) ---
+  bool enable_hub_cache = true;
+  uint32_t t4_hub_in_degree = 128;      // Example 6 threshold
+  bool enable_message_aggregation = true;
+
+  // --- cost model ---
+  // When true the stealing policies use the substrate's exact cost function
+  // instead of a learned model (paper Exp-7's oracle run).
+  bool exact_cost_oracle = true;
+
+  // --- Eq. (4) p estimation ---
+  // "p is a parameter that can be estimated during previous iterations":
+  // when true, OSteal's p comes from an EWMA over the observed per-
+  // iteration synchronization overhead, seeded with sync_prior_us. When
+  // false, OSteal is given the device's true constant (oracle).
+  bool estimate_sync_online = true;
+  double sync_prior_us = 200.0;  // deliberately generic starting guess
+  double sync_ewma_alpha = 0.2;
+
+  // --- substrate ---
+  sim::DeviceParams device;
+
+  // --- safety rails ---
+  int max_iterations = 200000;
+  bool record_iteration_stats = true;
+};
+
+}  // namespace gum::core
+
+#endif  // GUM_CORE_ENGINE_OPTIONS_H_

@@ -1,0 +1,152 @@
+#include "core/fsteal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/parallel_primitives.h"
+#include "common/stopwatch.h"
+#include "solver/steal_problem.h"
+
+namespace gum::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<std::vector<double>> BuildCostMatrix(
+    const std::vector<graph::FrontierFeatures>& features,
+    const std::vector<double>& remote_discount, const EdgeCostModel& model,
+    const sim::Topology& topology, const std::vector<int>& active_workers) {
+  const int n = topology.num_devices();
+  GUM_CHECK(static_cast<int>(features.size()) == n);
+  GUM_CHECK(static_cast<int>(remote_discount.size()) == n);
+
+  std::vector<bool> active(n, false);
+  for (int j : active_workers) active[j] = true;
+
+  const double bytes = model.device_params().bytes_per_remote_edge;
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, kInf));
+  for (int i = 0; i < n; ++i) {
+    const double g = model.EdgeCostNs(features[i]);
+    for (int j = 0; j < n; ++j) {
+      if (!active[j]) continue;  // OSteal-evicted: c_ij = infinity
+      // bytes / (GB/s) == ns, since 1 GB/s == 1 byte/ns.
+      const double transfer =
+          bytes / topology.EffectiveBandwidth(i, j) *
+          (i == j ? 1.0 : remote_discount[i]);
+      cost[i][j] = transfer + g;
+    }
+  }
+  return cost;
+}
+
+FStealDecision DecideFSteal(const std::vector<std::vector<double>>& cost,
+                            const std::vector<double>& loads,
+                            const std::vector<int>& owner_of_fragment,
+                            const std::vector<int>& active_workers,
+                            const FStealConfig& config) {
+  const int n = static_cast<int>(loads.size());
+  FStealDecision decision;
+  decision.assignment.assign(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    decision.assignment[i][owner_of_fragment[i]] = loads[i];
+  }
+  decision.predicted_makespan_ns =
+      solver::PlanMakespan(cost, decision.assignment);
+
+  // Example 5 activation thresholds, evaluated on per-worker effective
+  // loads.
+  std::vector<double> worker_load(n, 0.0);
+  for (int i = 0; i < n; ++i) worker_load[owner_of_fragment[i]] += loads[i];
+  double max_load = 0.0, min_load = kInf;
+  for (int j : active_workers) {
+    max_load = std::max(max_load, worker_load[j]);
+    min_load = std::min(min_load, worker_load[j]);
+  }
+  if (max_load < config.t1_min_max_load ||
+      max_load - min_load < config.t2_min_imbalance) {
+    return decision;  // identity plan, stealing not worth it
+  }
+
+  Stopwatch timer;
+  if (config.use_greedy) {
+    solver::StealPlan plan =
+        solver::GreedyStealPlan(cost, loads, active_workers);
+    decision.decision_host_ms = timer.ElapsedMillis();
+    if (plan.makespan < decision.predicted_makespan_ns) {
+      decision.assignment = std::move(plan.assignment);
+      decision.predicted_makespan_ns = plan.makespan;
+      decision.applied = true;
+    }
+    return decision;
+  }
+
+  solver::StealProblemOptions options;
+  options.exact_milp = config.exact_milp;
+  auto plan = solver::SolveStealProblem(cost, loads, active_workers, options);
+  decision.decision_host_ms = timer.ElapsedMillis();
+  if (!plan.ok()) {
+    GUM_LOG(Warning) << "FSteal solver failed (" << plan.status().ToString()
+                     << "); keeping identity plan";
+    return decision;
+  }
+  if (plan->makespan < decision.predicted_makespan_ns) {
+    decision.assignment = std::move(plan->assignment);
+    decision.predicted_makespan_ns = plan->makespan;
+    decision.applied = true;
+  }
+  return decision;
+}
+
+std::vector<std::pair<size_t, size_t>> SelectStolenRanges(
+    const graph::CsrGraph& g, const std::vector<graph::VertexId>& frontier,
+    const std::vector<double>& quota_row, const std::vector<int>& workers) {
+  // D = exclusive prefix sum of frontier out-degrees (Algorithm 1 line 13).
+  std::vector<uint64_t> degrees(frontier.size());
+  for (size_t k = 0; k < frontier.size(); ++k) {
+    degrees[k] = g.OutDegree(frontier[k]);
+  }
+  const std::vector<uint64_t> d_prefix = InclusivePrefixSum(degrees);
+
+  // F = prefix sum of the quota row in worker order (line 14).
+  std::vector<uint64_t> quota_prefix(workers.size());
+  double running = 0.0;
+  for (size_t w = 0; w < workers.size(); ++w) {
+    running += quota_row[workers[w]];
+    quota_prefix[w] = static_cast<uint64_t>(std::llround(running));
+  }
+
+  // F = SortedSearch(F, D) (line 15): split after the vertex where the
+  // cumulative degree first reaches each quota boundary.
+  const std::vector<size_t> splits =
+      SortedSearchLower(d_prefix, quota_prefix);
+
+  // The last worker with a positive quota also absorbs the rounding
+  // remainder (and any zero-out-degree tail of the frontier).
+  size_t last_pos = workers.size();
+  for (size_t w = 0; w < workers.size(); ++w) {
+    const uint64_t prev = w == 0 ? 0 : quota_prefix[w - 1];
+    if (quota_prefix[w] > prev) last_pos = w;
+  }
+
+  std::vector<std::pair<size_t, size_t>> ranges(workers.size());
+  size_t begin = 0;
+  for (size_t w = 0; w < workers.size(); ++w) {
+    const uint64_t prev = w == 0 ? 0 : quota_prefix[w - 1];
+    size_t end;
+    if (quota_prefix[w] <= prev) {
+      end = begin;  // zero quota: empty range
+    } else if (w == last_pos) {
+      end = frontier.size();
+    } else {
+      end = std::clamp(splits[w] + 1, begin, frontier.size());
+    }
+    ranges[w] = {begin, end};
+    begin = end;
+  }
+  return ranges;
+}
+
+}  // namespace gum::core

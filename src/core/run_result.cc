@@ -1,0 +1,27 @@
+#include "core/run_result.h"
+
+namespace gum::core {
+
+double RunResult::TotalRemoteBytes() const {
+  double total = 0;
+  for (size_t i = 0; i < link_bytes.size(); ++i) {
+    for (size_t j = 0; j < link_bytes[i].size(); ++j) {
+      if (i != j) total += link_bytes[i][j];
+    }
+  }
+  return total;
+}
+
+double RunResult::StarvationMs() const {
+  double starvation = 0;
+  for (int it = 0; it < timeline.num_iterations(); ++it) {
+    const double wall = timeline.IterationWall(it);
+    for (int d = 0; d < timeline.num_devices(); ++d) {
+      const double busy = timeline.DeviceIterationTotal(it, d);
+      if (busy > 0) starvation += wall - busy;
+    }
+  }
+  return starvation;
+}
+
+}  // namespace gum::core

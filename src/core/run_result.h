@@ -1,0 +1,71 @@
+// Per-run and per-iteration results shared by all three engines.
+
+#ifndef GUM_CORE_RUN_RESULT_H_
+#define GUM_CORE_RUN_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/timeline.h"
+
+namespace gum::core {
+
+struct IterationStats {
+  int iteration = 0;
+  std::vector<double> fragment_load;  // active edges per fragment (l_i)
+  std::vector<double> device_busy_ms; // per-device busy time (all buckets)
+  int group_size = 0;                 // active devices (m)
+  bool fsteal_applied = false;
+  bool osteal_evaluated = false;
+  bool group_size_changed = false;
+  double wall_ms = 0.0;               // simulated iteration wall time
+  double fsteal_decision_host_ms = 0.0;
+  double osteal_decision_host_ms = 0.0;
+  double stolen_edges = 0.0;          // edges processed away from the owner
+};
+
+struct RunResult {
+  int iterations = 0;
+  double total_ms = 0.0;  // simulated end-to-end (sum of iteration walls)
+  uint64_t edges_processed = 0;
+  uint64_t messages_sent = 0;
+  double stolen_edges_total = 0.0;
+  int fsteal_applied_iterations = 0;
+  int osteal_shrink_events = 0;  // iterations where the group size changed
+  double fsteal_decision_host_ms_total = 0.0;
+  double osteal_decision_host_ms_total = 0.0;
+  // Simulated stealing overhead charged to the timeline (policy generation,
+  // broadcast, stolen-status copies) — the "Cost" columns of paper Table IV.
+  double fsteal_sim_overhead_ms = 0.0;
+  double osteal_sim_overhead_ms = 0.0;
+
+  sim::Timeline timeline;
+  std::vector<IterationStats> iteration_stats;
+
+  // Bytes moved between device pairs over the whole run (logical src ->
+  // dst; transit hops are not double-counted). link_bytes[i][i] is local
+  // memory traffic from remote-edge gathers. Filled by GumEngine.
+  std::vector<std::vector<double>> link_bytes;
+  double TotalRemoteBytes() const;
+
+  // Bucket totals over the whole run (simulated ms).
+  double ComputeMs() const {
+    return timeline.TotalByCategory(sim::TimeCategory::kCompute);
+  }
+  double CommunicationMs() const {
+    return timeline.TotalByCategory(sim::TimeCategory::kCommunication);
+  }
+  double SerializationMs() const {
+    return timeline.TotalByCategory(sim::TimeCategory::kSerialization);
+  }
+  double OverheadMs() const {
+    return timeline.TotalByCategory(sim::TimeCategory::kOverhead);
+  }
+  // Device-cycles lost to stragglers (the paper folds this into
+  // "communication" in the Fig. 6 breakdown).
+  double StarvationMs() const;
+};
+
+}  // namespace gum::core
+
+#endif  // GUM_CORE_RUN_RESULT_H_

@@ -1,0 +1,33 @@
+#include "graph/fragment.h"
+
+#include <algorithm>
+
+namespace gum::graph {
+
+std::vector<Fragment> BuildFragments(const CsrGraph& g, const Partition& p) {
+  std::vector<Fragment> fragments(p.num_parts);
+  for (int i = 0; i < p.num_parts; ++i) {
+    fragments[i].part_id = i;
+    fragments[i].inner_vertices = p.part_vertices[i];
+    fragments[i].num_inner_out_edges = p.part_out_edges[i];
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const uint32_t pu = p.owner[u];
+    Fragment& frag = fragments[pu];
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (p.owner[v] != pu) {
+        ++frag.num_cross_edges;
+        frag.outer_vertices.push_back(v);
+      }
+    }
+  }
+  for (Fragment& frag : fragments) {
+    std::sort(frag.outer_vertices.begin(), frag.outer_vertices.end());
+    frag.outer_vertices.erase(
+        std::unique(frag.outer_vertices.begin(), frag.outer_vertices.end()),
+        frag.outer_vertices.end());
+  }
+  return fragments;
+}
+
+}  // namespace gum::graph

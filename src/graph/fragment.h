@@ -1,0 +1,37 @@
+// Fragments: the per-device view of a partitioned graph (paper §V-A).
+//
+// Under an edge-cut partition every vertex ("inner" vertex) lives on exactly
+// one fragment together with all its out-edges; destinations of
+// cross-fragment edges are additionally kept as "outer" (ghost) vertices so
+// that outgoing messages can be aggregated device-side before transfer
+// (the paper's message-aggregation optimization).
+//
+// The whole-graph CSR is shared (the paper assumes the aggregated device
+// memory holds the graph, and peers access remote adjacency over NVLink);
+// a Fragment records ownership and the locality structure, which is what the
+// cost model and the stealing policies consume.
+
+#ifndef GUM_GRAPH_FRAGMENT_H_
+#define GUM_GRAPH_FRAGMENT_H_
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/partition.h"
+
+namespace gum::graph {
+
+struct Fragment {
+  int part_id = 0;
+  std::vector<VertexId> inner_vertices;  // sorted ascending
+  std::vector<VertexId> outer_vertices;  // sorted ascending, disjoint w/inner
+  EdgeId num_inner_out_edges = 0;        // out-edges of inner vertices
+  EdgeId num_cross_edges = 0;            // inner->remote-owner edges
+};
+
+// Builds one Fragment per part. O(V + E).
+std::vector<Fragment> BuildFragments(const CsrGraph& g, const Partition& p);
+
+}  // namespace gum::graph
+
+#endif  // GUM_GRAPH_FRAGMENT_H_

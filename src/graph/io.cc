@@ -1,0 +1,121 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace gum::graph {
+
+namespace {
+constexpr char kMagic[8] = {'G', 'U', 'M', 'E', 'L', 'I', 'S', 'T'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Result<EdgeList> LoadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  EdgeList list;
+  VertexId max_id = 0;
+  bool have_declared_vertices = false;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#' || line[0] == '%') {
+      // Optional "# vertices: N" header.
+      const auto pos = line.find("vertices:");
+      if (pos != std::string::npos) {
+        list.num_vertices = static_cast<VertexId>(
+            std::strtoull(line.c_str() + pos + 9, nullptr, 10));
+        have_declared_vertices = true;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    uint64_t src = 0, dst = 0;
+    double weight = 1.0;
+    if (!(ls >> src >> dst)) {
+      return Status::IoError(path + ":" + std::to_string(line_no) +
+                             ": malformed edge line");
+    }
+    ls >> weight;  // optional
+    if (src > 0xFFFFFFFFull || dst > 0xFFFFFFFFull) {
+      return Status::IoError(path + ":" + std::to_string(line_no) +
+                             ": vertex id exceeds 32 bits");
+    }
+    list.edges.push_back(Edge{static_cast<VertexId>(src),
+                              static_cast<VertexId>(dst),
+                              static_cast<float>(weight)});
+    max_id = std::max({max_id, static_cast<VertexId>(src),
+                       static_cast<VertexId>(dst)});
+  }
+  if (!have_declared_vertices) {
+    list.num_vertices = list.edges.empty() ? 0 : max_id + 1;
+  }
+  return list;
+}
+
+Status SaveEdgeListText(const EdgeList& list, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# vertices: " << list.num_vertices << "\n";
+  for (const Edge& e : list.edges) {
+    out << e.src << " " << e.dst;
+    if (e.weight != 1.0f) out << " " << e.weight;
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<EdgeList> LoadEdgeListBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  char magic[8];
+  uint32_t version = 0, num_vertices = 0;
+  uint64_t num_edges = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&num_vertices), sizeof(num_vertices));
+  in.read(reinterpret_cast<char*>(&num_edges), sizeof(num_edges));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError(path + ": bad magic");
+  }
+  if (version != kVersion) {
+    return Status::IoError(path + ": unsupported version " +
+                           std::to_string(version));
+  }
+  EdgeList list;
+  list.num_vertices = num_vertices;
+  list.edges.resize(num_edges);
+  for (Edge& e : list.edges) {
+    in.read(reinterpret_cast<char*>(&e.src), sizeof(e.src));
+    in.read(reinterpret_cast<char*>(&e.dst), sizeof(e.dst));
+    in.read(reinterpret_cast<char*>(&e.weight), sizeof(e.weight));
+  }
+  if (!in) return Status::IoError(path + ": truncated edge records");
+  return list;
+}
+
+Status SaveEdgeListBinary(const EdgeList& list, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  out.write(reinterpret_cast<const char*>(&list.num_vertices),
+            sizeof(list.num_vertices));
+  const uint64_t num_edges = list.edges.size();
+  out.write(reinterpret_cast<const char*>(&num_edges), sizeof(num_edges));
+  for (const Edge& e : list.edges) {
+    out.write(reinterpret_cast<const char*>(&e.src), sizeof(e.src));
+    out.write(reinterpret_cast<const char*>(&e.dst), sizeof(e.dst));
+    out.write(reinterpret_cast<const char*>(&e.weight), sizeof(e.weight));
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace gum::graph

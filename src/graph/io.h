@@ -1,0 +1,31 @@
+// Edge-list file IO.
+//
+// Text format: one "src dst [weight]" triple per line; '#' or '%' comment
+// lines are skipped (SNAP / Matrix-Market-adjacent conventions). Binary
+// format: a small header plus packed Edge records, for fast reload of
+// generated corpora.
+
+#ifndef GUM_GRAPH_IO_H_
+#define GUM_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace gum::graph {
+
+// Parses a text edge list. Vertex count is max id + 1 unless the file
+// contains a "# vertices: N" comment header.
+Result<EdgeList> LoadEdgeListText(const std::string& path);
+
+Status SaveEdgeListText(const EdgeList& list, const std::string& path);
+
+// Binary round trip. Layout: magic "GUMELIST", u32 version, u32 num_vertices,
+// u64 num_edges, then (u32 src, u32 dst, f32 weight) records.
+Result<EdgeList> LoadEdgeListBinary(const std::string& path);
+Status SaveEdgeListBinary(const EdgeList& list, const std::string& path);
+
+}  // namespace gum::graph
+
+#endif  // GUM_GRAPH_IO_H_

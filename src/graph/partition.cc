@@ -1,0 +1,117 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace gum::graph {
+
+const char* PartitionerName(PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kSegment:
+      return "seg";
+    case PartitionerKind::kRandom:
+      return "random";
+    case PartitionerKind::kMetisLike:
+      return "metis";
+  }
+  return "unknown";
+}
+
+double Partition::EdgeImbalance() const {
+  if (part_out_edges.empty()) return 1.0;
+  EdgeId total = 0, max_part = 0;
+  for (EdgeId e : part_out_edges) {
+    total += e;
+    max_part = std::max(max_part, e);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(part_out_edges.size());
+  return static_cast<double>(max_part) / mean;
+}
+
+namespace {
+
+// seg: sweep vertices in id order, cutting whenever the running out-edge
+// count reaches the per-part quota. Vertex-contiguous => locality-preserving.
+std::vector<uint32_t> SegmentAssign(const CsrGraph& g, int num_parts) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> owner(n, 0);
+  const double quota =
+      static_cast<double>(g.num_edges() + n) / num_parts;  // edges + vertices
+  double running = 0;
+  uint32_t part = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    owner[v] = part;
+    running += g.OutDegree(v) + 1.0;
+    if (running >= quota * (part + 1) &&
+        part + 1 < static_cast<uint32_t>(num_parts)) {
+      ++part;
+    }
+  }
+  return owner;
+}
+
+std::vector<uint32_t> RandomAssign(const CsrGraph& g, int num_parts,
+                                   uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> owner(n);
+  for (VertexId v = 0; v < n; ++v) {
+    owner[v] = static_cast<uint32_t>(
+        HashMix64(seed * 0x9e3779b97f4a7c15ULL + v) %
+        static_cast<uint64_t>(num_parts));
+  }
+  return owner;
+}
+
+}  // namespace
+
+// Defined in partition_metis_like.cc.
+std::vector<uint32_t> MetisLikeAssign(const CsrGraph& g, int num_parts,
+                                      const PartitionOptions& options);
+
+Result<Partition> PartitionGraph(const CsrGraph& g, int num_parts,
+                                 const PartitionOptions& options) {
+  if (num_parts < 1) {
+    return Status::InvalidArgument("num_parts must be >= 1, got " +
+                                   std::to_string(num_parts));
+  }
+  if (g.num_vertices() == 0) {
+    return Status::InvalidArgument("cannot partition an empty graph");
+  }
+
+  Partition p;
+  p.num_parts = num_parts;
+  if (num_parts == 1) {
+    p.owner.assign(g.num_vertices(), 0);
+  } else {
+    switch (options.kind) {
+      case PartitionerKind::kSegment:
+        p.owner = SegmentAssign(g, num_parts);
+        break;
+      case PartitionerKind::kRandom:
+        p.owner = RandomAssign(g, num_parts, options.seed);
+        break;
+      case PartitionerKind::kMetisLike:
+        p.owner = MetisLikeAssign(g, num_parts, options);
+        break;
+    }
+  }
+
+  p.part_vertices.assign(num_parts, {});
+  p.part_out_edges.assign(num_parts, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    p.part_vertices[p.owner[v]].push_back(v);
+    p.part_out_edges[p.owner[v]] += g.OutDegree(v);
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (p.owner[u] != p.owner[v]) ++p.edge_cut;
+    }
+  }
+  return p;
+}
+
+}  // namespace gum::graph

@@ -1,0 +1,33 @@
+// Fundamental graph types shared across the library.
+
+#ifndef GUM_GRAPH_TYPES_H_
+#define GUM_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gum::graph {
+
+using VertexId = uint32_t;
+using EdgeId = uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  float weight = 1.0f;
+};
+
+// A raw edge list, the interchange format between generators / IO and the
+// CSR builder.
+struct EdgeList {
+  VertexId num_vertices = 0;
+  std::vector<Edge> edges;
+};
+
+}  // namespace gum::graph
+
+#endif  // GUM_GRAPH_TYPES_H_

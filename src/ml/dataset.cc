@@ -1,0 +1,154 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "graph/frontier_features.h"
+#include "graph/generators.h"
+#include "sim/device.h"
+#include "sim/kernel_cost.h"
+
+namespace gum::ml {
+
+std::pair<Dataset, Dataset> Dataset::Split(double fraction,
+                                           uint64_t seed) const {
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  Rng rng(seed);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  const size_t cut = static_cast<size_t>(fraction * samples.size());
+  Dataset first, second;
+  for (size_t k = 0; k < order.size(); ++k) {
+    (k < cut ? first : second).samples.push_back(samples[order[k]]);
+  }
+  return {std::move(first), std::move(second)};
+}
+
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+// Draws a frontier of `size` vertices using one of four selection modes so
+// the dataset covers the frontier shapes real algorithms produce.
+std::vector<VertexId> SampleFrontier(const CsrGraph& g, size_t size, int mode,
+                                     Rng& rng) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> frontier;
+  frontier.reserve(size);
+  switch (mode % 4) {
+    case 0:  // uniform random (mid-phase traversal)
+      for (size_t k = 0; k < size; ++k) {
+        frontier.push_back(static_cast<VertexId>(rng.NextBounded(n)));
+      }
+      break;
+    case 1: {  // hub-biased (the frontiers that trigger the DLB problem)
+      for (size_t k = 0; k < size * 4 && frontier.size() < size; ++k) {
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        if (g.OutDegree(v) >= 4 || rng.NextBernoulli(0.2)) {
+          frontier.push_back(v);
+        }
+      }
+      break;
+    }
+    case 2: {  // id-contiguous (cocooning: early BFS under seg partitions)
+      const VertexId start = static_cast<VertexId>(rng.NextBounded(n));
+      for (size_t k = 0; k < size; ++k) {
+        frontier.push_back(static_cast<VertexId>((start + k) % n));
+      }
+      break;
+    }
+    default: {  // neighborhood ball (wavefront shape)
+      VertexId seed_v = static_cast<VertexId>(rng.NextBounded(n));
+      frontier.push_back(seed_v);
+      size_t cursor = 0;
+      while (frontier.size() < size && cursor < frontier.size()) {
+        for (VertexId nb : g.OutNeighbors(frontier[cursor])) {
+          if (frontier.size() >= size) break;
+          frontier.push_back(nb);
+        }
+        ++cursor;
+      }
+      break;
+    }
+  }
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                 frontier.end());
+  if (frontier.empty()) frontier.push_back(0);
+  return frontier;
+}
+
+}  // namespace
+
+Dataset GenerateCostDataset(const std::vector<const graph::CsrGraph*>& corpus,
+                            const CostDatasetOptions& options) {
+  Dataset data;
+  Rng rng(options.seed);
+  const sim::DeviceParams& device = options.device;
+  for (const graph::CsrGraph* g : corpus) {
+    if (g->num_vertices() == 0) continue;
+    for (int k = 0; k < options.frontiers_per_graph; ++k) {
+      // Frontier sizes log-uniform between 1 and |V|/2.
+      const double log_max =
+          std::log(std::max<double>(2.0, g->num_vertices() / 2.0));
+      const size_t size = static_cast<size_t>(
+          std::exp(rng.NextUniform(0.0, log_max)));
+      const auto frontier = SampleFrontier(*g, std::max<size_t>(1, size),
+                                           k, rng);
+      const auto features = graph::ExtractFrontierFeatures(*g, frontier);
+      const double true_cost = sim::TrueEdgeCostNs(features, device);
+      const double noise =
+          std::exp(options.noise_stddev * rng.NextGaussian());
+      Sample sample;
+      const auto arr = features.ToArray();
+      sample.features.assign(arr.begin(), arr.end());
+      sample.target = true_cost * noise;
+      data.samples.push_back(std::move(sample));
+    }
+  }
+  return data;
+}
+
+Dataset GenerateDefaultCostDataset(const CostDatasetOptions& options) {
+  using namespace graph;  // NOLINT(build/namespaces)
+  std::vector<CsrGraph> graphs;
+  auto add = [&](EdgeList list) {
+    auto g = CsrGraph::FromEdgeList(list);
+    if (g.ok()) graphs.push_back(std::move(g).value());
+  };
+  RmatOptions social;
+  social.scale = 12;
+  social.edge_factor = 12;
+  social.seed = 11;
+  add(Rmat(social));
+
+  RmatOptions web;
+  web.scale = 12;
+  web.edge_factor = 10;
+  web.a = 0.45;
+  web.b = 0.25;
+  web.c = 0.15;
+  web.permute_vertices = false;
+  web.seed = 12;
+  add(Rmat(web));
+
+  RoadGridOptions road;
+  road.rows = 72;
+  road.cols = 72;
+  road.seed = 13;
+  add(RoadGrid(road));
+
+  add(ErdosRenyi(4096, 40000, false, 14));
+  add(SmallWorld(4096, 4, 0.1, 15));
+
+  std::vector<const CsrGraph*> corpus;
+  for (const auto& g : graphs) corpus.push_back(&g);
+  return GenerateCostDataset(corpus, options);
+}
+
+}  // namespace gum::ml

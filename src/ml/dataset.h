@@ -1,0 +1,63 @@
+// Training data for the learned cost model (paper §III-B "Model learning").
+//
+// A sample pairs the Table-I characteristics of one fragment-frontier with
+// the observed per-edge computational cost t_i. The paper extracts samples
+// from running logs of BFS/PR/SSSP/CC over 624 graphs; GenerateCostDataset
+// reproduces the pipeline against the virtual substrate: it samples diverse
+// frontiers from a corpus of generated graphs and records the substrate's
+// true kernel cost with measurement noise.
+
+#ifndef GUM_ML_DATASET_H_
+#define GUM_ML_DATASET_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr.h"
+#include "sim/device.h"
+
+namespace gum::ml {
+
+struct Sample {
+  std::vector<double> features;  // Table-I metric variables
+  double target = 0.0;           // observed per-edge cost (ns)
+};
+
+struct Dataset {
+  std::vector<Sample> samples;
+
+  size_t size() const { return samples.size(); }
+  int feature_dim() const {
+    return samples.empty() ? 0
+                           : static_cast<int>(samples[0].features.size());
+  }
+
+  // Deterministic shuffle + split; fraction in (0, 1) goes to the first
+  // returned set.
+  std::pair<Dataset, Dataset> Split(double fraction, uint64_t seed) const;
+};
+
+struct CostDatasetOptions {
+  int frontiers_per_graph = 160;
+  double noise_stddev = 0.03;  // multiplicative log-normal-ish noise
+  uint64_t seed = 7;
+  // Device whose kernels the running logs came from. MUST match the device
+  // the trained model will steer (the engine's cost matrix is in the same
+  // ns units).
+  sim::DeviceParams device;
+};
+
+// Samples frontiers of many shapes (uniform random, hub-biased, id-local,
+// single-vertex) from each graph, extracts Table-I features and records the
+// substrate's true cost with noise.
+Dataset GenerateCostDataset(const std::vector<const graph::CsrGraph*>& corpus,
+                            const CostDatasetOptions& options = {});
+
+// Builds a small default corpus (RMAT social/web analogs, road grids,
+// Erdos-Renyi, small-world) and generates a dataset from it. Stand-in for
+// the paper's 624 networkrepository graphs.
+Dataset GenerateDefaultCostDataset(const CostDatasetOptions& options = {});
+
+}  // namespace gum::ml
+
+#endif  // GUM_ML_DATASET_H_

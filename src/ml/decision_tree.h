@@ -1,0 +1,50 @@
+// CART regression tree (Table V row 4).
+//
+// Greedy binary splits minimizing weighted child variance, mean prediction
+// at the leaves. Depth / leaf-size limited to avoid memorizing the noise in
+// the running logs.
+
+#ifndef GUM_ML_DECISION_TREE_H_
+#define GUM_ML_DECISION_TREE_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace gum::ml {
+
+struct DecisionTreeOptions {
+  int max_depth = 12;
+  int min_samples_leaf = 8;
+  int min_samples_split = 16;
+};
+
+class DecisionTreeRegressor : public RegressionModel {
+ public:
+  explicit DecisionTreeRegressor(DecisionTreeOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Dataset& data) override;
+  double Predict(std::span<const double> features) const override;
+  std::string name() const override { return "decision_tree"; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 => leaf
+    double threshold = 0.0;  // go left if x[feature] <= threshold
+    int left = -1, right = -1;
+    double value = 0.0;      // leaf prediction
+  };
+
+  int BuildNode(std::vector<int>& indices, int begin, int end, int depth,
+                const Dataset& data);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace gum::ml
+
+#endif  // GUM_ML_DECISION_TREE_H_

@@ -1,0 +1,69 @@
+#include "ml/linear_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gum::ml {
+
+Result<std::vector<double>> SolveDenseSystem(
+    std::vector<std::vector<double>> a, std::vector<double> b) {
+  const int n = static_cast<int>(a.size());
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-14) {
+      return Status::Internal("singular normal-equation matrix");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double inv = 1.0 / a[col][col];
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] * inv;
+      if (factor == 0.0) continue;
+      for (int c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (int r = n - 1; r >= 0; --r) {
+    double acc = b[r];
+    for (int c = r + 1; c < n; ++c) acc -= a[r][c] * x[c];
+    x[r] = acc / a[r][r];
+  }
+  return x;
+}
+
+Status LinearRegression::Fit(const Dataset& data) {
+  if (data.samples.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  const int d = data.feature_dim() + 1;  // + bias
+  std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  std::vector<double> row(d);
+  for (const Sample& s : data.samples) {
+    for (int j = 0; j < d - 1; ++j) row[j] = s.features[j];
+    row[d - 1] = 1.0;
+    for (int j = 0; j < d; ++j) {
+      xty[j] += row[j] * s.target;
+      for (int k = 0; k < d; ++k) xtx[j][k] += row[j] * row[k];
+    }
+  }
+  for (int j = 0; j < d; ++j) xtx[j][j] += ridge_;
+  GUM_ASSIGN_OR_RETURN(weights_, SolveDenseSystem(std::move(xtx),
+                                                  std::move(xty)));
+  return Status::OK();
+}
+
+double LinearRegression::Predict(std::span<const double> features) const {
+  double pred = weights_.back();
+  for (size_t j = 0; j + 1 < weights_.size(); ++j) {
+    pred += weights_[j] * features[j];
+  }
+  return std::max(pred, 1e-3);
+}
+
+}  // namespace gum::ml

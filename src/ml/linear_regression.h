@@ -1,0 +1,37 @@
+// Ordinary least squares linear regression (Table V row 1).
+//
+// Fit by solving the normal equations with Gaussian elimination (ridge
+// damping for rank deficiency). Minimizes *absolute* squared error, which is
+// why it scores poorly on the relative-error metric used to judge cost
+// models — the effect paper Table V reports.
+
+#ifndef GUM_ML_LINEAR_REGRESSION_H_
+#define GUM_ML_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace gum::ml {
+
+class LinearRegression : public RegressionModel {
+ public:
+  explicit LinearRegression(double ridge = 1e-8) : ridge_(ridge) {}
+
+  Status Fit(const Dataset& data) override;
+  double Predict(std::span<const double> features) const override;
+  std::string name() const override { return "linear_regression"; }
+
+ private:
+  double ridge_;
+  std::vector<double> weights_;  // size input_dim + 1 (bias last)
+};
+
+// Solves A x = b for symmetric positive (semi)definite A via Gaussian
+// elimination with partial pivoting; shared with the SVR closed-form paths.
+Result<std::vector<double>> SolveDenseSystem(
+    std::vector<std::vector<double>> a, std::vector<double> b);
+
+}  // namespace gum::ml
+
+#endif  // GUM_ML_LINEAR_REGRESSION_H_

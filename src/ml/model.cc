@@ -1,0 +1,20 @@
+#include "ml/model.h"
+
+#include <cmath>
+
+namespace gum::ml {
+
+double Rmsre(const RegressionModel& model, const Dataset& data) {
+  if (data.samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Sample& s : data.samples) {
+    const double t = s.target;
+    if (t == 0.0) continue;
+    const double g = model.Predict(s.features);
+    const double rel = (g - t) / t;
+    sum += rel * rel;
+  }
+  return std::sqrt(sum / static_cast<double>(data.samples.size()));
+}
+
+}  // namespace gum::ml

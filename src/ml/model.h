@@ -1,0 +1,30 @@
+// Regression model interface + the RMSRE metric of paper Eq. (3).
+
+#ifndef GUM_ML_MODEL_H_
+#define GUM_ML_MODEL_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace gum::ml {
+
+class RegressionModel {
+ public:
+  virtual ~RegressionModel() = default;
+
+  virtual Status Fit(const Dataset& data) = 0;
+  virtual double Predict(std::span<const double> features) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Root mean squared *relative* error: sqrt(mean(((g - t) / t)^2)).
+// The paper's loss function (Eq. 3) and Table-V accuracy metric.
+double Rmsre(const RegressionModel& model, const Dataset& data);
+
+}  // namespace gum::ml
+
+#endif  // GUM_ML_MODEL_H_

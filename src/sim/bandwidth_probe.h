@@ -1,0 +1,36 @@
+// Bandwidth micro-benchmark (paper §III-B: "B_ij ... can be evaluated via
+// micro benchmark").
+//
+// On the real system GUM times bulk peer-to-peer copies at startup to learn
+// the effective bandwidth matrix; here the probe times simulated transfers
+// against a Topology, returning the measured GB/s per pair. The probe is
+// deliberately ignorant of the Topology's internals — it only observes
+// transfer durations — so tests can verify that measurement round-trips
+// the ground truth and that a Topology rebuilt from measurements
+// (Topology::FromMatrix) steers the cost model identically.
+
+#ifndef GUM_SIM_BANDWIDTH_PROBE_H_
+#define GUM_SIM_BANDWIDTH_PROBE_H_
+
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace gum::sim {
+
+struct BandwidthProbeOptions {
+  double transfer_bytes = 64.0 * 1024 * 1024;  // bulk copy size
+  int repetitions = 3;
+  // Fixed per-transfer latency the probe must subtract out (kernel launch +
+  // copy setup), as a real micro benchmark would.
+  double setup_us = 10.0;
+};
+
+// Measured effective bandwidth matrix in GB/s. measured[i][i] is the local
+// memory bandwidth.
+std::vector<std::vector<double>> ProbeBandwidths(
+    const Topology& topology, const BandwidthProbeOptions& options = {});
+
+}  // namespace gum::sim
+
+#endif  // GUM_SIM_BANDWIDTH_PROBE_H_

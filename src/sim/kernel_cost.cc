@@ -1,0 +1,44 @@
+#include "sim/kernel_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gum::sim {
+
+double TrueEdgeCostNs(const graph::FrontierFeatures& w,
+                      const DeviceParams& params) {
+  const double base = params.base_edge_ns;
+
+  // Scattered gathers: wider average fan-out amortizes per-vertex overhead
+  // (fewer, longer coalesced runs) but saturates.
+  const double fanout = std::log2(1.0 + w.avg_out_degree);
+  const double fanout_factor = 1.0 + 0.9 / (1.0 + 0.5 * fanout);
+
+  // Warp divergence / intra-kernel imbalance from degree diversity; the
+  // penalty is super-linear in the (log) range because a single monster
+  // vertex serializes its whole warp.
+  const double log_range = std::log2(1.0 + w.out_degree_range);
+  const double range_term = 0.02 * log_range * log_range +
+                            0.05 * std::log2(1.0 + w.in_degree_range);
+
+  // Skewed frontiers: the Gini multiplies both the base AND the divergence
+  // penalty (interactions a linear model cannot represent).
+  const double skew_factor =
+      1.0 + 4.0 * w.gini * w.gini * (1.0 + 0.5 * fanout) +
+      0.8 * w.gini * std::log2(1.0 + w.avg_out_degree) / 8.0;
+
+  // Atomic contention: frontiers aiming at hubs (high average in-degree)
+  // serialize updates on the same cache lines; contention compounds when
+  // the degree distribution is concentrated (low entropy).
+  const double log_in = std::log2(1.0 + w.avg_in_degree);
+  const double atomic_term =
+      0.22 * log_in * log_in / (0.4 + w.entropy + 1e-9);
+
+  // All terms are dimensionless multiples of the device's base per-edge
+  // cost, so the cost SHAPE is invariant under device calibration.
+  const double cost =
+      base * (fanout_factor * skew_factor + range_term + atomic_term);
+  return std::max(cost, 0.1 * base);
+}
+
+}  // namespace gum::sim

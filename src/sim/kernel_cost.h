@@ -1,0 +1,32 @@
+// Ground-truth per-edge kernel cost of the virtual devices.
+//
+// TrueEdgeCostNs is the substrate's *actual* cost of processing one frontier
+// edge given the frontier's Table-I characteristics: irregular frontiers
+// (high Gini, wide degree ranges) cause warp divergence and scattered
+// memory access; hub-heavy frontiers cause atomic contention. This function
+// plays the role that real silicon plays in the paper: the learned model
+// g(W) of src/ml/* is trained from (features, observed cost) logs and is
+// judged by how well it approximates this function (paper Exp-7 runs the
+// same comparison against the "exact values of g(W)").
+//
+// The functional form mixes multiplicative interactions and saturating
+// nonlinearities, so a degree-4 polynomial fits it well while a plain
+// linear model fails — reproducing the RMSRE gap of paper Table V.
+
+#ifndef GUM_SIM_KERNEL_COST_H_
+#define GUM_SIM_KERNEL_COST_H_
+
+#include "graph/frontier_features.h"
+#include "sim/device.h"
+
+namespace gum::sim {
+
+// True compute cost (ns) of processing one edge of a frontier with
+// characteristics `w` on a device with parameters `params`. Excludes any
+// remote-transfer cost (that is bytes / link bandwidth, added separately).
+double TrueEdgeCostNs(const graph::FrontierFeatures& w,
+                      const DeviceParams& params);
+
+}  // namespace gum::sim
+
+#endif  // GUM_SIM_KERNEL_COST_H_

@@ -1,0 +1,86 @@
+#include "sim/reduction_schedule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gum::sim {
+
+ReductionSchedule ReductionSchedule::Build(const Topology& topo) {
+  ReductionSchedule schedule;
+  const int n = topo.num_devices();
+  schedule.n_ = n;
+
+  std::vector<int> active(n);
+  for (int i = 0; i < n; ++i) active[i] = i;
+
+  while (active.size() > 1) {
+    // Choose the eviction that leaves the residual network with maximum
+    // aggregate bandwidth; ties broken toward the strongest victim-receiver
+    // link (cheap migration), then lowest ids (determinism).
+    double best_residual = -1.0;
+    double best_link = -1.0;
+    ReductionStep best_step;
+    for (size_t vi = 0; vi < active.size(); ++vi) {
+      std::vector<int> residual;
+      residual.reserve(active.size() - 1);
+      for (size_t k = 0; k < active.size(); ++k) {
+        if (k != vi) residual.push_back(active[k]);
+      }
+      const double residual_bw = topo.AggregateBandwidth(residual);
+      // Receiver: best-connected remaining peer of the victim.
+      int receiver = residual[0];
+      double link = topo.EffectiveBandwidth(active[vi], receiver);
+      for (int r : residual) {
+        const double bw = topo.EffectiveBandwidth(active[vi], r);
+        if (bw > link || (bw == link && r < receiver)) {
+          receiver = r;
+          link = bw;
+        }
+      }
+      const bool better =
+          residual_bw > best_residual ||
+          (residual_bw == best_residual && link > best_link) ||
+          (residual_bw == best_residual && link == best_link &&
+           best_step.victim >= 0 && active[vi] > best_step.victim);
+      if (better) {
+        best_residual = residual_bw;
+        best_link = link;
+        best_step = ReductionStep{active[vi], receiver};
+      }
+    }
+    schedule.steps_.push_back(best_step);
+    active.erase(std::find(active.begin(), active.end(), best_step.victim));
+  }
+  return schedule;
+}
+
+std::vector<int> ReductionSchedule::OwnerVectorFor(int m) const {
+  GUM_CHECK(m >= 1 && m <= n_) << "m=" << m << " n=" << n_;
+  std::vector<int> owner(n_);
+  for (int i = 0; i < n_; ++i) owner[i] = i;
+  const int evictions = n_ - m;
+  for (int k = 0; k < evictions; ++k) {
+    const ReductionStep& step = steps_[k];
+    // Re-point every fragment owned by the victim at the receiver.
+    for (int i = 0; i < n_; ++i) {
+      if (owner[i] == step.victim) owner[i] = step.receiver;
+    }
+  }
+  return owner;
+}
+
+std::vector<int> ReductionSchedule::ActiveFor(int m) const {
+  GUM_CHECK(m >= 1 && m <= n_);
+  std::vector<bool> evicted(n_, false);
+  const int evictions = n_ - m;
+  for (int k = 0; k < evictions; ++k) evicted[steps_[k].victim] = true;
+  std::vector<int> active;
+  active.reserve(m);
+  for (int i = 0; i < n_; ++i) {
+    if (!evicted[i]) active.push_back(i);
+  }
+  return active;
+}
+
+}  // namespace gum::sim

@@ -1,0 +1,49 @@
+// Reduction schedule for ownership stealing (paper §IV-A, Fig. 4b).
+//
+// Instead of enumerating all sum_{i<n} C(n,i) * i^(n-i) ownership vectors,
+// GUM folds devices in a fixed order derived from the topology: at every
+// step the (victim, receiver) pair is chosen so that the residual active
+// set keeps the largest aggregate bandwidth, with the receiver being the
+// victim's best-connected active peer. The schedule is computed once per
+// topology; OwnerVectorFor(m)/ActiveFor(m) answer Algorithm 2's O(m)/R(m)
+// queries in O(n).
+
+#ifndef GUM_SIM_REDUCTION_SCHEDULE_H_
+#define GUM_SIM_REDUCTION_SCHEDULE_H_
+
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace gum::sim {
+
+struct ReductionStep {
+  int victim = -1;    // device evicted at this step
+  int receiver = -1;  // device that takes over the victim's fragments
+};
+
+class ReductionSchedule {
+ public:
+  // Builds the elimination order for all devices of `topo`.
+  static ReductionSchedule Build(const Topology& topo);
+
+  int num_devices() const { return n_; }
+
+  // Steps in order; step k shrinks the active set from n-k to n-k-1 devices.
+  const std::vector<ReductionStep>& steps() const { return steps_; }
+
+  // Ownership vector when m devices remain active: entry i is the device
+  // responsible for fragment i (follows receiver chains). m in [1, n].
+  std::vector<int> OwnerVectorFor(int m) const;
+
+  // The m devices still active, ascending.
+  std::vector<int> ActiveFor(int m) const;
+
+ private:
+  int n_ = 0;
+  std::vector<ReductionStep> steps_;
+};
+
+}  // namespace gum::sim
+
+#endif  // GUM_SIM_REDUCTION_SCHEDULE_H_

@@ -1,0 +1,141 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gum::sim {
+
+Topology::Topology(int n)
+    : n_(n),
+      direct_(static_cast<size_t>(n) * n, 0.0),
+      effective_(static_cast<size_t>(n) * n, 0.0),
+      transit_(static_cast<size_t>(n) * n, -1) {
+  for (int i = 0; i < n; ++i) direct_[Index(i, i)] = kLocalMemoryGBps;
+}
+
+void Topology::SetLink(int i, int j, double gbps) {
+  direct_[Index(i, j)] = gbps;
+  direct_[Index(j, i)] = gbps;
+}
+
+void Topology::SetDirectedLink(int i, int j, double gbps) {
+  direct_[Index(i, j)] = gbps;
+}
+
+void Topology::FinalizeRouting() {
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      if (i == j) {
+        effective_[Index(i, j)] = kLocalMemoryGBps;
+        continue;
+      }
+      double best = std::max(direct_[Index(i, j)], kPcieGBps);
+      int best_transit = -1;
+      for (int k = 0; k < n_; ++k) {
+        if (k == i || k == j) continue;
+        const double leg1 = direct_[Index(i, k)];
+        const double leg2 = direct_[Index(k, j)];
+        if (leg1 <= 0.0 || leg2 <= 0.0) continue;
+        const double routed = std::min(leg1, leg2) * kTransitEfficiency;
+        if (routed > best) {
+          best = routed;
+          best_transit = k;
+        }
+      }
+      effective_[Index(i, j)] = best;
+      transit_[Index(i, j)] = best_transit;
+    }
+  }
+}
+
+Topology Topology::HybridCubeMesh8() {
+  Topology t(8);
+  const double one = kNvlinkLaneGBps;
+  const double two = 2 * kNvlinkLaneGBps;
+  // DGX-1V hybrid cube mesh: six lanes per GPU.
+  t.SetLink(0, 1, one);
+  t.SetLink(0, 2, one);
+  t.SetLink(0, 3, two);
+  t.SetLink(0, 4, two);
+  t.SetLink(1, 2, two);
+  t.SetLink(1, 3, one);
+  t.SetLink(1, 5, two);
+  t.SetLink(2, 3, one);
+  t.SetLink(2, 6, two);
+  t.SetLink(3, 7, two);
+  t.SetLink(4, 5, one);
+  t.SetLink(4, 6, one);
+  t.SetLink(4, 7, two);
+  t.SetLink(5, 6, two);
+  t.SetLink(5, 7, one);
+  t.SetLink(6, 7, one);
+  t.FinalizeRouting();
+  return t;
+}
+
+Result<Topology> Topology::HybridCubeMeshSubset(int n) {
+  if (n < 1 || n > 8) {
+    return Status::InvalidArgument("hybrid cube mesh subset needs n in [1,8]");
+  }
+  const Topology full = HybridCubeMesh8();
+  Topology t(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      t.SetLink(i, j, full.DirectBandwidth(i, j));
+    }
+  }
+  t.FinalizeRouting();
+  return t;
+}
+
+Topology Topology::Ring(int n, double gbps) {
+  GUM_CHECK(n >= 1);
+  Topology t(n);
+  if (n > 1) {
+    for (int i = 0; i < n; ++i) t.SetDirectedLink(i, (i + 1) % n, gbps);
+  }
+  t.FinalizeRouting();
+  return t;
+}
+
+Topology Topology::FullyConnected(int n, double gbps) {
+  GUM_CHECK(n >= 1);
+  Topology t(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) t.SetLink(i, j, gbps);
+  }
+  t.FinalizeRouting();
+  return t;
+}
+
+Result<Topology> Topology::FromMatrix(std::vector<std::vector<double>> gbps) {
+  const int n = static_cast<int>(gbps.size());
+  if (n == 0) return Status::InvalidArgument("empty topology matrix");
+  for (const auto& row : gbps) {
+    if (static_cast<int>(row.size()) != n) {
+      return Status::InvalidArgument("topology matrix must be square");
+    }
+  }
+  Topology t(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && gbps[i][j] > 0) t.SetDirectedLink(i, j, gbps[i][j]);
+    }
+  }
+  t.FinalizeRouting();
+  return t;
+}
+
+double Topology::AggregateBandwidth(const std::vector<int>& active) const {
+  double total = 0;
+  for (size_t a = 0; a < active.size(); ++a) {
+    for (size_t b = a + 1; b < active.size(); ++b) {
+      total += direct_[Index(active[a], active[b])];
+      total += direct_[Index(active[b], active[a])];
+    }
+  }
+  return total / 2.0;  // symmetric links counted twice above
+}
+
+}  // namespace gum::sim

@@ -1,0 +1,89 @@
+// Interconnect topology model (paper Fig. 2).
+//
+// A Topology is an n x n matrix of direct link bandwidths in GB/s, with
+// asymmetric NVLink lane counts exactly as on a DGX-1V-class server: a pair
+// of GPUs may be joined by two lanes (50 GB/s), one lane (25 GB/s), or no
+// direct link at all. Pairs without a direct NVLink either fall back to the
+// PCIe/QPI path or route through a transit GPU (paper §I opportunity (2));
+// EffectiveBandwidth() returns the better of the two, and BestTransit()
+// exposes the chosen intermediate.
+
+#ifndef GUM_SIM_TOPOLOGY_H_
+#define GUM_SIM_TOPOLOGY_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace gum::sim {
+
+class Topology {
+ public:
+  // NVLink generation constants used by the builders (GB/s).
+  static constexpr double kNvlinkLaneGBps = 25.0;
+  static constexpr double kPcieGBps = 10.0;
+  static constexpr double kLocalMemoryGBps = 900.0;  // V100 HBM2
+  // A routed transfer occupies two links and shares the transit GPU's
+  // copy engines; model it as this fraction of the bottleneck link.
+  static constexpr double kTransitEfficiency = 0.5;
+
+  Topology() = default;
+
+  // The 8-GPU hybrid cube-mesh of a DGX-1V (paper Fig. 2). Each GPU has six
+  // NVLink lanes; some pairs get two lanes, some one, some none.
+  static Topology HybridCubeMesh8();
+
+  // First `n` GPUs of the hybrid cube mesh (how a job sees a partial
+  // allocation of the same server). n in [1, 8].
+  static Result<Topology> HybridCubeMeshSubset(int n);
+
+  // Unidirectional ring of single NVLink lanes (Groute's communication
+  // pattern). Only i->i+1 (mod n) links exist.
+  static Topology Ring(int n, double gbps = kNvlinkLaneGBps);
+
+  // All pairs directly connected at `gbps` (NVSwitch-style).
+  static Topology FullyConnected(int n, double gbps = kNvlinkLaneGBps);
+
+  // Build from an explicit matrix (must be square; diagonal ignored).
+  static Result<Topology> FromMatrix(std::vector<std::vector<double>> gbps);
+
+  int num_devices() const { return n_; }
+
+  // Direct link bandwidth, 0 if no direct link. DirectBandwidth(i, i) is the
+  // local memory bandwidth.
+  double DirectBandwidth(int i, int j) const { return direct_[Index(i, j)]; }
+
+  // Best achievable bandwidth between i and j: the direct link, a routed
+  // 2-hop path at kTransitEfficiency of its bottleneck, or PCIe, whichever
+  // is fastest.
+  double EffectiveBandwidth(int i, int j) const {
+    return effective_[Index(i, j)];
+  }
+
+  // Transit device of the best 2-hop route for (i, j), or -1 if the direct /
+  // PCIe path is at least as good.
+  int BestTransit(int i, int j) const { return transit_[Index(i, j)]; }
+
+  // Sum of all direct link bandwidths among the device subset `active`
+  // ("aggregated bandwidth" of the residual network, paper §IV-A).
+  double AggregateBandwidth(const std::vector<int>& active) const;
+
+ private:
+  explicit Topology(int n);
+  void SetLink(int i, int j, double gbps);  // symmetric
+  void SetDirectedLink(int i, int j, double gbps);
+  void FinalizeRouting();
+
+  size_t Index(int i, int j) const {
+    return static_cast<size_t>(i) * n_ + j;
+  }
+
+  int n_ = 0;
+  std::vector<double> direct_;
+  std::vector<double> effective_;
+  std::vector<int> transit_;
+};
+
+}  // namespace gum::sim
+
+#endif  // GUM_SIM_TOPOLOGY_H_

@@ -1,0 +1,43 @@
+// Linear / mixed-integer program definitions.
+//
+// The paper formulates frontier stealing as a MILP (Eq. 1) and solves it
+// with SCIP; this module is the from-scratch replacement. Problems are tiny
+// (n^2 + 1 variables for n <= 8 GPUs) so a dense representation is ideal.
+
+#ifndef GUM_SOLVER_LINEAR_PROGRAM_H_
+#define GUM_SOLVER_LINEAR_PROGRAM_H_
+
+#include <vector>
+
+namespace gum::solver {
+
+enum class RowType { kLessEqual, kEqual, kGreaterEqual };
+
+struct Row {
+  std::vector<double> coeffs;  // size num_vars (missing treated as 0)
+  RowType type = RowType::kLessEqual;
+  double rhs = 0.0;
+};
+
+// minimize objective . x   subject to rows,  x >= 0.
+struct LinearProgram {
+  int num_vars = 0;
+  std::vector<double> objective;
+  std::vector<Row> rows;
+
+  int AddVariable(double cost) {
+    objective.push_back(cost);
+    return num_vars++;
+  }
+  void AddRow(Row row) { rows.push_back(std::move(row)); }
+};
+
+struct LpSolution {
+  double objective = 0.0;
+  std::vector<double> x;
+  int iterations = 0;
+};
+
+}  // namespace gum::solver
+
+#endif  // GUM_SOLVER_LINEAR_PROGRAM_H_

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/apps.h"
+#include "algos/reference.h"
+#include "baselines/groute_cc.h"
+#include "baselines/groute_like.h"
+#include "baselines/gunrock_like.h"
+#include "core/engine.h"
+#include "tests/test_util.h"
+
+namespace gum::baselines {
+namespace {
+
+using algos::BfsApp;
+using algos::DeltaPageRankApp;
+using algos::PageRankApp;
+using algos::SsspApp;
+using algos::WccApp;
+using graph::VertexId;
+using test::MakePartition;
+using test::RoadGraph;
+using test::SocialGraph;
+using test::SocialGraphSym;
+using test::Topo;
+
+// ---------- Gunrock-like ----------
+
+TEST(GunrockLikeTest, BfsMatchesReference) {
+  const auto g = SocialGraph();
+  GunrockLikeEngine<BfsApp> engine(&g, MakePartition(g, 4), Topo(4), {});
+  BfsApp app;
+  app.source = 1;
+  std::vector<uint32_t> depths;
+  engine.Run(app, &depths);
+  EXPECT_EQ(depths, algos::ref::Bfs(g, 1));
+}
+
+TEST(GunrockLikeTest, SsspMatchesReference) {
+  const auto g = SocialGraph(10, 4, /*weighted=*/true);
+  GunrockLikeEngine<SsspApp> engine(&g, MakePartition(g, 8), Topo(8), {});
+  SsspApp app;
+  app.source = 3;
+  std::vector<float> dist;
+  engine.Run(app, &dist);
+  const auto expected = algos::ref::Sssp(g, 3);
+  for (size_t v = 0; v < dist.size(); ++v) EXPECT_EQ(dist[v], expected[v]);
+}
+
+TEST(GunrockLikeTest, PageRankMatchesReference) {
+  const auto g = SocialGraph(9, 5);
+  GunrockLikeEngine<PageRankApp> engine(&g, MakePartition(g, 4), Topo(4),
+                                        {});
+  PageRankApp app;
+  app.num_vertices = g.num_vertices();
+  app.rounds = 10;
+  std::vector<double> rank;
+  engine.Run(app, &rank);
+  const auto expected = algos::ref::PageRank(g, 0.85, 10);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(rank[v], expected[v], 1e-9);
+  }
+}
+
+TEST(GunrockLikeTest, SingleGpuBoostApplies) {
+  const auto g = SocialGraph(10, 6);
+  BfsApp app;
+  app.source = 0;
+  GunrockOptions boosted;
+  boosted.single_gpu_compute_factor = 0.5;
+  GunrockOptions unboosted;
+  unboosted.single_gpu_compute_factor = 1.0;
+  const auto r_boost =
+      GunrockLikeEngine<BfsApp>(&g, MakePartition(g, 1), Topo(1), boosted)
+          .Run(app);
+  app.source = 0;
+  const auto r_plain =
+      GunrockLikeEngine<BfsApp>(&g, MakePartition(g, 1), Topo(1), unboosted)
+          .Run(app);
+  EXPECT_LT(r_boost.ComputeMs(), r_plain.ComputeMs());
+}
+
+TEST(GunrockLikeTest, SyncOverheadScalesWithDevices) {
+  // Same graph and algorithm; overhead per iteration grows with n.
+  const auto g = RoadGraph(16);
+  BfsApp app;
+  app.source = 0;
+  const auto r2 =
+      GunrockLikeEngine<BfsApp>(&g, MakePartition(g, 2), Topo(2), {})
+          .Run(app);
+  app.source = 0;
+  const auto r8 =
+      GunrockLikeEngine<BfsApp>(&g, MakePartition(g, 8), Topo(8), {})
+          .Run(app);
+  EXPECT_GT(r8.OverheadMs() / r8.iterations,
+            r2.OverheadMs() / r2.iterations);
+}
+
+
+TEST(GunrockLikeTest, DeltaPageRankConverges) {
+  const auto g = SocialGraph(9, 91);
+  GunrockLikeEngine<DeltaPageRankApp> engine(&g, MakePartition(g, 4),
+                                             Topo(4), {});
+  DeltaPageRankApp app;
+  app.num_vertices = g.num_vertices();
+  app.epsilon = 1e-12;
+  std::vector<DeltaPageRankApp::State> state;
+  engine.Run(app, &state);
+  const auto expected = algos::ref::PageRank(g, 0.85, 100);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(state[v].rank, expected[v], 1e-6);
+  }
+}
+
+// ---------- Groute-like ----------
+
+TEST(GrouteLikeTest, BfsConvergesToReference) {
+  const auto g = SocialGraph();
+  GrouteLikeEngine<BfsApp> engine(&g, MakePartition(g, 4), {});
+  BfsApp app;
+  app.source = 1;
+  std::vector<uint32_t> depths;
+  engine.Run(app, &depths);
+  EXPECT_EQ(depths, algos::ref::Bfs(g, 1));
+}
+
+TEST(GrouteLikeTest, SsspConvergesToReference) {
+  const auto g = SocialGraph(10, 4, /*weighted=*/true);
+  GrouteLikeEngine<SsspApp> engine(&g, MakePartition(g, 3), {});
+  SsspApp app;
+  app.source = 3;
+  std::vector<float> dist;
+  engine.Run(app, &dist);
+  const auto expected = algos::ref::Sssp(g, 3);
+  for (size_t v = 0; v < dist.size(); ++v) EXPECT_EQ(dist[v], expected[v]);
+}
+
+TEST(GrouteLikeTest, WccConvergesToReference) {
+  const auto g = SocialGraphSym(9, 4);
+  GrouteLikeEngine<WccApp> engine(&g, MakePartition(g, 4), {});
+  WccApp app;
+  std::vector<VertexId> labels;
+  engine.Run(app, &labels);
+  EXPECT_EQ(labels, algos::ref::Wcc(g));
+}
+
+TEST(GrouteLikeTest, DeltaPageRankConverges) {
+  const auto g = SocialGraph(9, 5);
+  GrouteLikeEngine<DeltaPageRankApp> engine(&g, MakePartition(g, 2), {});
+  DeltaPageRankApp app;
+  app.num_vertices = g.num_vertices();
+  app.epsilon = 1e-12;
+  std::vector<DeltaPageRankApp::State> state;
+  engine.Run(app, &state);
+  const auto expected = algos::ref::PageRank(g, 0.85, 100);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(state[v].rank, expected[v], 1e-6);
+  }
+}
+
+TEST(GrouteLikeTest, ReportsPositiveTime) {
+  const auto g = SocialGraph(9, 5);
+  GrouteLikeEngine<BfsApp> engine(&g, MakePartition(g, 4), {});
+  BfsApp app;
+  // RMAT leaves some vertices isolated; pick a source with out-edges.
+  app.source = 0;
+  while (g.OutDegree(app.source) == 0) ++app.source;
+  const auto result = engine.Run(app);
+  EXPECT_GT(result.total_ms, 0.0);
+  EXPECT_GT(result.iterations, 0);  // batch count
+  EXPECT_GT(result.edges_processed, 0u);
+}
+
+TEST(GrouteLikeTest, OddDeviceCountSlowerPerMessage) {
+  // Paper Fig. 7: odd GPU counts cannot form a clean NVLink ring. Compare
+  // n=5 vs n=4 wall time on the same communication-heavy workload: 5 devices
+  // should not bring a proportional improvement.
+  const auto g = SocialGraph(11, 8);
+  BfsApp app;
+  app.source = 0;
+  const auto r4 =
+      GrouteLikeEngine<BfsApp>(&g, MakePartition(g, 4), {}).Run(app);
+  app.source = 0;
+  const auto r5 =
+      GrouteLikeEngine<BfsApp>(&g, MakePartition(g, 5), {}).Run(app);
+  EXPECT_GT(r5.total_ms, 0.6 * r4.total_ms)
+      << "odd ring should not scale cleanly";
+}
+
+
+// ---------- Groute CC (dedicated connected-components engine) ----------
+
+TEST(GrouteCcTest, MatchesUnionFindReference) {
+  const auto g = SocialGraphSym(10, 23);
+  GrouteCcEngine engine(&g, MakePartition(g, 8), {});
+  std::vector<VertexId> labels;
+  engine.Run(&labels);
+  EXPECT_EQ(labels, algos::ref::Wcc(g));
+}
+
+TEST(GrouteCcTest, RoadNetworkConvergesInFewRounds) {
+  // The whole point of the algorithm: rounds ~ log |V|, independent of the
+  // ~56-hop diameter of this grid.
+  const auto g = RoadGraph(28, 24);
+  GrouteCcEngine engine(&g, MakePartition(g, 8), {});
+  std::vector<VertexId> labels;
+  const auto result = engine.Run(&labels);
+  EXPECT_EQ(labels, algos::ref::Wcc(g));
+  EXPECT_LE(result.iterations, 12) << "should be diameter-independent";
+  EXPECT_GT(result.total_ms, 0.0);
+}
+
+TEST(GrouteCcTest, FasterThanLabelPropagationOnRoadNetworks) {
+  const auto g = RoadGraph(28, 25);
+  const auto part = MakePartition(g, 8);
+  std::vector<VertexId> cc_labels, lp_labels;
+  const auto cc = GrouteCcEngine(&g, part, {}).Run(&cc_labels);
+  WccApp app;
+  const auto lp =
+      GrouteLikeEngine<WccApp>(&g, part, {}).Run(app, &lp_labels);
+  EXPECT_EQ(cc_labels, lp_labels);
+  EXPECT_LT(cc.total_ms, lp.total_ms);
+}
+
+TEST(GrouteCcTest, SingleDevice) {
+  const auto g = SocialGraphSym(8, 26);
+  GrouteCcEngine engine(&g, MakePartition(g, 1), {});
+  std::vector<VertexId> labels;
+  engine.Run(&labels);
+  EXPECT_EQ(labels, algos::ref::Wcc(g));
+}
+
+TEST(GrouteCcTest, DisconnectedGraph) {
+  // Two separate triangles.
+  graph::EdgeList list;
+  list.num_vertices = 6;
+  list.edges = {{0, 1, 1}, {1, 2, 1}, {2, 0, 1},
+                {3, 4, 1}, {4, 5, 1}, {5, 3, 1}};
+  graph::CsrBuildOptions sym;
+  sym.symmetrize = true;
+  auto g = graph::CsrGraph::FromEdgeList(list, sym);
+  ASSERT_TRUE(g.ok());
+  GrouteCcEngine engine(&*g, MakePartition(*g, 2), {});
+  std::vector<VertexId> labels;
+  engine.Run(&labels);
+  EXPECT_EQ(labels, (std::vector<VertexId>{0, 0, 0, 3, 3, 3}));
+}
+
+// ---------- Cross-engine agreement ----------
+
+TEST(CrossEngineTest, AllThreeEnginesAgreeOnBfs) {
+  const auto g = SocialGraph(10, 9);
+  const auto part = MakePartition(g, 4);
+  BfsApp app;
+  std::vector<uint32_t> gum_d, gun_d, gro_d;
+  app.source = 5;
+  core::GumEngine<BfsApp>(&g, part, Topo(4), test::TestEngineOptions())
+      .Run(app, &gum_d);
+  app.source = 5;
+  GunrockLikeEngine<BfsApp>(&g, part, Topo(4), {}).Run(app, &gun_d);
+  app.source = 5;
+  GrouteLikeEngine<BfsApp>(&g, part, {}).Run(app, &gro_d);
+  EXPECT_EQ(gum_d, gun_d);
+  EXPECT_EQ(gum_d, gro_d);
+}
+
+}  // namespace
+}  // namespace gum::baselines

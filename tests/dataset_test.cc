@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "ml/dataset.h"
+
+namespace gum::ml {
+namespace {
+
+TEST(DatasetTest, GenerateFromCorpus) {
+  auto g = graph::CsrGraph::FromEdgeList(
+      graph::Rmat({.scale = 9, .edge_factor = 6, .seed = 3}));
+  ASSERT_TRUE(g.ok());
+  CostDatasetOptions opt;
+  opt.frontiers_per_graph = 50;
+  const Dataset data = GenerateCostDataset({&g.value()}, opt);
+  EXPECT_EQ(data.size(), 50u);
+  EXPECT_EQ(data.feature_dim(), 6);
+  for (const Sample& s : data.samples) {
+    EXPECT_GT(s.target, 0.0);
+    EXPECT_LT(s.target, 1e3);
+    EXPECT_EQ(s.features.size(), 6u);
+  }
+}
+
+TEST(DatasetTest, Deterministic) {
+  auto g = graph::CsrGraph::FromEdgeList(
+      graph::Rmat({.scale = 8, .seed = 3}));
+  ASSERT_TRUE(g.ok());
+  CostDatasetOptions opt;
+  opt.frontiers_per_graph = 20;
+  const Dataset a = GenerateCostDataset({&g.value()}, opt);
+  const Dataset b = GenerateCostDataset({&g.value()}, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.samples[i].target, b.samples[i].target);
+  }
+}
+
+TEST(DatasetTest, NoiseChangesTargets) {
+  auto g = graph::CsrGraph::FromEdgeList(
+      graph::Rmat({.scale = 8, .seed = 3}));
+  ASSERT_TRUE(g.ok());
+  CostDatasetOptions noisy;
+  noisy.frontiers_per_graph = 20;
+  noisy.noise_stddev = 0.5;
+  CostDatasetOptions clean = noisy;
+  clean.noise_stddev = 0.0;
+  const Dataset dn = GenerateCostDataset({&g.value()}, noisy);
+  const Dataset dc = GenerateCostDataset({&g.value()}, clean);
+  int differing = 0;
+  for (size_t i = 0; i < dn.size(); ++i) {
+    differing += dn.samples[i].target != dc.samples[i].target;
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(DatasetTest, SplitPartitionsSamples) {
+  Dataset data;
+  for (int i = 0; i < 100; ++i) {
+    data.samples.push_back({{static_cast<double>(i)}, 1.0});
+  }
+  const auto [train, test] = data.Split(0.8, 42);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  // Same seed => same split.
+  const auto [train2, test2] = data.Split(0.8, 42);
+  for (size_t i = 0; i < train.size(); ++i) {
+    EXPECT_EQ(train.samples[i].features[0], train2.samples[i].features[0]);
+  }
+}
+
+TEST(DatasetTest, DefaultCorpusIsDiverse) {
+  CostDatasetOptions opt;
+  opt.frontiers_per_graph = 30;
+  const Dataset data = GenerateDefaultCostDataset(opt);
+  EXPECT_EQ(data.size(), 150u);  // 5 corpus graphs x 30
+  double min_t = 1e18, max_t = 0;
+  for (const Sample& s : data.samples) {
+    min_t = std::min(min_t, s.target);
+    max_t = std::max(max_t, s.target);
+  }
+  EXPECT_GT(max_t / min_t, 1.5) << "targets should span a range";
+}
+
+}  // namespace
+}  // namespace gum::ml

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "algos/dobfs.h"
+#include "algos/reference.h"
+#include "tests/test_util.h"
+
+namespace gum::algos {
+namespace {
+
+using graph::VertexId;
+using test::MakePartition;
+using test::RoadGraph;
+using test::SocialGraph;
+using test::Topo;
+
+TEST(DoBfsTest, DepthsMatchReference) {
+  const auto g = SocialGraph(10, 51);
+  std::vector<uint32_t> depths;
+  DirectionOptimizedBfs(g, MakePartition(g, 4), Topo(4), 7, {}, &depths);
+  EXPECT_EQ(depths, ref::Bfs(g, 7));
+}
+
+TEST(DoBfsTest, PullEngagesOnSocialGraphs) {
+  // On a small-diameter skewed graph the mid-BFS frontier covers most
+  // edges, which is exactly when pull mode pays off.
+  const auto g = SocialGraph(11, 52);
+  DoBfsStats stats;
+  std::vector<uint32_t> depths;
+  DirectionOptimizedBfs(g, MakePartition(g, 1), Topo(1),
+                        test::MaxDegreeSource(g), {}, &depths, &stats);
+  EXPECT_GT(stats.pull_levels, 0);
+  EXPECT_GT(stats.push_levels, 0) << "first levels always push";
+  EXPECT_EQ(depths, ref::Bfs(g, test::MaxDegreeSource(g)));
+}
+
+TEST(DoBfsTest, PullNeverEngagesOnRoadNetworks) {
+  // Road wavefronts peak at ~8*side edges against ~4*side^2 total, so on a
+  // grid big enough (side > 2*alpha) the alpha fraction is never reached
+  // and the heuristic stays in push mode throughout.
+  const auto g = RoadGraph(80, 53);
+  DoBfsStats stats;
+  DirectionOptimizedBfs(g, MakePartition(g, 2), Topo(2), 0, {}, nullptr,
+                        &stats);
+  EXPECT_EQ(stats.pull_levels, 0);
+}
+
+TEST(DoBfsTest, PullScansFewerEdgesThanPushWould) {
+  const auto g = SocialGraph(11, 54);
+  DoBfsStats stats;
+  DirectionOptimizedBfs(g, MakePartition(g, 1), Topo(1),
+                        test::MaxDegreeSource(g), {}, nullptr, &stats);
+  // Early-exit pull must touch fewer in-edges than the full edge count the
+  // pushed levels would have re-scanned.
+  EXPECT_LT(stats.pulled_edges + stats.pushed_edges, 2 * g.num_edges());
+}
+
+TEST(DoBfsTest, FasterThanForcedPush) {
+  const auto g = SocialGraph(11, 55);
+  const auto part = MakePartition(g, 1);
+  DoBfsOptions adaptive;
+  DoBfsOptions push_only;
+  push_only.alpha = 1e18;  // never switch to pull
+  const auto fast = DirectionOptimizedBfs(g, part, Topo(1),
+                                          test::MaxDegreeSource(g), adaptive);
+  const auto slow = DirectionOptimizedBfs(g, part, Topo(1),
+                                          test::MaxDegreeSource(g), push_only);
+  EXPECT_LT(fast.total_ms, slow.total_ms);
+}
+
+TEST(DoBfsTest, MultiDeviceDepthsStillExact) {
+  const auto g = SocialGraph(10, 56);
+  for (int devices : {2, 5, 8}) {
+    std::vector<uint32_t> depths;
+    DirectionOptimizedBfs(g, MakePartition(g, devices), Topo(devices), 3,
+                          {}, &depths);
+    EXPECT_EQ(depths, ref::Bfs(g, 3)) << devices << " devices";
+  }
+}
+
+}  // namespace
+}  // namespace gum::algos

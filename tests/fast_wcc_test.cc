@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "algos/apps.h"
+#include "algos/reference.h"
+#include "core/engine.h"
+#include "core/fast_wcc.h"
+#include "tests/test_util.h"
+
+namespace gum::core {
+namespace {
+
+using graph::VertexId;
+using test::MakePartition;
+using test::RoadGraph;
+using test::SocialGraphSym;
+using test::Topo;
+
+TEST(FastWccTest, MatchesUnionFindReference) {
+  const auto g = SocialGraphSym(10, 31);
+  std::vector<VertexId> labels;
+  FastWcc(g, MakePartition(g, 8), Topo(8), {}, &labels);
+  EXPECT_EQ(labels, algos::ref::Wcc(g));
+}
+
+TEST(FastWccTest, DiameterIndependentRounds) {
+  const auto g = RoadGraph(32, 32);  // diameter ~64
+  std::vector<VertexId> labels;
+  const RunResult result =
+      FastWcc(g, MakePartition(g, 8), Topo(8), {}, &labels);
+  EXPECT_EQ(labels, algos::ref::Wcc(g));
+  EXPECT_LE(result.iterations, 12);
+}
+
+TEST(FastWccTest, BeatsLabelPropagationOnLongDiameter) {
+  const auto g = RoadGraph(32, 33);
+  const auto part = MakePartition(g, 8);
+  std::vector<VertexId> fast_labels, lp_labels;
+  const RunResult fast = FastWcc(g, part, Topo(8), {}, &fast_labels);
+  algos::WccApp app;
+  const RunResult lp =
+      GumEngine<algos::WccApp>(&g, part, Topo(8), test::TestEngineOptions())
+          .Run(app, &lp_labels);
+  EXPECT_EQ(fast_labels, lp_labels);
+  EXPECT_LT(fast.total_ms, lp.total_ms);
+}
+
+TEST(FastWccTest, AgreesAcrossDeviceCountsAndPartitioners) {
+  const auto g = SocialGraphSym(9, 34);
+  const auto expected = algos::ref::Wcc(g);
+  for (int devices : {1, 3, 8}) {
+    for (auto kind : {graph::PartitionerKind::kSegment,
+                      graph::PartitionerKind::kMetisLike}) {
+      std::vector<VertexId> labels;
+      FastWcc(g, MakePartition(g, devices, kind), Topo(devices), {},
+              &labels);
+      EXPECT_EQ(labels, expected)
+          << devices << " devices, " << graph::PartitionerName(kind);
+    }
+  }
+}
+
+TEST(FastWccTest, TimelineAccountsEveryRound) {
+  const auto g = SocialGraphSym(8, 35);
+  const RunResult result = FastWcc(g, MakePartition(g, 4), Topo(4), {});
+  EXPECT_EQ(result.timeline.num_iterations(), result.iterations);
+  EXPECT_GT(result.ComputeMs(), 0.0);
+  EXPECT_GT(result.OverheadMs(), 0.0);
+  EXPECT_GT(result.edges_processed, 0u);
+}
+
+}  // namespace
+}  // namespace gum::core

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/frontier_features.h"
+#include "graph/generators.h"
+#include "sim/kernel_cost.h"
+
+namespace gum {
+namespace {
+
+using graph::CsrGraph;
+using graph::ExtractFrontierFeatures;
+using graph::FrontierFeatures;
+using graph::VertexId;
+
+CsrGraph Social() {
+  auto g = CsrGraph::FromEdgeList(
+      graph::Rmat({.scale = 10, .edge_factor = 8, .seed = 2}));
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(FeatureTest, EmptyFrontierIsZero) {
+  const CsrGraph g = Social();
+  const FrontierFeatures f = ExtractFrontierFeatures(g, {});
+  for (double x : f.ToArray()) EXPECT_EQ(x, 0.0);
+}
+
+TEST(FeatureTest, SingleVertexFrontier) {
+  const CsrGraph g = Social();
+  const VertexId v = 7;
+  const std::vector<VertexId> frontier = {v};
+  const FrontierFeatures f = ExtractFrontierFeatures(g, frontier);
+  EXPECT_DOUBLE_EQ(f.avg_out_degree, g.OutDegree(v));
+  EXPECT_DOUBLE_EQ(f.avg_in_degree, g.InDegree(v));
+  EXPECT_DOUBLE_EQ(f.out_degree_range, 0.0);
+  EXPECT_DOUBLE_EQ(f.in_degree_range, 0.0);
+  EXPECT_DOUBLE_EQ(f.gini, 0.0);
+}
+
+TEST(FeatureTest, WholeGraphAverageMatchesStats) {
+  const CsrGraph g = Social();
+  std::vector<VertexId> all(g.num_vertices());
+  std::iota(all.begin(), all.end(), VertexId{0});
+  const FrontierFeatures f = ExtractFrontierFeatures(g, all);
+  EXPECT_NEAR(f.avg_out_degree * g.num_vertices(),
+              static_cast<double>(g.num_edges()), 1e-6);
+  EXPECT_GT(f.gini, 0.3) << "RMAT frontier should be skewed";
+  EXPECT_GT(f.entropy, 0.0);
+  EXPECT_LE(f.entropy, 1.0);
+}
+
+TEST(FeatureTest, HubFrontierMoreSkewedThanUniform) {
+  const CsrGraph g = Social();
+  // Top-degree frontier vs bottom-degree frontier: ranges differ.
+  std::vector<VertexId> all(g.num_vertices());
+  std::iota(all.begin(), all.end(), VertexId{0});
+  std::sort(all.begin(), all.end(), [&](VertexId a, VertexId b) {
+    return g.OutDegree(a) > g.OutDegree(b);
+  });
+  const std::vector<VertexId> hubs(all.begin(), all.begin() + 32);
+  const std::vector<VertexId> tails(all.end() - 32, all.end());
+  const FrontierFeatures fh = ExtractFrontierFeatures(g, hubs);
+  const FrontierFeatures ft = ExtractFrontierFeatures(g, tails);
+  EXPECT_GT(fh.avg_out_degree, ft.avg_out_degree);
+}
+
+TEST(FeatureTest, ToArrayOrderStable) {
+  FrontierFeatures f;
+  f.avg_in_degree = 1;
+  f.avg_out_degree = 2;
+  f.in_degree_range = 3;
+  f.out_degree_range = 4;
+  f.gini = 5;
+  f.entropy = 6;
+  const auto arr = f.ToArray();
+  EXPECT_EQ(arr, (std::array<double, 6>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(KernelCostTest, PositiveAndFinite) {
+  const sim::DeviceParams dev;
+  FrontierFeatures f;
+  EXPECT_GT(sim::TrueEdgeCostNs(f, dev), 0.0);
+  f.avg_out_degree = 1e6;
+  f.gini = 0.99;
+  f.out_degree_range = 1e7;
+  f.avg_in_degree = 1e6;
+  const double cost = sim::TrueEdgeCostNs(f, dev);
+  EXPECT_GT(cost, 0.0);
+  EXPECT_LT(cost, 1e4) << "cost should stay in a sane ns range";
+}
+
+TEST(KernelCostTest, SkewIncreasesCost) {
+  const sim::DeviceParams dev;
+  FrontierFeatures regular;
+  regular.avg_out_degree = 8;
+  regular.avg_in_degree = 8;
+  regular.entropy = 1.0;
+  FrontierFeatures skewed = regular;
+  skewed.gini = 0.8;
+  skewed.out_degree_range = 5000;
+  EXPECT_GT(sim::TrueEdgeCostNs(skewed, dev),
+            sim::TrueEdgeCostNs(regular, dev));
+}
+
+TEST(KernelCostTest, HubTargetsIncreaseAtomicCost) {
+  const sim::DeviceParams dev;
+  FrontierFeatures base;
+  base.avg_out_degree = 8;
+  base.entropy = 0.9;
+  FrontierFeatures hubby = base;
+  hubby.avg_in_degree = 4096;
+  EXPECT_GT(sim::TrueEdgeCostNs(hubby, dev), sim::TrueEdgeCostNs(base, dev));
+}
+
+TEST(KernelCostTest, ScalesWithDeviceBaseRate) {
+  sim::DeviceParams fast;
+  sim::DeviceParams slow;
+  slow.base_edge_ns = fast.base_edge_ns * 3;
+  FrontierFeatures f;
+  f.avg_out_degree = 10;
+  f.entropy = 0.8;
+  EXPECT_GT(sim::TrueEdgeCostNs(f, slow), sim::TrueEdgeCostNs(f, fast));
+}
+
+}  // namespace
+}  // namespace gum

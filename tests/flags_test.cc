@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace gum {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, KeyValueForm) {
+  const auto flags = Parse({"--algo=bfs", "--devices=8"});
+  EXPECT_EQ(flags.GetString("algo", "x"), "bfs");
+  EXPECT_EQ(flags.GetInt("devices", 0), 8);
+}
+
+TEST(FlagsTest, SeparatedValueForm) {
+  const auto flags = Parse({"--algo", "sssp", "--scale", "12"});
+  EXPECT_EQ(flags.GetString("algo", ""), "sssp");
+  EXPECT_EQ(flags.GetInt("scale", 0), 12);
+}
+
+TEST(FlagsTest, BareBooleans) {
+  const auto flags = Parse({"--timeline", "--weighted"});
+  EXPECT_TRUE(flags.GetBool("timeline", false));
+  EXPECT_TRUE(flags.GetBool("weighted", false));
+  EXPECT_FALSE(flags.GetBool("missing", false));
+  EXPECT_TRUE(flags.GetBool("missing", true));
+}
+
+TEST(FlagsTest, ExplicitBooleanValues) {
+  const auto flags = Parse({"--a=true", "--b=0", "--c=off", "--d=garbage"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_FALSE(flags.GetBool("c", true));
+  EXPECT_TRUE(flags.GetBool("d", true)) << "garbage falls back to default";
+}
+
+TEST(FlagsTest, Doubles) {
+  const auto flags = Parse({"--epsilon=1e-9", "--factor=2.5"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("epsilon", 0), 1e-9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("factor", 0), 2.5);
+}
+
+TEST(FlagsTest, MalformedNumbersFallBack) {
+  const auto flags = Parse({"--n=12x", "--f=abc"});
+  EXPECT_EQ(flags.GetInt("n", -1), -1);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("f", -2.0), -2.0);
+}
+
+TEST(FlagsTest, Positional) {
+  const auto flags = Parse({"input.txt", "--algo=bfs", "output.txt"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, DoubleDashEndsFlags) {
+  const auto flags = Parse({"--a=1", "--", "--not-a-flag"});
+  EXPECT_TRUE(flags.Has("a"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "--not-a-flag");
+}
+
+TEST(FlagsTest, KnownFlagsOnlyValidation) {
+  const auto flags = Parse({"--good=1", "--bad=2"});
+  EXPECT_TRUE(flags.KnownFlagsOnly({"good", "bad"}).ok());
+  const Status s = flags.KnownFlagsOnly({"good"});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("--bad"), std::string::npos);
+}
+
+TEST(FlagsTest, SeparatedNegativeNumberValue) {
+  // "--x -5": -5 does not start with "--", so it is consumed as the value.
+  const auto flags = Parse({"--x", "-5"});
+  EXPECT_EQ(flags.GetInt("x", 0), -5);
+}
+
+}  // namespace
+}  // namespace gum

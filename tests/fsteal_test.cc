@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/fsteal.h"
+#include "graph/generators.h"
+
+namespace gum::core {
+namespace {
+
+using graph::CsrGraph;
+using graph::FrontierFeatures;
+using graph::VertexId;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<FrontierFeatures> UniformFeatures(int n) {
+  std::vector<FrontierFeatures> f(n);
+  for (auto& w : f) {
+    w.avg_out_degree = 8;
+    w.avg_in_degree = 8;
+    w.entropy = 0.9;
+  }
+  return f;
+}
+
+std::vector<int> AllWorkers(int n) {
+  std::vector<int> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+TEST(CostMatrixTest, LocalCheaperThanRemote) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
+  const auto cost = BuildCostMatrix(UniformFeatures(8),
+                                    std::vector<double>(8, 1.0), model, topo,
+                                    AllWorkers(8));
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      if (i != j) {
+        EXPECT_LT(cost[i][i], cost[i][j]);
+      }
+    }
+  }
+}
+
+TEST(CostMatrixTest, DoubleLaneCheaperThanSingleLane) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
+  const auto cost = BuildCostMatrix(UniformFeatures(8),
+                                    std::vector<double>(8, 1.0), model, topo,
+                                    AllWorkers(8));
+  // 0-3 has two lanes, 0-1 has one: processing 0's edges on 3 is cheaper
+  // than on 1 (paper §III-B intuition).
+  EXPECT_LT(cost[0][3], cost[0][1]);
+}
+
+TEST(CostMatrixTest, EvictedColumnsInfinite) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
+  const auto cost = BuildCostMatrix(UniformFeatures(8),
+                                    std::vector<double>(8, 1.0), model, topo,
+                                    {0, 3});
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(cost[i][5], kInf);
+    EXPECT_LT(cost[i][0], kInf);
+    EXPECT_LT(cost[i][3], kInf);
+  }
+}
+
+TEST(CostMatrixTest, HubDiscountReducesRemoteCost) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
+  std::vector<double> no_cache(8, 1.0), cached(8, 0.2);
+  const auto plain = BuildCostMatrix(UniformFeatures(8), no_cache, model,
+                                     topo, AllWorkers(8));
+  const auto disc = BuildCostMatrix(UniformFeatures(8), cached, model, topo,
+                                    AllWorkers(8));
+  EXPECT_LT(disc[0][7], plain[0][7]);
+  EXPECT_DOUBLE_EQ(disc[0][0], plain[0][0]);  // local unaffected
+}
+
+TEST(DecideFStealTest, BelowT1KeepsIdentity) {
+  const auto topo = sim::Topology::FullyConnected(4);
+  const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
+  const auto cost = BuildCostMatrix(UniformFeatures(4),
+                                    std::vector<double>(4, 1.0), model, topo,
+                                    AllWorkers(4));
+  FStealConfig config;
+  config.t1_min_max_load = 1000;
+  const std::vector<double> loads = {500, 10, 10, 10};  // max < t1
+  std::vector<int> owners = {0, 1, 2, 3};
+  const auto dec = DecideFSteal(cost, loads, owners, AllWorkers(4), config);
+  EXPECT_FALSE(dec.applied);
+  EXPECT_DOUBLE_EQ(dec.assignment[0][0], 500.0);
+}
+
+TEST(DecideFStealTest, BalancedLoadSkipsViaT2) {
+  const auto topo = sim::Topology::FullyConnected(4);
+  const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
+  const auto cost = BuildCostMatrix(UniformFeatures(4),
+                                    std::vector<double>(4, 1.0), model, topo,
+                                    AllWorkers(4));
+  FStealConfig config;
+  config.t1_min_max_load = 100;
+  config.t2_min_imbalance = 500;
+  const std::vector<double> loads = {10000, 9900, 9800, 9700};
+  std::vector<int> owners = {0, 1, 2, 3};
+  const auto dec = DecideFSteal(cost, loads, owners, AllWorkers(4), config);
+  EXPECT_FALSE(dec.applied) << "imbalance below t2 must not steal";
+}
+
+TEST(DecideFStealTest, SkewTriggersStealing) {
+  const auto topo = sim::Topology::FullyConnected(4);
+  const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
+  const auto cost = BuildCostMatrix(UniformFeatures(4),
+                                    std::vector<double>(4, 1.0), model, topo,
+                                    AllWorkers(4));
+  FStealConfig config;
+  config.t1_min_max_load = 0;
+  config.t2_min_imbalance = 0;
+  const std::vector<double> loads = {100000, 0, 0, 0};
+  std::vector<int> owners = {0, 1, 2, 3};
+  const auto dec = DecideFSteal(cost, loads, owners, AllWorkers(4), config);
+  EXPECT_TRUE(dec.applied);
+  double stolen = 0;
+  for (int j = 1; j < 4; ++j) stolen += dec.assignment[0][j];
+  EXPECT_GT(stolen, 10000.0);
+  // Conservation.
+  double total = 0;
+  for (int j = 0; j < 4; ++j) total += dec.assignment[0][j];
+  EXPECT_NEAR(total, 100000.0, 1e-6);
+}
+
+TEST(DecideFStealTest, GreedyModeAlsoBalances) {
+  const auto topo = sim::Topology::FullyConnected(4);
+  const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
+  const auto cost = BuildCostMatrix(UniformFeatures(4),
+                                    std::vector<double>(4, 1.0), model, topo,
+                                    AllWorkers(4));
+  FStealConfig config;
+  config.t1_min_max_load = 0;
+  config.t2_min_imbalance = 0;
+  config.use_greedy = true;
+  // Several whole fragments so the greedy (which cannot split) can balance.
+  const std::vector<double> loads = {10000, 10000, 10000, 0};
+  std::vector<int> owners = {0, 0, 0, 3};  // device 0 owns everything
+  const auto dec = DecideFSteal(cost, loads, owners, AllWorkers(4), config);
+  EXPECT_TRUE(dec.applied);
+}
+
+TEST(SelectStolenRangesTest, PartitionsWholeFrontier) {
+  auto g = graph::CsrGraph::FromEdgeList(
+      graph::Rmat({.scale = 9, .edge_factor = 6, .seed = 8}));
+  ASSERT_TRUE(g.ok());
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < 200; ++v) frontier.push_back(v * 2);
+  double total_edges = 0;
+  for (VertexId v : frontier) total_edges += g->OutDegree(v);
+
+  std::vector<double> quota(4, 0.0);
+  quota[0] = std::floor(total_edges * 0.5);
+  quota[1] = std::floor(total_edges * 0.3);
+  quota[3] = total_edges - quota[0] - quota[1];
+  const auto ranges =
+      SelectStolenRanges(*g, frontier, quota, {0, 1, 2, 3});
+  ASSERT_EQ(ranges.size(), 4u);
+  // Contiguous cover of [0, frontier.size()).
+  size_t cursor = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, cursor);
+    EXPECT_GE(end, begin);
+    cursor = end;
+  }
+  EXPECT_EQ(cursor, frontier.size());
+  // Zero-quota worker 2 gets nothing.
+  EXPECT_EQ(ranges[2].first, ranges[2].second);
+}
+
+TEST(SelectStolenRangesTest, EdgeQuotasApproximatelyRespected) {
+  auto g = graph::CsrGraph::FromEdgeList(
+      graph::Rmat({.scale = 10, .edge_factor = 8, .seed = 9}));
+  ASSERT_TRUE(g.ok());
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < 500; ++v) frontier.push_back(v);
+  double total = 0;
+  uint32_t max_deg = 0;
+  for (VertexId v : frontier) {
+    total += g->OutDegree(v);
+    max_deg = std::max(max_deg, g->OutDegree(v));
+  }
+  std::vector<double> quota = {total / 2, total / 2};
+  const auto ranges = SelectStolenRanges(*g, frontier, quota, {0, 1});
+  double first = 0;
+  for (size_t k = ranges[0].first; k < ranges[0].second; ++k) {
+    first += g->OutDegree(frontier[k]);
+  }
+  // Off by at most one vertex's adjacency (vertex granularity).
+  EXPECT_NEAR(first, total / 2, static_cast<double>(max_deg) + 1);
+}
+
+TEST(SelectStolenRangesTest, AllQuotaToOneWorker) {
+  auto g = graph::CsrGraph::FromEdgeList(
+      graph::Rmat({.scale = 8, .seed = 10}));
+  ASSERT_TRUE(g.ok());
+  std::vector<VertexId> frontier = {1, 5, 9, 13};
+  double total = 0;
+  for (VertexId v : frontier) total += g->OutDegree(v);
+  const auto ranges =
+      SelectStolenRanges(*g, frontier, {0.0, total, 0.0}, {0, 1, 2});
+  EXPECT_EQ(ranges[0].first, ranges[0].second);
+  EXPECT_EQ(ranges[1].first, 0u);
+  EXPECT_EQ(ranges[1].second, frontier.size());
+  EXPECT_EQ(ranges[2].first, ranges[2].second);
+}
+
+}  // namespace
+}  // namespace gum::core

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/milp.h"
+
+namespace gum::solver {
+namespace {
+
+// Classic knapsack-style MILP where the LP relaxation is fractional:
+// max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6, x,y integer.
+// LP optimum (3, 1.5) value 21; integer optimum (4, 0)? 6*4=24 ok, 4+0<=6 ok,
+// value 20? also (2,2): 5*2+4*2=18. (3,1): 19. (4,0): 20. So 20.
+TEST(MilpTest, FractionalRelaxationBranches) {
+  LinearProgram lp;
+  lp.AddVariable(-5.0);
+  lp.AddVariable(-4.0);
+  lp.AddRow({{6.0, 4.0}, RowType::kLessEqual, 24.0});
+  lp.AddRow({{1.0, 2.0}, RowType::kLessEqual, 6.0});
+  auto sol = SolveMilp(lp, {true, true});
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, -20.0, 1e-6);
+  EXPECT_NEAR(sol->x[0], 4.0, 1e-6);
+  EXPECT_NEAR(sol->x[1], 0.0, 1e-6);
+  EXPECT_TRUE(sol->proven_optimal);
+}
+
+TEST(MilpTest, AlreadyIntegralRelaxationNeedsNoBranching) {
+  LinearProgram lp;
+  lp.AddVariable(1.0);
+  lp.AddRow({{1.0}, RowType::kGreaterEqual, 3.0});
+  auto sol = SolveMilp(lp, {true});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 3.0, 1e-9);
+  EXPECT_LE(sol->nodes_explored, 2);
+}
+
+TEST(MilpTest, MixedIntegerAndContinuous) {
+  // min x + 0.5 y  s.t. x + y >= 3.7, x integer, y continuous in [0, 0.5].
+  // The relaxation picks x = 3.2; branching down (x <= 3) forces y >= 0.7,
+  // infeasible; branching up gives x = 4, y = 0, value 4.0.
+  LinearProgram lp;
+  lp.AddVariable(1.0);
+  lp.AddVariable(0.5);
+  lp.AddRow({{1.0, 1.0}, RowType::kGreaterEqual, 3.7});
+  lp.AddRow({{0.0, 1.0}, RowType::kLessEqual, 0.5});
+  auto sol = SolveMilp(lp, {true, false});
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->x[0], 4.0, 1e-6);
+  EXPECT_NEAR(sol->x[1], 0.0, 1e-6);
+  EXPECT_NEAR(sol->objective, 4.0, 1e-6);
+}
+
+TEST(MilpTest, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  LinearProgram lp;
+  lp.AddVariable(1.0);
+  lp.AddRow({{1.0}, RowType::kGreaterEqual, 0.4});
+  lp.AddRow({{1.0}, RowType::kLessEqual, 0.6});
+  auto sol = SolveMilp(lp, {true});
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(MilpTest, InfeasibleLpPropagates) {
+  LinearProgram lp;
+  lp.AddVariable(1.0);
+  lp.AddRow({{1.0}, RowType::kLessEqual, 1.0});
+  lp.AddRow({{1.0}, RowType::kGreaterEqual, 2.0});
+  auto sol = SolveMilp(lp, {true});
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(MilpTest, SizeMismatchRejected) {
+  LinearProgram lp;
+  lp.AddVariable(1.0);
+  EXPECT_FALSE(SolveMilp(lp, {true, false}).ok());
+}
+
+TEST(MilpTest, EqualityWithIntegers) {
+  // min 3x + 2y s.t. x + y = 5, x,y >= 0 integer => (0,5) cost 10.
+  LinearProgram lp;
+  lp.AddVariable(3.0);
+  lp.AddVariable(2.0);
+  lp.AddRow({{1.0, 1.0}, RowType::kEqual, 5.0});
+  auto sol = SolveMilp(lp, {true, true});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 10.0, 1e-6);
+  EXPECT_NEAR(sol->x[1], 5.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace gum::solver

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "algos/apps.h"
+#include "algos/near_far_sssp.h"
+#include "algos/reference.h"
+#include "core/engine.h"
+#include "tests/test_util.h"
+
+namespace gum::algos {
+namespace {
+
+using graph::VertexId;
+using test::MakePartition;
+using test::MaxDegreeSource;
+using test::RoadGraph;
+using test::SocialGraph;
+using test::Topo;
+
+TEST(NearFarTest, DistancesMatchDijkstraOnSocial) {
+  const auto g = SocialGraph(10, 61, /*weighted=*/true);
+  std::vector<float> dist;
+  NearFarSssp(g, MakePartition(g, 1), Topo(1), 5, {}, &dist);
+  const auto expected = ref::Sssp(g, 5);
+  for (size_t v = 0; v < dist.size(); ++v) {
+    ASSERT_EQ(dist[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(NearFarTest, DistancesMatchDijkstraOnRoad) {
+  const auto g = RoadGraph(40, 62);
+  std::vector<float> dist;
+  NearFarSssp(g, MakePartition(g, 1), Topo(1), 0, {}, &dist);
+  const auto expected = ref::Sssp(g, 0);
+  for (size_t v = 0; v < dist.size(); ++v) {
+    ASSERT_EQ(dist[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(NearFarTest, UnweightedGraphWorks) {
+  const auto g = SocialGraph(9, 63, /*weighted=*/false);
+  std::vector<float> dist;
+  NearFarSssp(g, MakePartition(g, 1), Topo(1), 2, {}, &dist);
+  const auto expected = ref::Sssp(g, 2);
+  for (size_t v = 0; v < dist.size(); ++v) EXPECT_EQ(dist[v], expected[v]);
+}
+
+TEST(NearFarTest, UsesMultipleBands) {
+  const auto g = RoadGraph(32, 64);
+  NearFarStats stats;
+  NearFarSssp(g, MakePartition(g, 1), Topo(1), 0, {}, nullptr, &stats);
+  EXPECT_GT(stats.bands, 4) << "long weighted paths need many bands";
+  EXPECT_GT(stats.far_pile_moves, 0u);
+}
+
+TEST(NearFarTest, FewerRelaxationsThanPlainBellmanFord) {
+  // The pile discipline avoids re-relaxing vertices whose distance will
+  // still drop; compare total relaxations against the frontier engine.
+  const auto g = SocialGraph(10, 65, /*weighted=*/true);
+  const VertexId source = MaxDegreeSource(g);
+  NearFarStats stats;
+  NearFarSssp(g, MakePartition(g, 1), Topo(1), source, {}, nullptr, &stats);
+
+  auto opt = test::TestEngineOptions();
+  opt.enable_fsteal = false;
+  opt.enable_osteal = false;
+  core::GumEngine<SsspApp> engine(&g, MakePartition(g, 1), Topo(1), opt);
+  SsspApp app;
+  app.source = source;
+  const core::RunResult plain = engine.Run(app);
+  EXPECT_LT(stats.relaxations, plain.edges_processed);
+}
+
+TEST(NearFarTest, MultiDeviceStillExact) {
+  const auto g = SocialGraph(9, 66, /*weighted=*/true);
+  for (int devices : {2, 4}) {
+    std::vector<float> dist;
+    NearFarSssp(g, MakePartition(g, devices), Topo(devices), 1, {}, &dist);
+    const auto expected = ref::Sssp(g, 1);
+    for (size_t v = 0; v < dist.size(); ++v) {
+      ASSERT_EQ(dist[v], expected[v]) << devices << " devices, v=" << v;
+    }
+  }
+}
+
+TEST(NearFarTest, ExplicitDeltaRespected) {
+  const auto g = RoadGraph(24, 67);
+  NearFarStats coarse_stats, fine_stats;
+  NearFarOptions coarse;
+  coarse.delta = 1e9;  // one giant band: degenerates to Bellman-Ford
+  NearFarOptions fine;
+  fine.delta = 2.0;
+  NearFarSssp(g, MakePartition(g, 1), Topo(1), 0, coarse, nullptr,
+              &coarse_stats);
+  NearFarSssp(g, MakePartition(g, 1), Topo(1), 0, fine, nullptr,
+              &fine_stats);
+  EXPECT_EQ(coarse_stats.bands, 1);
+  EXPECT_GT(fine_stats.bands, 10);
+  EXPECT_LE(fine_stats.relaxations, coarse_stats.relaxations);
+}
+
+}  // namespace
+}  // namespace gum::algos

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/fsteal.h"
+#include "core/osteal.h"
+#include "sim/reduction_schedule.h"
+
+namespace gum::core {
+namespace {
+
+std::vector<std::vector<double>> UniformCost(int n, double local,
+                                             double remote) {
+  std::vector<std::vector<double>> c(n, std::vector<double>(n, remote));
+  for (int i = 0; i < n; ++i) c[i][i] = local;
+  return c;
+}
+
+TEST(OStealTest, TinyWorkloadShrinksToOne) {
+  const auto schedule =
+      sim::ReductionSchedule::Build(sim::Topology::HybridCubeMesh8());
+  // A handful of edges per fragment; sync costs 100us per peer.
+  const auto cost = UniformCost(8, 1.0, 2.0);  // ns/edge
+  const std::vector<double> loads = {3, 1, 0, 2, 0, 0, 1, 0};
+  const auto dec =
+      DecideOSteal(cost, loads, schedule, /*sync_per_peer_ns=*/100000.0, {});
+  EXPECT_EQ(dec.group_size, 1);
+  EXPECT_EQ(dec.active.size(), 1u);
+}
+
+TEST(OStealTest, HeavyWorkloadKeepsAllDevices) {
+  const auto schedule =
+      sim::ReductionSchedule::Build(sim::Topology::HybridCubeMesh8());
+  const auto cost = UniformCost(8, 1.0, 1.2);
+  std::vector<double> loads(8, 5e7);  // 50M edges each
+  const auto dec =
+      DecideOSteal(cost, loads, schedule, /*sync_per_peer_ns=*/100000.0, {});
+  EXPECT_EQ(dec.group_size, 8);
+}
+
+TEST(OStealTest, IntermediateWorkloadPicksMiddleGroup) {
+  const auto schedule =
+      sim::ReductionSchedule::Build(sim::Topology::HybridCubeMesh8());
+  const auto cost = UniformCost(8, 1.0, 1.1);
+  // Total work W, m workers => z ~ W*1.05/m, overhead = p*m.
+  // Optimum m = sqrt(W*1.05/p). Choose W so optimum ~ 3-5.
+  const double p = 100000.0;
+  std::vector<double> loads(8, 2e5);  // W = 1.6e6 => m* ~ sqrt(16.8) ~ 4
+  const auto dec = DecideOSteal(cost, loads, schedule, p, {});
+  EXPECT_GE(dec.group_size, 2);
+  EXPECT_LE(dec.group_size, 6);
+}
+
+TEST(OStealTest, OwnerVectorConsistentWithActive) {
+  const auto schedule =
+      sim::ReductionSchedule::Build(sim::Topology::HybridCubeMesh8());
+  const auto cost = UniformCost(8, 1.0, 2.0);
+  const std::vector<double> loads = {10, 10, 10, 10, 10, 10, 10, 10};
+  const auto dec =
+      DecideOSteal(cost, loads, schedule, /*sync_per_peer_ns=*/50000.0, {});
+  ASSERT_EQ(static_cast<int>(dec.active.size()), dec.group_size);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(std::find(dec.active.begin(), dec.active.end(), dec.owner[i]),
+              dec.active.end());
+  }
+}
+
+TEST(OStealTest, ZeroSyncCostNeverShrinks) {
+  const auto schedule =
+      sim::ReductionSchedule::Build(sim::Topology::HybridCubeMesh8());
+  const auto cost = UniformCost(8, 1.0, 1.5);
+  std::vector<double> loads(8, 1000);
+  const auto dec = DecideOSteal(cost, loads, schedule, 0.0, {});
+  // With free synchronization, more parallelism is never worse.
+  EXPECT_EQ(dec.group_size, 8);
+}
+
+TEST(OStealTest, GreedyModeProducesValidDecision) {
+  const auto schedule =
+      sim::ReductionSchedule::Build(sim::Topology::HybridCubeMesh8());
+  const auto cost = UniformCost(8, 1.0, 2.0);
+  OStealConfig config;
+  config.use_greedy = true;
+  const std::vector<double> loads = {5, 0, 0, 0, 0, 0, 0, 0};
+  const auto dec = DecideOSteal(cost, loads, schedule, 100000.0, config);
+  EXPECT_EQ(dec.group_size, 1);
+}
+
+TEST(OStealTest, PredictedCostMatchesEquationFour) {
+  // With one loaded fragment and uniform costs, z = load * c and the total
+  // is z + p*m; verify for m=1 directly.
+  const auto schedule =
+      sim::ReductionSchedule::Build(sim::Topology::FullyConnected(2));
+  const auto cost = UniformCost(2, 2.0, 3.0);
+  const std::vector<double> loads = {100, 0};
+  const double p = 1000.0;
+  const auto dec = DecideOSteal(cost, loads, schedule, p, {});
+  // m=1 options: either device alone. If device 0 survives: z=200;
+  // if device 1: z=300. Schedule picks its canonical survivor; m=2 would be
+  // z>=120 (split) + 2000 sync. Best should be m=1 with cost ~ z + 1000.
+  EXPECT_EQ(dec.group_size, 1);
+  EXPECT_NEAR(dec.predicted_cost_ns,
+              (dec.active[0] == 0 ? 200.0 : 300.0) + p, 1e-6);
+}
+
+}  // namespace
+}  // namespace gum::core

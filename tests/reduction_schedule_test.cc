@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/reduction_schedule.h"
+
+namespace gum::sim {
+namespace {
+
+TEST(ReductionScheduleTest, FullOwnershipAtMaxGroupSize) {
+  const auto schedule =
+      ReductionSchedule::Build(Topology::HybridCubeMesh8());
+  const auto owner = schedule.OwnerVectorFor(8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(owner[i], i);
+  EXPECT_EQ(schedule.ActiveFor(8).size(), 8u);
+}
+
+TEST(ReductionScheduleTest, SingleOwnerAtGroupSizeOne) {
+  const auto schedule =
+      ReductionSchedule::Build(Topology::HybridCubeMesh8());
+  const auto owner = schedule.OwnerVectorFor(1);
+  const auto active = schedule.ActiveFor(1);
+  ASSERT_EQ(active.size(), 1u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(owner[i], active[0]);
+}
+
+TEST(ReductionScheduleTest, OwnersAlwaysActive) {
+  const auto schedule =
+      ReductionSchedule::Build(Topology::HybridCubeMesh8());
+  for (int m = 1; m <= 8; ++m) {
+    const auto owner = schedule.OwnerVectorFor(m);
+    const auto active = schedule.ActiveFor(m);
+    EXPECT_EQ(static_cast<int>(active.size()), m);
+    const std::set<int> active_set(active.begin(), active.end());
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(active_set.count(owner[i]))
+          << "fragment " << i << " owned by evicted device " << owner[i]
+          << " at m=" << m;
+    }
+  }
+}
+
+TEST(ReductionScheduleTest, ActiveSetsAreNested) {
+  const auto schedule =
+      ReductionSchedule::Build(Topology::HybridCubeMesh8());
+  for (int m = 8; m > 1; --m) {
+    const auto larger = schedule.ActiveFor(m);
+    const auto smaller = schedule.ActiveFor(m - 1);
+    const std::set<int> larger_set(larger.begin(), larger.end());
+    for (int d : smaller) EXPECT_TRUE(larger_set.count(d));
+  }
+}
+
+TEST(ReductionScheduleTest, StepsCoverAllDevicesOnce) {
+  const auto schedule =
+      ReductionSchedule::Build(Topology::HybridCubeMesh8());
+  ASSERT_EQ(schedule.steps().size(), 7u);
+  std::set<int> victims;
+  for (const ReductionStep& s : schedule.steps()) {
+    EXPECT_NE(s.victim, s.receiver);
+    EXPECT_TRUE(victims.insert(s.victim).second) << "victim evicted twice";
+  }
+}
+
+TEST(ReductionScheduleTest, ReceiverWellConnectedToVictim) {
+  const Topology topo = Topology::HybridCubeMesh8();
+  const auto schedule = ReductionSchedule::Build(topo);
+  // Each victim hands its fragments to a peer reachable at better-than-PCIe
+  // bandwidth (NVLink direct or routed).
+  for (const ReductionStep& s : schedule.steps()) {
+    EXPECT_GT(topo.EffectiveBandwidth(s.victim, s.receiver),
+              Topology::kPcieGBps);
+  }
+}
+
+TEST(ReductionScheduleTest, ResidualBandwidthDecaysGracefully) {
+  const Topology topo = Topology::HybridCubeMesh8();
+  const auto schedule = ReductionSchedule::Build(topo);
+  // Evicting the first device should cost at most 2 of the 24 lanes' worth
+  // per step early on (the schedule maximizes the residual bandwidth).
+  const double full = topo.AggregateBandwidth(schedule.ActiveFor(8));
+  const double after1 = topo.AggregateBandwidth(schedule.ActiveFor(7));
+  EXPECT_GE(after1, full - 150.0);
+  EXPECT_GT(after1, 0.0);
+}
+
+TEST(ReductionScheduleTest, TwoDeviceTopology) {
+  const auto schedule = ReductionSchedule::Build(Topology::FullyConnected(2));
+  EXPECT_EQ(schedule.steps().size(), 1u);
+  EXPECT_EQ(schedule.OwnerVectorFor(2), (std::vector<int>{0, 1}));
+  const auto owner1 = schedule.OwnerVectorFor(1);
+  EXPECT_EQ(owner1[0], owner1[1]);
+}
+
+TEST(ReductionScheduleTest, ChainedOwnershipFollowsReceivers) {
+  // Even through multiple eviction steps, each fragment's final owner must
+  // be the end of the receiver chain.
+  const auto schedule =
+      ReductionSchedule::Build(Topology::HybridCubeMesh8());
+  const auto owner2 = schedule.OwnerVectorFor(2);
+  const auto active2 = schedule.ActiveFor(2);
+  int covered = 0;
+  for (int d : active2) {
+    covered += static_cast<int>(
+        std::count(owner2.begin(), owner2.end(), d));
+  }
+  EXPECT_EQ(covered, 8);
+}
+
+}  // namespace
+}  // namespace gum::sim

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "core/run_result.h"
+
+namespace gum::core {
+namespace {
+
+TEST(RunResultTest, BucketHelpersSumTimeline) {
+  RunResult r;
+  r.timeline = sim::Timeline(2);
+  r.timeline.Add(0, 0, sim::TimeCategory::kCompute, 3.0);
+  r.timeline.Add(0, 1, sim::TimeCategory::kCommunication, 2.0);
+  r.timeline.Add(1, 0, sim::TimeCategory::kSerialization, 1.0);
+  r.timeline.Add(1, 1, sim::TimeCategory::kOverhead, 4.0);
+  EXPECT_DOUBLE_EQ(r.ComputeMs(), 3.0);
+  EXPECT_DOUBLE_EQ(r.CommunicationMs(), 2.0);
+  EXPECT_DOUBLE_EQ(r.SerializationMs(), 1.0);
+  EXPECT_DOUBLE_EQ(r.OverheadMs(), 4.0);
+}
+
+TEST(RunResultTest, StarvationIsIdleWhileOthersWork) {
+  RunResult r;
+  r.timeline = sim::Timeline(2);
+  // Iteration 0: dev0 busy 5, dev1 busy 2 => dev1 starves 3.
+  r.timeline.Add(0, 0, sim::TimeCategory::kCompute, 5.0);
+  r.timeline.Add(0, 1, sim::TimeCategory::kCompute, 2.0);
+  EXPECT_DOUBLE_EQ(r.StarvationMs(), 3.0);
+}
+
+TEST(RunResultTest, IdleDevicesDoNotStarve) {
+  RunResult r;
+  r.timeline = sim::Timeline(4);
+  r.timeline.Add(0, 0, sim::TimeCategory::kCompute, 5.0);
+  // Devices 1-3 fully idle (evicted by OSteal): not counted as starvation.
+  EXPECT_DOUBLE_EQ(r.StarvationMs(), 0.0);
+}
+
+TEST(RunResultTest, RemoteBytesExcludeDiagonal) {
+  RunResult r;
+  r.link_bytes = {{100.0, 10.0}, {20.0, 200.0}};
+  EXPECT_DOUBLE_EQ(r.TotalRemoteBytes(), 30.0);
+}
+
+TEST(RunResultTest, EmptyResultIsZero) {
+  RunResult r;
+  EXPECT_DOUBLE_EQ(r.TotalRemoteBytes(), 0.0);
+  EXPECT_DOUBLE_EQ(r.StarvationMs(), 0.0);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+}  // namespace
+}  // namespace gum::core

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "solver/simplex.h"
+
+namespace gum::solver {
+namespace {
+
+// max x + y  s.t. x + 2y <= 4, 3x + y <= 6   =>  min -x - y.
+// Optimum at intersection: x = 8/5, y = 6/5, value 14/5.
+TEST(SimplexTest, TwoVarInequalities) {
+  LinearProgram lp;
+  lp.AddVariable(-1.0);
+  lp.AddVariable(-1.0);
+  lp.AddRow({{1.0, 2.0}, RowType::kLessEqual, 4.0});
+  lp.AddRow({{3.0, 1.0}, RowType::kLessEqual, 6.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, -14.0 / 5.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 8.0 / 5.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 6.0 / 5.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + y  s.t. x + y = 10, x <= 4  => x=4, y=6? No: min x+y with x+y=10
+  // is exactly 10 everywhere feasible; check feasibility and value.
+  LinearProgram lp;
+  lp.AddVariable(1.0);
+  lp.AddVariable(1.0);
+  lp.AddRow({{1.0, 1.0}, RowType::kEqual, 10.0});
+  lp.AddRow({{1.0, 0.0}, RowType::kLessEqual, 4.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 10.0, 1e-9);
+  EXPECT_NEAR(sol->x[0] + sol->x[1], 10.0, 1e-9);
+  EXPECT_LE(sol->x[0], 4.0 + 1e-9);
+}
+
+TEST(SimplexTest, GreaterEqualConstraint) {
+  // min 2x + 3y  s.t. x + y >= 4, x >= 1  => x=4,y=0: cost 8.
+  LinearProgram lp;
+  lp.AddVariable(2.0);
+  lp.AddVariable(3.0);
+  lp.AddRow({{1.0, 1.0}, RowType::kGreaterEqual, 4.0});
+  lp.AddRow({{1.0, 0.0}, RowType::kGreaterEqual, 1.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 8.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  LinearProgram lp;
+  lp.AddVariable(1.0);
+  lp.AddRow({{1.0}, RowType::kLessEqual, 1.0});
+  lp.AddRow({{1.0}, RowType::kGreaterEqual, 2.0});
+  auto sol = SolveLp(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LinearProgram lp;
+  lp.AddVariable(-1.0);  // maximize x with no upper bound
+  lp.AddRow({{-1.0}, RowType::kLessEqual, 0.0});  // x >= 0 (redundant)
+  auto sol = SolveLp(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // x - y <= -2  (i.e. y >= x + 2), min y => with x >= 0: x=0, y=2.
+  LinearProgram lp;
+  lp.AddVariable(0.0);
+  lp.AddVariable(1.0);
+  lp.AddRow({{1.0, -1.0}, RowType::kLessEqual, -2.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LinearProgram lp;
+  lp.AddVariable(-1.0);
+  lp.AddVariable(-1.0);
+  lp.AddRow({{1.0, 0.0}, RowType::kLessEqual, 1.0});
+  lp.AddRow({{1.0, 0.0}, RowType::kLessEqual, 1.0});
+  lp.AddRow({{1.0, 1.0}, RowType::kLessEqual, 1.0});
+  lp.AddRow({{0.0, 1.0}, RowType::kLessEqual, 1.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, -1.0, 1e-9);
+}
+
+TEST(SimplexTest, RejectsEmptyProgram) {
+  LinearProgram lp;
+  EXPECT_FALSE(SolveLp(lp).ok());
+}
+
+TEST(SimplexTest, MinMaxTransportationShape) {
+  // The exact structure of the FSteal LP at n=2:
+  // vars x00 x01 x10 x11 z; min z
+  //   x00 + x01 = 10, x10 + x11 = 2
+  //   c00 x00 + c10 x10 - z <= 0
+  //   c01 x01 + c11 x11 - z <= 0
+  // with c local = 1, remote = 2: balance point splits the big load.
+  LinearProgram lp;
+  for (int i = 0; i < 4; ++i) lp.AddVariable(0.0);
+  lp.AddVariable(1.0);  // z
+  lp.AddRow({{1, 1, 0, 0, 0}, RowType::kEqual, 10.0});
+  lp.AddRow({{0, 0, 1, 1, 0}, RowType::kEqual, 2.0});
+  lp.AddRow({{1.0, 0, 2.0, 0, -1.0}, RowType::kLessEqual, 0.0});
+  lp.AddRow({{0, 2.0, 0, 1.0, -1.0}, RowType::kLessEqual, 0.0});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  // Optimum: worker0 does x00 = z, worker1 does 2*(10 - x00) + 2 = z.
+  // => z = 2(10 - z) + 2 => 3z = 22 => z = 22/3.
+  EXPECT_NEAR(sol->objective, 22.0 / 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace gum::solver

@@ -1,0 +1,211 @@
+// Randomized property tests for the solver substrate: every instance is
+// checked against universal invariants (feasibility, conservation, bounds)
+// or a brute-force oracle where exhaustive search is affordable.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "solver/milp.h"
+#include "solver/simplex.h"
+#include "solver/steal_problem.h"
+
+namespace gum::solver {
+namespace {
+
+TEST(SimplexFuzzTest, SolutionsFeasibleAndNoSampledPointBeatsThem) {
+  Rng rng(81);
+  int solved = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int num_vars = 2 + static_cast<int>(rng.NextBounded(3));
+    const int num_rows = 2 + static_cast<int>(rng.NextBounded(4));
+    LinearProgram lp;
+    for (int v = 0; v < num_vars; ++v) {
+      lp.AddVariable(rng.NextUniform(-2.0, 2.0));
+    }
+    // Random <= rows with positive rhs keep the origin feasible, so every
+    // instance is feasible and (thanks to a box row) bounded.
+    for (int r = 0; r < num_rows; ++r) {
+      Row row;
+      for (int v = 0; v < num_vars; ++v) {
+        row.coeffs.push_back(rng.NextUniform(-1.0, 2.0));
+      }
+      row.type = RowType::kLessEqual;
+      row.rhs = rng.NextUniform(0.5, 8.0);
+      lp.AddRow(std::move(row));
+    }
+    Row box;
+    box.coeffs.assign(num_vars, 1.0);
+    box.type = RowType::kLessEqual;
+    box.rhs = 20.0;
+    lp.AddRow(std::move(box));
+
+    auto sol = SolveLp(lp);
+    ASSERT_TRUE(sol.ok()) << "trial " << trial << ": "
+                          << sol.status().ToString();
+    ++solved;
+
+    // Feasibility of the reported optimum.
+    for (const Row& row : lp.rows) {
+      double lhs = 0;
+      for (size_t v = 0; v < row.coeffs.size(); ++v) {
+        lhs += row.coeffs[v] * sol->x[v];
+      }
+      EXPECT_LE(lhs, row.rhs + 1e-7) << "trial " << trial;
+    }
+    for (double x : sol->x) EXPECT_GE(x, -1e-9);
+
+    // No random feasible point may beat the optimum.
+    for (int sample = 0; sample < 200; ++sample) {
+      std::vector<double> p(num_vars);
+      for (double& x : p) x = rng.NextUniform(0.0, 4.0);
+      bool feasible = true;
+      for (const Row& row : lp.rows) {
+        double lhs = 0;
+        for (size_t v = 0; v < row.coeffs.size(); ++v) {
+          lhs += row.coeffs[v] * p[v];
+        }
+        if (lhs > row.rhs) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      double obj = 0;
+      for (int v = 0; v < num_vars; ++v) obj += lp.objective[v] * p[v];
+      EXPECT_GE(obj, sol->objective - 1e-7)
+          << "sampled point beats 'optimum' in trial " << trial;
+    }
+  }
+  EXPECT_EQ(solved, 60);
+}
+
+TEST(MilpFuzzTest, MatchesBruteForceOnTwoIntegerVariables) {
+  Rng rng(82);
+  for (int trial = 0; trial < 40; ++trial) {
+    LinearProgram lp;
+    lp.AddVariable(rng.NextUniform(-3.0, 3.0));
+    lp.AddVariable(rng.NextUniform(-3.0, 3.0));
+    for (int r = 0; r < 3; ++r) {
+      Row row;
+      row.coeffs = {rng.NextUniform(0.1, 2.0), rng.NextUniform(0.1, 2.0)};
+      row.type = RowType::kLessEqual;
+      row.rhs = rng.NextUniform(2.0, 12.0);
+      lp.AddRow(std::move(row));
+    }
+    MilpOptions options;
+    options.gap_tolerance = 1e-9;
+    auto sol = SolveMilp(lp, {true, true}, options);
+    ASSERT_TRUE(sol.ok()) << "trial " << trial;
+
+    double best = 1e18;
+    for (int a = 0; a <= 30; ++a) {
+      for (int b = 0; b <= 30; ++b) {
+        bool feasible = true;
+        for (const Row& row : lp.rows) {
+          if (row.coeffs[0] * a + row.coeffs[1] * b > row.rhs + 1e-12) {
+            feasible = false;
+            break;
+          }
+        }
+        if (feasible) {
+          best = std::min(best,
+                          lp.objective[0] * a + lp.objective[1] * b);
+        }
+      }
+    }
+    EXPECT_NEAR(sol->objective, best, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(StealFuzzTest, UniversalInvariantsHold) {
+  Rng rng(83);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBounded(7));
+    std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        cost[i][j] = rng.NextUniform(0.5, 3.0);
+        if (i == j) cost[i][j] *= 0.5;  // local is cheaper
+      }
+    }
+    std::vector<double> loads(n);
+    for (double& l : loads) {
+      l = rng.NextBernoulli(0.2) ? 0.0
+                                 : std::floor(rng.NextUniform(1, 5000));
+    }
+    std::vector<int> workers(n);
+    std::iota(workers.begin(), workers.end(), 0);
+
+    auto plan = SolveStealProblem(cost, loads, workers);
+    ASSERT_TRUE(plan.ok()) << "trial " << trial;
+
+    // Conservation + integrality + non-negativity.
+    for (int i = 0; i < n; ++i) {
+      double sum = 0;
+      for (double x : plan->assignment[i]) {
+        EXPECT_GE(x, 0.0);
+        EXPECT_NEAR(x, std::round(x), 1e-9);
+        sum += x;
+      }
+      EXPECT_NEAR(sum, loads[i], 1e-9) << "trial " << trial << " row " << i;
+    }
+
+    // Never worse than the no-steal identity plan...
+    std::vector<std::vector<double>> identity(n, std::vector<double>(n, 0));
+    for (int i = 0; i < n; ++i) identity[i][i] = loads[i];
+    const double identity_makespan = PlanMakespan(cost, identity);
+    // ...allowing one unit of rounding per row.
+    double rounding_slack = 0;
+    for (int i = 0; i < n; ++i) {
+      double worst_cost = 0;
+      for (int j = 0; j < n; ++j) {
+        worst_cost = std::max(worst_cost, cost[i][j]);
+      }
+      rounding_slack += worst_cost;
+    }
+    EXPECT_LE(plan->makespan, identity_makespan + rounding_slack)
+        << "trial " << trial;
+
+    // Lower bound: total work at everyone's cheapest rate over n workers.
+    double cheapest_total = 0;
+    for (int i = 0; i < n; ++i) {
+      double cheapest = 1e18;
+      for (int j = 0; j < n; ++j) cheapest = std::min(cheapest, cost[i][j]);
+      cheapest_total += cheapest * loads[i];
+    }
+    EXPECT_GE(plan->makespan + 1e-6, cheapest_total / n)
+        << "trial " << trial;
+  }
+}
+
+TEST(StealFuzzTest, ExactMilpNeverWorseThanRoundedLp) {
+  Rng rng(84);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBounded(3));
+    std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        cost[i][j] = rng.NextUniform(0.5, 2.0);
+      }
+    }
+    std::vector<double> loads(n);
+    for (double& l : loads) l = std::floor(rng.NextUniform(1, 200));
+    std::vector<int> workers(n);
+    std::iota(workers.begin(), workers.end(), 0);
+
+    auto lp_plan = SolveStealProblem(cost, loads, workers);
+    StealProblemOptions exact;
+    exact.exact_milp = true;
+    auto milp_plan = SolveStealProblem(cost, loads, workers, exact);
+    ASSERT_TRUE(lp_plan.ok());
+    ASSERT_TRUE(milp_plan.ok());
+    EXPECT_LE(milp_plan->makespan, lp_plan->makespan + 1e-6)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace gum::solver

@@ -1,0 +1,100 @@
+// Hardening tests for the solver substrate: the plateau pathologies of
+// min-max steal MILPs (many alternate optima) and the warm-start machinery
+// that keeps branch & bound tractable on them.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/stopwatch.h"
+#include "solver/milp.h"
+#include "solver/steal_problem.h"
+
+namespace gum::solver {
+namespace {
+
+std::vector<int> AllWorkers(int n) {
+  std::vector<int> workers(n);
+  std::iota(workers.begin(), workers.end(), 0);
+  return workers;
+}
+
+TEST(MilpWarmStartTest, SeedsIncumbent) {
+  // min x st x >= 2.5, x integer: warm start with the known answer 3.
+  LinearProgram lp;
+  lp.AddVariable(1.0);
+  lp.AddRow({{1.0}, RowType::kGreaterEqual, 2.5});
+  const std::vector<double> warm = {3.0};
+  MilpOptions options;
+  options.warm_start = &warm;
+  auto sol = SolveMilp(lp, {true}, options);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 3.0, 1e-6);
+}
+
+TEST(MilpWarmStartTest, BetterSolutionStillFound) {
+  // Warm start is deliberately bad (x = 10); B&B must still return the
+  // optimum x = 3.
+  LinearProgram lp;
+  lp.AddVariable(1.0);
+  lp.AddRow({{1.0}, RowType::kGreaterEqual, 2.5});
+  const std::vector<double> warm = {10.0};
+  MilpOptions options;
+  options.warm_start = &warm;
+  auto sol = SolveMilp(lp, {true}, options);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 3.0, 1e-6);
+}
+
+TEST(StealExactMilpTest, LargePlateauInstancesTerminateFast) {
+  // The regression case: uniform costs + quadratic loads create a plateau
+  // of alternate optima that exploded the un-warm-started B&B. With the
+  // rounded-LP warm start this must finish in well under a second per n.
+  for (int n : {4, 6, 8}) {
+    std::vector<std::vector<double>> cost(n, std::vector<double>(n, 1.6));
+    for (int i = 0; i < n; ++i) cost[i][i] = 1.0;
+    std::vector<double> loads(n);
+    for (int i = 0; i < n; ++i) loads[i] = 1000.0 * (i + 1) * (i + 1);
+    StealProblemOptions options;
+    options.exact_milp = true;
+
+    Stopwatch timer;
+    auto plan = SolveStealProblem(cost, loads, AllWorkers(n), options);
+    ASSERT_TRUE(plan.ok()) << "n=" << n;
+    EXPECT_LT(timer.ElapsedSeconds(), 1.0) << "n=" << n;
+
+    // Exact makespan can only match or beat the rounded relaxation.
+    auto lp_plan = SolveStealProblem(cost, loads, AllWorkers(n));
+    ASSERT_TRUE(lp_plan.ok());
+    EXPECT_LE(plan->makespan, lp_plan->makespan + 1e-6);
+    // Conservation still holds.
+    for (int i = 0; i < n; ++i) {
+      double sum = 0;
+      for (double x : plan->assignment[i]) sum += x;
+      EXPECT_NEAR(sum, loads[i], 1e-9);
+    }
+  }
+}
+
+TEST(StealExactMilpTest, MatchesBruteForceOnTinyInstance) {
+  // 2 fragments x 2 workers with loads small enough to brute-force.
+  const std::vector<std::vector<double>> cost = {{1.0, 3.0}, {2.0, 1.0}};
+  const std::vector<double> loads = {4, 3};
+  StealProblemOptions options;
+  options.exact_milp = true;
+  auto plan = SolveStealProblem(cost, loads, {0, 1}, options);
+  ASSERT_TRUE(plan.ok());
+
+  double best = 1e18;
+  for (int a = 0; a <= 4; ++a) {      // x00 = a, x01 = 4-a
+    for (int b = 0; b <= 3; ++b) {    // x10 = b, x11 = 3-b
+      const double w0 = 1.0 * a + 2.0 * b;
+      const double w1 = 3.0 * (4 - a) + 1.0 * (3 - b);
+      best = std::min(best, std::max(w0, w1));
+    }
+  }
+  EXPECT_NEAR(plan->makespan, best, best * 2e-4);  // within the B&B gap
+}
+
+}  // namespace
+}  // namespace gum::solver

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "solver/steal_problem.h"
+
+namespace gum::solver {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<std::vector<double>> UniformCost(int n, double local,
+                                             double remote) {
+  std::vector<std::vector<double>> c(n, std::vector<double>(n, remote));
+  for (int i = 0; i < n; ++i) c[i][i] = local;
+  return c;
+}
+
+void ExpectRowSumsMatchLoads(const StealPlan& plan,
+                             const std::vector<double>& load) {
+  for (size_t i = 0; i < load.size(); ++i) {
+    double sum = 0;
+    for (double x : plan.assignment[i]) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_NEAR(x, std::round(x), 1e-9) << "assignment must be integral";
+      sum += x;
+    }
+    EXPECT_NEAR(sum, load[i], 1e-9) << "row " << i;
+  }
+}
+
+TEST(StealProblemTest, BalancedLoadStaysPut) {
+  const auto cost = UniformCost(4, 1.0, 2.0);
+  const std::vector<double> load = {100, 100, 100, 100};
+  auto plan = SolveStealProblem(cost, load, {0, 1, 2, 3});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ExpectRowSumsMatchLoads(*plan, load);
+  // Local processing of equal loads is already optimal.
+  EXPECT_NEAR(plan->makespan, 100.0, 1.0);
+}
+
+TEST(StealProblemTest, SkewedLoadGetsBalanced) {
+  const auto cost = UniformCost(2, 1.0, 2.0);
+  const std::vector<double> load = {10, 2};
+  auto plan = SolveStealProblem(cost, load, {0, 1});
+  ASSERT_TRUE(plan.ok());
+  ExpectRowSumsMatchLoads(*plan, load);
+  // Analytic optimum 22/3 (see simplex_test); integral rounding nearby.
+  EXPECT_LT(plan->makespan, 8.5);
+  EXPECT_GT(plan->assignment[0][1], 0.0) << "worker 1 must steal";
+}
+
+TEST(StealProblemTest, RemoteCostDiscouragesStealing) {
+  // Remote processing 100x local: keep everything local even if skewed.
+  const auto cost = UniformCost(2, 1.0, 100.0);
+  const std::vector<double> load = {10, 2};
+  auto plan = SolveStealProblem(cost, load, {0, 1});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->assignment[0][0], 10.0, 1e-9);
+  EXPECT_NEAR(plan->makespan, 10.0, 1e-9);
+}
+
+TEST(StealProblemTest, ForbiddenWorkerGetsNothing) {
+  auto cost = UniformCost(3, 1.0, 2.0);
+  for (int i = 0; i < 3; ++i) cost[i][2] = kInf;  // worker 2 evicted
+  const std::vector<double> load = {30, 30, 30};
+  auto plan = SolveStealProblem(cost, load, {0, 1});
+  ASSERT_TRUE(plan.ok());
+  ExpectRowSumsMatchLoads(*plan, load);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(plan->assignment[i][2], 0.0);
+}
+
+TEST(StealProblemTest, AllForbiddenIsInfeasible) {
+  auto cost = UniformCost(2, 1.0, 2.0);
+  cost[0][0] = kInf;
+  cost[0][1] = kInf;
+  auto plan = SolveStealProblem(cost, {5, 5}, {0, 1});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(StealProblemTest, EmptyLoadsTrivial) {
+  const auto cost = UniformCost(4, 1.0, 2.0);
+  auto plan = SolveStealProblem(cost, {0, 0, 0, 0}, {0, 1, 2, 3});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->makespan, 0.0);
+}
+
+TEST(StealProblemTest, SingleWorkerTakesEverything) {
+  const auto cost = UniformCost(3, 1.0, 2.0);
+  const std::vector<double> load = {5, 7, 9};
+  auto plan = SolveStealProblem(cost, load, {1});
+  ASSERT_TRUE(plan.ok());
+  ExpectRowSumsMatchLoads(*plan, load);
+  EXPECT_NEAR(plan->assignment[1][1], 7.0, 1e-9);
+  EXPECT_NEAR(plan->assignment[0][1], 5.0, 1e-9);
+}
+
+TEST(StealProblemTest, ExactMilpMatchesRoundedLpClosely) {
+  const auto cost = UniformCost(3, 1.0, 1.5);
+  const std::vector<double> load = {17, 3, 1};
+  StealProblemOptions exact;
+  exact.exact_milp = true;
+  auto lp_plan = SolveStealProblem(cost, load, {0, 1, 2});
+  auto milp_plan = SolveStealProblem(cost, load, {0, 1, 2}, exact);
+  ASSERT_TRUE(lp_plan.ok());
+  ASSERT_TRUE(milp_plan.ok());
+  ExpectRowSumsMatchLoads(*milp_plan, load);
+  EXPECT_LE(milp_plan->makespan, lp_plan->makespan + 1e-6);
+  EXPECT_NEAR(milp_plan->makespan, lp_plan->makespan, 2.0);
+}
+
+TEST(StealProblemTest, AsymmetricCostsRouteToCheapWorker) {
+  // Worker 1 processes fragment 0's edges almost as cheaply as worker 0,
+  // worker 2 is expensive: stealing should prefer worker 1.
+  std::vector<std::vector<double>> cost = {
+      {1.0, 1.1, 5.0},
+      {1.1, 1.0, 5.0},
+      {5.0, 5.0, 1.0},
+  };
+  const std::vector<double> load = {100, 0, 0};
+  auto plan = SolveStealProblem(cost, load, {0, 1, 2});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->assignment[0][1], plan->assignment[0][2]);
+}
+
+TEST(GreedyStealTest, RespectsForbiddenAndBalances) {
+  auto cost = UniformCost(3, 1.0, 1.2);
+  cost[0][2] = kInf;
+  cost[1][2] = kInf;
+  cost[2][2] = kInf;
+  const StealPlan plan = GreedyStealPlan(cost, {50, 10, 0}, {0, 1});
+  double sum = 0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(plan.assignment[i][2], 0.0);
+    for (double x : plan.assignment[i]) sum += x;
+  }
+  EXPECT_NEAR(sum, 60.0, 1e-9);
+  EXPECT_GT(plan.makespan, 0.0);
+}
+
+TEST(GreedyStealTest, GreedyNeverBeatsLpByMuch) {
+  const auto cost = UniformCost(4, 1.0, 1.6);
+  const std::vector<double> load = {40, 13, 7, 2};
+  auto lp_plan = SolveStealProblem(cost, load, {0, 1, 2, 3});
+  const StealPlan greedy = GreedyStealPlan(cost, load, {0, 1, 2, 3});
+  ASSERT_TRUE(lp_plan.ok());
+  // The LP can split fragments, the greedy cannot: LP <= greedy (+rounding).
+  EXPECT_LE(lp_plan->makespan, greedy.makespan + 1.0);
+}
+
+TEST(PlanMakespanTest, ComputesColumnMax) {
+  const std::vector<std::vector<double>> cost = {{1.0, 2.0}, {3.0, 1.0}};
+  const std::vector<std::vector<double>> assignment = {{4.0, 0.0},
+                                                       {0.0, 5.0}};
+  EXPECT_DOUBLE_EQ(PlanMakespan(cost, assignment), 5.0);
+}
+
+}  // namespace
+}  // namespace gum::solver

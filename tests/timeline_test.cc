@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/timeline.h"
+
+namespace gum::sim {
+namespace {
+
+TEST(TimelineTest, AddAndGet) {
+  Timeline tl(2);
+  tl.Add(0, 0, TimeCategory::kCompute, 5.0);
+  tl.Add(0, 0, TimeCategory::kCompute, 2.0);
+  tl.Add(0, 1, TimeCategory::kCommunication, 3.0);
+  EXPECT_DOUBLE_EQ(tl.Get(0, 0, TimeCategory::kCompute), 7.0);
+  EXPECT_DOUBLE_EQ(tl.Get(0, 1, TimeCategory::kCommunication), 3.0);
+  EXPECT_DOUBLE_EQ(tl.Get(0, 1, TimeCategory::kCompute), 0.0);
+}
+
+TEST(TimelineTest, IterationWallIsDeviceMax) {
+  Timeline tl(3);
+  tl.Add(0, 0, TimeCategory::kCompute, 4.0);
+  tl.Add(0, 1, TimeCategory::kCompute, 9.0);
+  tl.Add(0, 2, TimeCategory::kOverhead, 1.0);
+  EXPECT_DOUBLE_EQ(tl.IterationWall(0), 9.0);
+}
+
+TEST(TimelineTest, TotalsAcrossIterations) {
+  Timeline tl(2);
+  tl.Add(0, 0, TimeCategory::kCompute, 1.0);
+  tl.Add(1, 0, TimeCategory::kCompute, 2.0);
+  tl.Add(1, 1, TimeCategory::kSerialization, 3.0);
+  EXPECT_EQ(tl.num_iterations(), 2);
+  EXPECT_DOUBLE_EQ(tl.TotalByCategory(TimeCategory::kCompute), 3.0);
+  EXPECT_DOUBLE_EQ(tl.TotalByCategory(TimeCategory::kSerialization), 3.0);
+  EXPECT_DOUBLE_EQ(tl.TotalWall(), 1.0 + 3.0);
+}
+
+TEST(TimelineTest, StallFractionBalancedIsZero) {
+  Timeline tl(2);
+  tl.Add(0, 0, TimeCategory::kCompute, 5.0);
+  tl.Add(0, 1, TimeCategory::kCompute, 5.0);
+  EXPECT_DOUBLE_EQ(tl.StallFraction(), 0.0);
+}
+
+TEST(TimelineTest, StallFractionSkewed) {
+  Timeline tl(2);
+  tl.Add(0, 0, TimeCategory::kCompute, 10.0);
+  tl.Add(0, 1, TimeCategory::kCompute, 5.0);
+  // busy = 15, capacity = 10 * 2 => stall 25%.
+  EXPECT_NEAR(tl.StallFraction(), 0.25, 1e-12);
+}
+
+TEST(TimelineTest, IdleDevicesNotCountedInStall) {
+  Timeline tl(4);
+  tl.Add(0, 0, TimeCategory::kCompute, 10.0);
+  // Devices 1-3 completely idle: treated as not participating.
+  EXPECT_DOUBLE_EQ(tl.StallFraction(), 0.0);
+  EXPECT_EQ(tl.ActiveDevices(0), 1);
+}
+
+TEST(TimelineTest, SparseIterationGrowth) {
+  Timeline tl(1);
+  tl.Add(5, 0, TimeCategory::kOverhead, 1.0);
+  EXPECT_EQ(tl.num_iterations(), 6);
+  EXPECT_DOUBLE_EQ(tl.IterationWall(2), 0.0);
+}
+
+TEST(TimelineTest, RenderAsciiShowsDevices) {
+  Timeline tl(2);
+  tl.Add(0, 0, TimeCategory::kCompute, 10.0);
+  tl.Add(0, 1, TimeCategory::kCompute, 1.0);
+  const std::string art = tl.RenderAscii();
+  EXPECT_NE(art.find("GPU0"), std::string::npos);
+  EXPECT_NE(art.find("GPU1"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+
+TEST(TimelineTest, WriteCsvRoundTrips) {
+  Timeline tl(2);
+  tl.Add(0, 0, TimeCategory::kCompute, 1.5);
+  tl.Add(0, 0, TimeCategory::kOverhead, 0.5);
+  tl.Add(1, 1, TimeCategory::kCommunication, 2.0);
+  std::ostringstream os;
+  tl.WriteCsv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("iteration,device,compute_ms"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,1.5,0,0,0.5"), std::string::npos);
+  EXPECT_NE(csv.find("1,1,0,2,0,0"), std::string::npos);
+  // Idle (iteration, device) cells are omitted.
+  EXPECT_EQ(csv.find("0,1,"), std::string::npos);
+}
+
+TEST(TimelineTest, CategoryNames) {
+  EXPECT_STREQ(TimeCategoryName(TimeCategory::kCompute), "computation");
+  EXPECT_STREQ(TimeCategoryName(TimeCategory::kCommunication),
+               "communication");
+  EXPECT_STREQ(TimeCategoryName(TimeCategory::kSerialization),
+               "serialization");
+  EXPECT_STREQ(TimeCategoryName(TimeCategory::kOverhead), "overhead");
+}
+
+}  // namespace
+}  // namespace gum::sim

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace gum::graph {
+namespace {
+
+TEST(WebCrawlTest, VertexAndEdgeBudget) {
+  WebCrawlOptions opt;
+  opt.scale = 12;
+  opt.edge_factor = 8;
+  opt.tendril_fraction = 0.4;
+  const EdgeList list = WebCrawl(opt);
+  EXPECT_EQ(list.num_vertices, 4096u);
+  // Core RMAT edges + two directed edges per tendril vertex.
+  const size_t tendril_vertices = static_cast<size_t>(0.4 * 4096);
+  EXPECT_GE(list.edges.size(), tendril_vertices * 2);
+}
+
+TEST(WebCrawlTest, Deterministic) {
+  WebCrawlOptions opt;
+  opt.scale = 10;
+  const EdgeList a = WebCrawl(opt), b = WebCrawl(opt);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (size_t i = 0; i < a.edges.size(); i += 53) {
+    EXPECT_EQ(a.edges[i].src, b.edges[i].src);
+    EXPECT_EQ(a.edges[i].dst, b.edges[i].dst);
+  }
+}
+
+TEST(WebCrawlTest, LongChainsStretchTheDiameter) {
+  WebCrawlOptions shallow;
+  shallow.scale = 12;
+  shallow.tendril_fraction = 0.3;
+  shallow.avg_chain_length = 8;
+  shallow.seed = 5;
+  WebCrawlOptions deep = shallow;
+  deep.avg_chain_length = 128;
+  auto g_shallow = CsrGraph::FromEdgeList(WebCrawl(shallow));
+  auto g_deep = CsrGraph::FromEdgeList(WebCrawl(deep));
+  ASSERT_TRUE(g_shallow.ok());
+  ASSERT_TRUE(g_deep.ok());
+  EXPECT_GT(PseudoDiameter(*g_deep), 2 * PseudoDiameter(*g_shallow));
+  EXPECT_GE(PseudoDiameter(*g_deep), 128u);
+}
+
+TEST(WebCrawlTest, TendrilsReachableFromCore) {
+  WebCrawlOptions opt;
+  opt.scale = 11;
+  opt.tendril_fraction = 0.5;
+  opt.avg_chain_length = 32;
+  auto g = CsrGraph::FromEdgeList(WebCrawl(opt));
+  ASSERT_TRUE(g.ok());
+  // Every tendril vertex (upper half of the id space) has an in-edge: the
+  // chain link from its predecessor / anchor.
+  const VertexId n_core = static_cast<VertexId>(0.5 * 2048);
+  for (VertexId v = n_core; v < g->num_vertices(); ++v) {
+    EXPECT_GE(g->InDegree(v), 1u) << "orphan tendril vertex " << v;
+  }
+}
+
+TEST(WebCrawlTest, WeightedChainsInRange) {
+  WebCrawlOptions opt;
+  opt.scale = 10;
+  opt.weighted = true;
+  for (const Edge& e : WebCrawl(opt).edges) {
+    EXPECT_GE(e.weight, 1.0f);
+    EXPECT_LT(e.weight, 64.0f);
+  }
+}
+
+TEST(WebCrawlTest, CoreKeepsIdLocality) {
+  // permute_vertices is off for the core: low-id vertices carry most core
+  // edges, so a contiguous partition concentrates the crawl frontier.
+  WebCrawlOptions opt;
+  opt.scale = 12;
+  opt.tendril_fraction = 0.4;
+  opt.seed = 9;
+  auto g = CsrGraph::FromEdgeList(WebCrawl(opt));
+  ASSERT_TRUE(g.ok());
+  const VertexId n_core = static_cast<VertexId>(0.6 * 4096);
+  uint64_t core_edges = 0;
+  for (VertexId v = 0; v < n_core; ++v) core_edges += g->OutDegree(v);
+  EXPECT_GT(core_edges, g->num_edges() / 2);
+}
+
+}  // namespace
+}  // namespace gum::graph

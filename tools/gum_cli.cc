@@ -1,0 +1,256 @@
+// gum_cli — run any engine / algorithm / graph combination from the shell.
+//
+// Graph sources (pick one):
+//   --graph=PATH                 text edge list ("src dst [weight]")
+//   --gen=rmat|web|road|er       synthetic generator, with
+//       --scale=N --edge-factor=F [--weighted] [--seed=S]      (rmat, web, er)
+//       --rows=R --cols=C [--seed=S]                           (road)
+//
+// Execution:
+//   --engine=gum|gunrock|groute  (default gum)
+//   --algo=bfs|sssp|wcc|pr|dpr   (default bfs)
+//   --devices=N                  1..8 on the hybrid cube mesh (default 8)
+//   --partitioner=random|seg|metis
+//   --source=V                   traversal source (default: max out-degree)
+//   --pr-rounds=N --epsilon=E    PageRank controls
+//   --no-fsteal --no-osteal      disable GUM's stealing mechanisms
+//
+// Output:
+//   --timeline                   print the per-device utilization chart
+//   --save-values=PATH           write "vertex value" lines
+//
+// Example:
+//   gum_cli --gen=road --rows=128 --cols=128 --algo=sssp --devices=8
+
+#include <fstream>
+#include <iostream>
+
+#include "algos/apps.h"
+#include "baselines/groute_cc.h"
+#include "baselines/groute_like.h"
+#include "baselines/gunrock_like.h"
+#include "common/flags.h"
+#include "core/engine.h"
+#include "core/fast_wcc.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/partition.h"
+#include "graph/stats.h"
+#include "sim/topology.h"
+
+using namespace gum;  // NOLINT(build/namespaces)
+
+namespace {
+
+constexpr const char* kKnownFlags[] = {
+    "graph",     "gen",        "scale",     "edge-factor", "weighted",
+    "seed",      "rows",       "cols",      "engine",      "algo",
+    "devices",   "partitioner", "source",   "pr-rounds",   "epsilon",
+    "no-fsteal", "no-osteal",  "timeline",  "save-values", "help",
+    "timeline-csv",
+};
+
+void PrintUsage() {
+  std::cout <<
+      "usage: gum_cli (--graph=PATH | --gen=rmat|web|road|er [gen flags])\n"
+      "               [--engine=gum|gunrock|groute] [--algo=bfs|sssp|wcc|"
+      "pr|dpr]\n"
+      "               [--devices=N] [--partitioner=random|seg|metis]\n"
+      "               [--source=V] [--pr-rounds=N] [--epsilon=E]\n"
+      "               [--no-fsteal] [--no-osteal] [--timeline]\n"
+      "               [--save-values=PATH]\n";
+}
+
+Result<graph::EdgeList> LoadOrGenerate(const FlagParser& flags) {
+  if (flags.Has("graph")) {
+    return graph::LoadEdgeListText(flags.GetString("graph", ""));
+  }
+  const std::string gen = flags.GetString("gen", "");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  if (gen == "rmat") {
+    graph::RmatOptions opt;
+    opt.scale = static_cast<int>(flags.GetInt("scale", 14));
+    opt.edge_factor = flags.GetDouble("edge-factor", 16);
+    opt.weighted = flags.GetBool("weighted", false);
+    opt.seed = seed;
+    return graph::Rmat(opt);
+  }
+  if (gen == "web") {
+    graph::WebCrawlOptions opt;
+    opt.scale = static_cast<int>(flags.GetInt("scale", 14));
+    opt.edge_factor = flags.GetDouble("edge-factor", 12);
+    opt.weighted = flags.GetBool("weighted", false);
+    opt.seed = seed;
+    return graph::WebCrawl(opt);
+  }
+  if (gen == "road") {
+    graph::RoadGridOptions opt;
+    opt.rows = static_cast<uint32_t>(flags.GetInt("rows", 128));
+    opt.cols = static_cast<uint32_t>(flags.GetInt("cols", 128));
+    opt.seed = seed;
+    return graph::RoadGrid(opt);
+  }
+  if (gen == "er") {
+    const graph::VertexId n = graph::VertexId{1}
+                              << flags.GetInt("scale", 14);
+    const graph::EdgeId m = static_cast<graph::EdgeId>(
+        flags.GetDouble("edge-factor", 16) * n);
+    return graph::ErdosRenyi(n, m, flags.GetBool("weighted", false), seed);
+  }
+  return Status::InvalidArgument(
+      "need --graph=PATH or --gen=rmat|web|road|er");
+}
+
+template <typename App, typename Value = typename App::Value>
+int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
+                 const graph::Partition& partition,
+                 const sim::Topology& topology, App app) {
+  const std::string engine_name = flags.GetString("engine", "gum");
+  core::RunResult result;
+  std::vector<Value> values;
+
+  if (engine_name == "gum") {
+    core::EngineOptions options;
+    options.enable_fsteal = !flags.GetBool("no-fsteal", false);
+    options.enable_osteal = !flags.GetBool("no-osteal", false);
+    core::GumEngine<App> engine(&g, partition, topology, options);
+    result = engine.Run(app, &values);
+  } else if (engine_name == "gunrock") {
+    baselines::GunrockLikeEngine<App> engine(&g, partition, topology, {});
+    result = engine.Run(app, &values);
+  } else if (engine_name == "groute") {
+    baselines::GrouteLikeEngine<App> engine(&g, partition, {});
+    result = engine.Run(app, &values);
+  } else {
+    std::cerr << "unknown --engine=" << engine_name << "\n";
+    return 1;
+  }
+
+  std::cout << "engine:          " << engine_name << "\n"
+            << "iterations:      " << result.iterations << "\n"
+            << "simulated time:  " << result.total_ms << " ms\n"
+            << "edges processed: " << result.edges_processed << "\n"
+            << "messages sent:   " << result.messages_sent << "\n";
+  if (engine_name == "gum") {
+    std::cout << "edges stolen:    " << result.stolen_edges_total << "\n"
+              << "group shrinks:   " << result.osteal_shrink_events << "\n";
+  }
+  std::cout << "breakdown (ms):  compute " << result.ComputeMs()
+            << ", comm " << result.CommunicationMs() << ", serialization "
+            << result.SerializationMs() << ", overhead "
+            << result.OverheadMs() << "\n";
+  if (flags.GetBool("timeline", false)) {
+    std::cout << result.timeline.RenderAscii(96);
+  }
+  if (flags.Has("timeline-csv")) {
+    std::ofstream out(flags.GetString("timeline-csv", ""));
+    result.timeline.WriteCsv(out);
+  }
+  if (flags.Has("save-values")) {
+    std::ofstream out(flags.GetString("save-values", ""));
+    for (size_t v = 0; v < values.size(); ++v) {
+      if constexpr (std::is_same_v<Value,
+                                   algos::DeltaPageRankApp::State>) {
+        out << v << " " << values[v].rank << "\n";
+      } else {
+        out << v << " " << values[v] << "\n";
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    PrintUsage();
+    return 0;
+  }
+  if (Status s = flags.KnownFlagsOnly(
+          {std::begin(kKnownFlags), std::end(kKnownFlags)});
+      !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    PrintUsage();
+    return 1;
+  }
+
+  auto edges = LoadOrGenerate(flags);
+  if (!edges.ok()) {
+    std::cerr << edges.status().ToString() << "\n";
+    PrintUsage();
+    return 1;
+  }
+
+  const std::string algo = flags.GetString("algo", "bfs");
+  graph::CsrBuildOptions build;
+  build.symmetrize = algo == "wcc";
+  auto g = graph::CsrGraph::FromEdgeList(*edges, build);
+  if (!g.ok()) {
+    std::cerr << g.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "graph:           " << g->num_vertices() << " vertices, "
+            << g->num_edges() << " edges\n";
+
+  const int devices = static_cast<int>(flags.GetInt("devices", 8));
+  graph::PartitionOptions popt;
+  const std::string pname = flags.GetString("partitioner", "random");
+  popt.kind = pname == "seg"     ? graph::PartitionerKind::kSegment
+              : pname == "metis" ? graph::PartitionerKind::kMetisLike
+                                 : graph::PartitionerKind::kRandom;
+  auto partition = graph::PartitionGraph(*g, devices, popt);
+  if (!partition.ok()) {
+    std::cerr << partition.status().ToString() << "\n";
+    return 1;
+  }
+  auto topology = sim::Topology::HybridCubeMeshSubset(devices);
+  if (!topology.ok()) {
+    std::cerr << topology.status().ToString() << "\n";
+    return 1;
+  }
+
+  graph::VertexId source = 0;
+  if (flags.Has("source")) {
+    source = static_cast<graph::VertexId>(flags.GetInt("source", 0));
+    if (source >= g->num_vertices()) {
+      std::cerr << "--source out of range\n";
+      return 1;
+    }
+  } else {
+    for (graph::VertexId v = 0; v < g->num_vertices(); ++v) {
+      if (g->OutDegree(v) > g->OutDegree(source)) source = v;
+    }
+  }
+
+  if (algo == "bfs") {
+    algos::BfsApp app;
+    app.source = source;
+    return RunAndReport(flags, *g, *partition, *topology, app);
+  }
+  if (algo == "sssp") {
+    algos::SsspApp app;
+    app.source = source;
+    return RunAndReport(flags, *g, *partition, *topology, app);
+  }
+  if (algo == "wcc") {
+    algos::WccApp app;
+    return RunAndReport(flags, *g, *partition, *topology, app);
+  }
+  if (algo == "pr") {
+    algos::PageRankApp app;
+    app.num_vertices = g->num_vertices();
+    app.rounds = static_cast<int>(flags.GetInt("pr-rounds", 20));
+    return RunAndReport(flags, *g, *partition, *topology, app);
+  }
+  if (algo == "dpr") {
+    algos::DeltaPageRankApp app;
+    app.num_vertices = g->num_vertices();
+    app.epsilon = flags.GetDouble("epsilon", 1e-9);
+    return RunAndReport(flags, *g, *partition, *topology, app);
+  }
+  std::cerr << "unknown --algo=" << algo << "\n";
+  PrintUsage();
+  return 1;
+}
