@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_incremental.dir/fig10_incremental.cc.o"
+  "CMakeFiles/fig10_incremental.dir/fig10_incremental.cc.o.d"
+  "fig10_incremental"
+  "fig10_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_partitioner.dir/fig11_partitioner.cc.o"
+  "CMakeFiles/fig11_partitioner.dir/fig11_partitioner.cc.o.d"
+  "fig11_partitioner"
+  "fig11_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

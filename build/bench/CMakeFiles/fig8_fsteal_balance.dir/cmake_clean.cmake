@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fsteal_balance.dir/fig8_fsteal_balance.cc.o"
+  "CMakeFiles/fig8_fsteal_balance.dir/fig8_fsteal_balance.cc.o.d"
+  "fig8_fsteal_balance"
+  "fig8_fsteal_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fsteal_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_osteal_switch.dir/fig9_osteal_switch.cc.o"
+  "CMakeFiles/fig9_osteal_switch.dir/fig9_osteal_switch.cc.o.d"
+  "fig9_osteal_switch"
+  "fig9_osteal_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_osteal_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gum_bench_common.dir/datasets.cc.o"
+  "CMakeFiles/gum_bench_common.dir/datasets.cc.o.d"
+  "CMakeFiles/gum_bench_common.dir/runner.cc.o"
+  "CMakeFiles/gum_bench_common.dir/runner.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gum_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

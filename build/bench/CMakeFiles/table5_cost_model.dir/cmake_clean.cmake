@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cost_model.dir/table5_cost_model.cc.o"
+  "CMakeFiles/table5_cost_model.dir/table5_cost_model.cc.o.d"
+  "table5_cost_model"
+  "table5_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

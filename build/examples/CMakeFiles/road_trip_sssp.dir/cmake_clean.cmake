@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_trip_sssp.dir/road_trip_sssp.cc.o"
+  "CMakeFiles/road_trip_sssp.dir/road_trip_sssp.cc.o.d"
+  "road_trip_sssp"
+  "road_trip_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_trip_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

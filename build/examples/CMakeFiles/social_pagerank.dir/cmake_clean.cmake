@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_pagerank.dir/social_pagerank.cc.o"
+  "CMakeFiles/social_pagerank.dir/social_pagerank.cc.o.d"
+  "social_pagerank"
+  "social_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_components.dir/web_components.cc.o"
+  "CMakeFiles/web_components.dir/web_components.cc.o.d"
+  "web_components"
+  "web_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/dobfs.cc" "src/CMakeFiles/gum.dir/algos/dobfs.cc.o" "gcc" "src/CMakeFiles/gum.dir/algos/dobfs.cc.o.d"
+  "/root/repo/src/algos/near_far_sssp.cc" "src/CMakeFiles/gum.dir/algos/near_far_sssp.cc.o" "gcc" "src/CMakeFiles/gum.dir/algos/near_far_sssp.cc.o.d"
+  "/root/repo/src/algos/reference.cc" "src/CMakeFiles/gum.dir/algos/reference.cc.o" "gcc" "src/CMakeFiles/gum.dir/algos/reference.cc.o.d"
+  "/root/repo/src/baselines/baselines.cc" "src/CMakeFiles/gum.dir/baselines/baselines.cc.o" "gcc" "src/CMakeFiles/gum.dir/baselines/baselines.cc.o.d"
+  "/root/repo/src/baselines/groute_cc.cc" "src/CMakeFiles/gum.dir/baselines/groute_cc.cc.o" "gcc" "src/CMakeFiles/gum.dir/baselines/groute_cc.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/gum.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/gum.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/gum.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/gum.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/gum.dir/common/random.cc.o" "gcc" "src/CMakeFiles/gum.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/gum.dir/common/status.cc.o" "gcc" "src/CMakeFiles/gum.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/gum.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/gum.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/core/fast_wcc.cc" "src/CMakeFiles/gum.dir/core/fast_wcc.cc.o" "gcc" "src/CMakeFiles/gum.dir/core/fast_wcc.cc.o.d"
+  "/root/repo/src/core/fsteal.cc" "src/CMakeFiles/gum.dir/core/fsteal.cc.o" "gcc" "src/CMakeFiles/gum.dir/core/fsteal.cc.o.d"
+  "/root/repo/src/core/hub_cache.cc" "src/CMakeFiles/gum.dir/core/hub_cache.cc.o" "gcc" "src/CMakeFiles/gum.dir/core/hub_cache.cc.o.d"
+  "/root/repo/src/core/osteal.cc" "src/CMakeFiles/gum.dir/core/osteal.cc.o" "gcc" "src/CMakeFiles/gum.dir/core/osteal.cc.o.d"
+  "/root/repo/src/core/run_result.cc" "src/CMakeFiles/gum.dir/core/run_result.cc.o" "gcc" "src/CMakeFiles/gum.dir/core/run_result.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/CMakeFiles/gum.dir/graph/csr.cc.o" "gcc" "src/CMakeFiles/gum.dir/graph/csr.cc.o.d"
+  "/root/repo/src/graph/fragment.cc" "src/CMakeFiles/gum.dir/graph/fragment.cc.o" "gcc" "src/CMakeFiles/gum.dir/graph/fragment.cc.o.d"
+  "/root/repo/src/graph/frontier_features.cc" "src/CMakeFiles/gum.dir/graph/frontier_features.cc.o" "gcc" "src/CMakeFiles/gum.dir/graph/frontier_features.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/gum.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/gum.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/gum.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/gum.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/CMakeFiles/gum.dir/graph/partition.cc.o" "gcc" "src/CMakeFiles/gum.dir/graph/partition.cc.o.d"
+  "/root/repo/src/graph/partition_metis_like.cc" "src/CMakeFiles/gum.dir/graph/partition_metis_like.cc.o" "gcc" "src/CMakeFiles/gum.dir/graph/partition_metis_like.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/CMakeFiles/gum.dir/graph/stats.cc.o" "gcc" "src/CMakeFiles/gum.dir/graph/stats.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/CMakeFiles/gum.dir/ml/dataset.cc.o" "gcc" "src/CMakeFiles/gum.dir/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/gum.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/gum.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/CMakeFiles/gum.dir/ml/linear_regression.cc.o" "gcc" "src/CMakeFiles/gum.dir/ml/linear_regression.cc.o.d"
+  "/root/repo/src/ml/model.cc" "src/CMakeFiles/gum.dir/ml/model.cc.o" "gcc" "src/CMakeFiles/gum.dir/ml/model.cc.o.d"
+  "/root/repo/src/ml/polynomial_regression.cc" "src/CMakeFiles/gum.dir/ml/polynomial_regression.cc.o" "gcc" "src/CMakeFiles/gum.dir/ml/polynomial_regression.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/CMakeFiles/gum.dir/ml/svr.cc.o" "gcc" "src/CMakeFiles/gum.dir/ml/svr.cc.o.d"
+  "/root/repo/src/sim/bandwidth_probe.cc" "src/CMakeFiles/gum.dir/sim/bandwidth_probe.cc.o" "gcc" "src/CMakeFiles/gum.dir/sim/bandwidth_probe.cc.o.d"
+  "/root/repo/src/sim/kernel_cost.cc" "src/CMakeFiles/gum.dir/sim/kernel_cost.cc.o" "gcc" "src/CMakeFiles/gum.dir/sim/kernel_cost.cc.o.d"
+  "/root/repo/src/sim/reduction_schedule.cc" "src/CMakeFiles/gum.dir/sim/reduction_schedule.cc.o" "gcc" "src/CMakeFiles/gum.dir/sim/reduction_schedule.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/CMakeFiles/gum.dir/sim/timeline.cc.o" "gcc" "src/CMakeFiles/gum.dir/sim/timeline.cc.o.d"
+  "/root/repo/src/sim/topology.cc" "src/CMakeFiles/gum.dir/sim/topology.cc.o" "gcc" "src/CMakeFiles/gum.dir/sim/topology.cc.o.d"
+  "/root/repo/src/solver/milp.cc" "src/CMakeFiles/gum.dir/solver/milp.cc.o" "gcc" "src/CMakeFiles/gum.dir/solver/milp.cc.o.d"
+  "/root/repo/src/solver/simplex.cc" "src/CMakeFiles/gum.dir/solver/simplex.cc.o" "gcc" "src/CMakeFiles/gum.dir/solver/simplex.cc.o.d"
+  "/root/repo/src/solver/steal_problem.cc" "src/CMakeFiles/gum.dir/solver/steal_problem.cc.o" "gcc" "src/CMakeFiles/gum.dir/solver/steal_problem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/gum_base_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/gum_base_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/gum_base_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/gum_base_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/gum_base_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/gum_base_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/gum_base_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/gum_base_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/partition_test.cc" "tests/CMakeFiles/gum_base_tests.dir/partition_test.cc.o" "gcc" "tests/CMakeFiles/gum_base_tests.dir/partition_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/gum_base_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/gum_base_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/webcrawl_test.cc" "tests/CMakeFiles/gum_base_tests.dir/webcrawl_test.cc.o" "gcc" "tests/CMakeFiles/gum_base_tests.dir/webcrawl_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gum_base_tests.dir/common_test.cc.o"
+  "CMakeFiles/gum_base_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/gum_base_tests.dir/flags_test.cc.o"
+  "CMakeFiles/gum_base_tests.dir/flags_test.cc.o.d"
+  "CMakeFiles/gum_base_tests.dir/graph_test.cc.o"
+  "CMakeFiles/gum_base_tests.dir/graph_test.cc.o.d"
+  "CMakeFiles/gum_base_tests.dir/io_test.cc.o"
+  "CMakeFiles/gum_base_tests.dir/io_test.cc.o.d"
+  "CMakeFiles/gum_base_tests.dir/partition_test.cc.o"
+  "CMakeFiles/gum_base_tests.dir/partition_test.cc.o.d"
+  "CMakeFiles/gum_base_tests.dir/stats_test.cc.o"
+  "CMakeFiles/gum_base_tests.dir/stats_test.cc.o.d"
+  "CMakeFiles/gum_base_tests.dir/webcrawl_test.cc.o"
+  "CMakeFiles/gum_base_tests.dir/webcrawl_test.cc.o.d"
+  "gum_base_tests"
+  "gum_base_tests.pdb"
+  "gum_base_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gum_base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

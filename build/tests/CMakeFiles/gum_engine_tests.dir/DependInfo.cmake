@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/gum_engine_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/gum_engine_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/dobfs_test.cc" "tests/CMakeFiles/gum_engine_tests.dir/dobfs_test.cc.o" "gcc" "tests/CMakeFiles/gum_engine_tests.dir/dobfs_test.cc.o.d"
+  "/root/repo/tests/engine_edge_cases_test.cc" "tests/CMakeFiles/gum_engine_tests.dir/engine_edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/gum_engine_tests.dir/engine_edge_cases_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/gum_engine_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/gum_engine_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/fast_wcc_test.cc" "tests/CMakeFiles/gum_engine_tests.dir/fast_wcc_test.cc.o" "gcc" "tests/CMakeFiles/gum_engine_tests.dir/fast_wcc_test.cc.o.d"
+  "/root/repo/tests/fsteal_test.cc" "tests/CMakeFiles/gum_engine_tests.dir/fsteal_test.cc.o" "gcc" "tests/CMakeFiles/gum_engine_tests.dir/fsteal_test.cc.o.d"
+  "/root/repo/tests/near_far_test.cc" "tests/CMakeFiles/gum_engine_tests.dir/near_far_test.cc.o" "gcc" "tests/CMakeFiles/gum_engine_tests.dir/near_far_test.cc.o.d"
+  "/root/repo/tests/osteal_test.cc" "tests/CMakeFiles/gum_engine_tests.dir/osteal_test.cc.o" "gcc" "tests/CMakeFiles/gum_engine_tests.dir/osteal_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/gum_engine_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/gum_engine_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/run_result_test.cc" "tests/CMakeFiles/gum_engine_tests.dir/run_result_test.cc.o" "gcc" "tests/CMakeFiles/gum_engine_tests.dir/run_result_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gum_engine_tests.dir/baselines_test.cc.o"
+  "CMakeFiles/gum_engine_tests.dir/baselines_test.cc.o.d"
+  "CMakeFiles/gum_engine_tests.dir/dobfs_test.cc.o"
+  "CMakeFiles/gum_engine_tests.dir/dobfs_test.cc.o.d"
+  "CMakeFiles/gum_engine_tests.dir/engine_edge_cases_test.cc.o"
+  "CMakeFiles/gum_engine_tests.dir/engine_edge_cases_test.cc.o.d"
+  "CMakeFiles/gum_engine_tests.dir/engine_test.cc.o"
+  "CMakeFiles/gum_engine_tests.dir/engine_test.cc.o.d"
+  "CMakeFiles/gum_engine_tests.dir/fast_wcc_test.cc.o"
+  "CMakeFiles/gum_engine_tests.dir/fast_wcc_test.cc.o.d"
+  "CMakeFiles/gum_engine_tests.dir/fsteal_test.cc.o"
+  "CMakeFiles/gum_engine_tests.dir/fsteal_test.cc.o.d"
+  "CMakeFiles/gum_engine_tests.dir/near_far_test.cc.o"
+  "CMakeFiles/gum_engine_tests.dir/near_far_test.cc.o.d"
+  "CMakeFiles/gum_engine_tests.dir/osteal_test.cc.o"
+  "CMakeFiles/gum_engine_tests.dir/osteal_test.cc.o.d"
+  "CMakeFiles/gum_engine_tests.dir/property_test.cc.o"
+  "CMakeFiles/gum_engine_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/gum_engine_tests.dir/run_result_test.cc.o"
+  "CMakeFiles/gum_engine_tests.dir/run_result_test.cc.o.d"
+  "gum_engine_tests"
+  "gum_engine_tests.pdb"
+  "gum_engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gum_engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

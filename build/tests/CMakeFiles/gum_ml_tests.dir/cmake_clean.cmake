@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gum_ml_tests.dir/dataset_test.cc.o"
+  "CMakeFiles/gum_ml_tests.dir/dataset_test.cc.o.d"
+  "CMakeFiles/gum_ml_tests.dir/features_test.cc.o"
+  "CMakeFiles/gum_ml_tests.dir/features_test.cc.o.d"
+  "CMakeFiles/gum_ml_tests.dir/models_test.cc.o"
+  "CMakeFiles/gum_ml_tests.dir/models_test.cc.o.d"
+  "gum_ml_tests"
+  "gum_ml_tests.pdb"
+  "gum_ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gum_ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

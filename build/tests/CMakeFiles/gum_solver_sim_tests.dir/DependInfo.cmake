@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bandwidth_probe_test.cc" "tests/CMakeFiles/gum_solver_sim_tests.dir/bandwidth_probe_test.cc.o" "gcc" "tests/CMakeFiles/gum_solver_sim_tests.dir/bandwidth_probe_test.cc.o.d"
+  "/root/repo/tests/milp_test.cc" "tests/CMakeFiles/gum_solver_sim_tests.dir/milp_test.cc.o" "gcc" "tests/CMakeFiles/gum_solver_sim_tests.dir/milp_test.cc.o.d"
+  "/root/repo/tests/reduction_schedule_test.cc" "tests/CMakeFiles/gum_solver_sim_tests.dir/reduction_schedule_test.cc.o" "gcc" "tests/CMakeFiles/gum_solver_sim_tests.dir/reduction_schedule_test.cc.o.d"
+  "/root/repo/tests/simplex_test.cc" "tests/CMakeFiles/gum_solver_sim_tests.dir/simplex_test.cc.o" "gcc" "tests/CMakeFiles/gum_solver_sim_tests.dir/simplex_test.cc.o.d"
+  "/root/repo/tests/solver_fuzz_test.cc" "tests/CMakeFiles/gum_solver_sim_tests.dir/solver_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/gum_solver_sim_tests.dir/solver_fuzz_test.cc.o.d"
+  "/root/repo/tests/solver_hardening_test.cc" "tests/CMakeFiles/gum_solver_sim_tests.dir/solver_hardening_test.cc.o" "gcc" "tests/CMakeFiles/gum_solver_sim_tests.dir/solver_hardening_test.cc.o.d"
+  "/root/repo/tests/steal_problem_test.cc" "tests/CMakeFiles/gum_solver_sim_tests.dir/steal_problem_test.cc.o" "gcc" "tests/CMakeFiles/gum_solver_sim_tests.dir/steal_problem_test.cc.o.d"
+  "/root/repo/tests/timeline_test.cc" "tests/CMakeFiles/gum_solver_sim_tests.dir/timeline_test.cc.o" "gcc" "tests/CMakeFiles/gum_solver_sim_tests.dir/timeline_test.cc.o.d"
+  "/root/repo/tests/topology_test.cc" "tests/CMakeFiles/gum_solver_sim_tests.dir/topology_test.cc.o" "gcc" "tests/CMakeFiles/gum_solver_sim_tests.dir/topology_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gum_solver_sim_tests.dir/bandwidth_probe_test.cc.o"
+  "CMakeFiles/gum_solver_sim_tests.dir/bandwidth_probe_test.cc.o.d"
+  "CMakeFiles/gum_solver_sim_tests.dir/milp_test.cc.o"
+  "CMakeFiles/gum_solver_sim_tests.dir/milp_test.cc.o.d"
+  "CMakeFiles/gum_solver_sim_tests.dir/reduction_schedule_test.cc.o"
+  "CMakeFiles/gum_solver_sim_tests.dir/reduction_schedule_test.cc.o.d"
+  "CMakeFiles/gum_solver_sim_tests.dir/simplex_test.cc.o"
+  "CMakeFiles/gum_solver_sim_tests.dir/simplex_test.cc.o.d"
+  "CMakeFiles/gum_solver_sim_tests.dir/solver_fuzz_test.cc.o"
+  "CMakeFiles/gum_solver_sim_tests.dir/solver_fuzz_test.cc.o.d"
+  "CMakeFiles/gum_solver_sim_tests.dir/solver_hardening_test.cc.o"
+  "CMakeFiles/gum_solver_sim_tests.dir/solver_hardening_test.cc.o.d"
+  "CMakeFiles/gum_solver_sim_tests.dir/steal_problem_test.cc.o"
+  "CMakeFiles/gum_solver_sim_tests.dir/steal_problem_test.cc.o.d"
+  "CMakeFiles/gum_solver_sim_tests.dir/timeline_test.cc.o"
+  "CMakeFiles/gum_solver_sim_tests.dir/timeline_test.cc.o.d"
+  "CMakeFiles/gum_solver_sim_tests.dir/topology_test.cc.o"
+  "CMakeFiles/gum_solver_sim_tests.dir/topology_test.cc.o.d"
+  "gum_solver_sim_tests"
+  "gum_solver_sim_tests.pdb"
+  "gum_solver_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gum_solver_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gum_cli.dir/gum_cli.cc.o"
+  "CMakeFiles/gum_cli.dir/gum_cli.cc.o.d"
+  "gum_cli"
+  "gum_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gum_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
