@@ -6,13 +6,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <numeric>
 #include <vector>
 
+#include "algos/apps.h"
 #include "common/parallel_primitives.h"
+#include "common/thread_pool.h"
 #include "core/edge_cost_model.h"
+#include "core/engine.h"
 #include "core/fsteal.h"
+#include "core/message_store.h"
 #include "core/osteal.h"
+#include "core/superstep.h"
 #include "graph/csr.h"
 #include "graph/frontier_features.h"
 #include "graph/generators.h"
@@ -159,6 +165,121 @@ void BM_CostModelInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CostModelInference);
+
+// --- the superstep runtime (Step 4 of every iteration) ---
+
+// 8-vGPU all-active BFS expansion under an even steal plan: every executor
+// expands a slice of every fragment — the heaviest Step-4 shape. This is
+// the loop the host thread pool parallelizes; wall-clock should drop
+// roughly with core count while results stay bit-identical (the thread
+// count is the benchmark argument).
+struct SuperstepFixture {
+  const graph::CsrGraph& g = BenchGraph();
+  graph::Partition partition;
+  std::vector<std::vector<graph::VertexId>> frontier;
+  core::FStealDecision fs;
+  std::vector<int> owner;
+  std::vector<core::WorkUnit> units;
+  std::vector<uint32_t> values;
+
+  SuperstepFixture() {
+    const int n = 8;
+    partition =
+        std::move(graph::PartitionGraph(g, n, graph::PartitionOptions{}))
+            .value();
+    frontier = partition.part_vertices;
+    std::vector<double> loads(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (const graph::VertexId v : frontier[i]) loads[i] += g.OutDegree(v);
+    }
+    fs.applied = true;
+    fs.assignment.assign(n, std::vector<double>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) fs.assignment[i][j] = loads[i] / n;
+    }
+    owner.resize(n);
+    std::iota(owner.begin(), owner.end(), 0);
+    std::vector<int> active(n);
+    std::iota(active.begin(), active.end(), 0);
+    units = core::BuildWorkUnits(g, frontier, fs, loads, owner, active);
+    values.assign(g.num_vertices(), 0);
+  }
+};
+
+const SuperstepFixture& GetSuperstepFixture() {
+  static const SuperstepFixture* fx = new SuperstepFixture;
+  return *fx;
+}
+
+void BM_SuperstepExpandBfs8Dev(benchmark::State& state) {
+  const SuperstepFixture& fx = GetSuperstepFixture();
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  algos::BfsApp app;
+  std::vector<uint32_t> values = fx.values;
+  std::vector<core::MessageStaging<uint32_t>> staged;
+  std::vector<core::UnitCounters> counters;
+  for (auto _ : state) {
+    core::ExpandSuperstep(&pool, fx.g, fx.partition, nullptr, fx.owner, app,
+                          values, fx.frontier, fx.units, &staged, &counters);
+    benchmark::DoNotOptimize(staged.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.g.num_edges()));
+}
+BENCHMARK(BM_SuperstepExpandBfs8Dev)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+// Expansion plus the deterministic ordered merge and store drain — one full
+// Step 4. The merge is intentionally serial (it defines the determinism
+// contract), so this bounds the end-to-end speedup from above.
+void BM_SuperstepFullBfs8Dev(benchmark::State& state) {
+  const SuperstepFixture& fx = GetSuperstepFixture();
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  algos::BfsApp app;
+  std::vector<uint32_t> values = fx.values;
+  std::vector<core::MessageStaging<uint32_t>> staged;
+  std::vector<core::UnitCounters> counters;
+  core::MessageStore<uint32_t> store(fx.g.num_vertices());
+  const auto combine = [](uint32_t a, uint32_t b) { return std::min(a, b); };
+  for (auto _ : state) {
+    core::ExpandSuperstep(&pool, fx.g, fx.partition, nullptr, fx.owner, app,
+                          values, fx.frontier, fx.units, &staged, &counters);
+    for (size_t idx = 0; idx < fx.units.size(); ++idx) {
+      store.Merge(staged[idx], combine, [](graph::VertexId) {});
+    }
+    benchmark::DoNotOptimize(store.PendingCount());
+    store.EndSuperstep();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.g.num_edges()));
+}
+BENCHMARK(BM_SuperstepFullBfs8Dev)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+// Whole-engine host wall-clock on 8 vGPUs (census + stealing decisions +
+// superstep + accounting). Arg is num_host_threads; 0 = hardware
+// concurrency.
+void BM_GumEngineBfs8Dev(benchmark::State& state) {
+  const SuperstepFixture& fx = GetSuperstepFixture();
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  core::EngineOptions opt;
+  opt.record_iteration_stats = false;
+  opt.num_host_threads = static_cast<int>(state.range(0));
+  graph::VertexId source = 0;
+  for (graph::VertexId v = 0; v < fx.g.num_vertices(); ++v) {
+    if (fx.g.OutDegree(v) > fx.g.OutDegree(source)) source = v;
+  }
+  for (auto _ : state) {
+    core::GumEngine<algos::BfsApp> engine(&fx.g, fx.partition, topo, opt);
+    algos::BfsApp app;
+    app.source = source;
+    const auto result = engine.Run(app);
+    benchmark::DoNotOptimize(result.total_ms);
+  }
+}
+BENCHMARK(BM_GumEngineBfs8Dev)->Arg(1)->Arg(0)->UseRealTime();
 
 // --- substrates ---
 

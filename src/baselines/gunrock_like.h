@@ -14,17 +14,25 @@
 //   * strong intra-GPU, algorithm-specific optimizations (direction-
 //     optimized BFS, near-far SSSP) modeled as a compute-rate boost that is
 //     most effective on a single GPU (paper Exp-2 discussion).
+//
+// The Scatter/Combine/Apply plumbing is the shared superstep runtime
+// (core/superstep.h + core/message_store.h) with the identity plan — one
+// work unit per non-empty fragment, executed by its owner. Only the timing
+// model above is Gunrock-specific.
 
 #ifndef GUM_BASELINES_GUNROCK_LIKE_H_
 #define GUM_BASELINES_GUNROCK_LIKE_H_
 
 #include <algorithm>
-#include <optional>
+#include <memory>
+#include <utility>
 #include <vector>
 
-#include "common/bitmap.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/message_store.h"
 #include "core/run_result.h"
+#include "core/superstep.h"
 #include "graph/csr.h"
 #include "graph/frontier_features.h"
 #include "graph/partition.h"
@@ -43,6 +51,9 @@ struct GunrockOptions {
   double multi_gpu_compute_factor = 0.95;
   int max_iterations = 200000;
   bool record_iteration_stats = false;
+  // Host threads for the superstep runtime; <= 0 = hardware concurrency,
+  // 1 = serial. Simulated results are identical for every setting.
+  int num_host_threads = 0;
 };
 
 template <typename App>
@@ -59,6 +70,10 @@ class GunrockLikeEngine {
         topology_(std::move(topology)),
         options_(options) {
     GUM_CHECK(partition_.num_parts == topology_.num_devices());
+    const int threads = options_.num_host_threads <= 0
+                            ? ThreadPool::HardwareThreads()
+                            : options_.num_host_threads;
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   }
 
   core::RunResult Run(App& app, std::vector<Value>* values_out = nullptr) {
@@ -79,11 +94,20 @@ class GunrockLikeEngine {
     for (VertexId v = 0; v < num_v; ++v) {
       if (app.IsInitiallyActive(v)) frontier[partition_.owner[v]].push_back(v);
     }
-    std::vector<Message> inbox(num_v);
-    Bitmap inbox_set(num_v);
+    core::MessageStore<Message> store(num_v);
+    std::vector<core::MessageStaging<Message>> staged;
+    std::vector<core::UnitCounters> unit_counters;
+
+    // Identity plan: fragment i is always expanded by device i.
+    const core::FStealDecision no_steal;
+    const std::vector<double> no_loads(n, 0.0);
+    std::vector<int> owner_of_fragment(n);
+    for (int i = 0; i < n; ++i) owner_of_fragment[i] = i;
 
     const int fixed_rounds = app.fixed_rounds();
-    std::vector<double> raw_msgs_row(n);
+    const auto combine = [&app](const Message& a, const Message& b) {
+      return app.Combine(a, b);
+    };
 
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
       if (fixed_rounds >= 0) {
@@ -94,46 +118,32 @@ class GunrockLikeEngine {
       for (int i = 0; i < n; ++i) total_frontier += frontier[i].size();
       if (fixed_rounds < 0 && total_frontier == 0) break;
 
-      std::vector<std::vector<VertexId>> next_frontier(n);
-      for (int i = 0; i < n; ++i) {
-        if (frontier[i].empty()) {
-          // Even idle devices pay the barrier below.
-          continue;
-        }
+      const std::vector<core::WorkUnit> units =
+          core::BuildWorkUnits(*g_, frontier, no_steal, no_loads,
+                               owner_of_fragment, /*active=*/{});
+      core::ExpandSuperstep(pool_.get(), *g_, partition_,
+                            /*hub_cache=*/nullptr, owner_of_fragment, app,
+                            values, frontier, units, &staged,
+                            &unit_counters);
+
+      // Gunrock-specific timing per (fragment == executor) unit, then the
+      // deterministic fragment-order merge.
+      for (size_t idx = 0; idx < units.size(); ++idx) {
+        const int i = units[idx].fragment;
+        const core::UnitCounters& c = unit_counters[idx];
         const auto features =
             graph::ExtractFrontierFeatures(*g_, frontier[i]);
         const double edge_cost_ns =
             sim::TrueEdgeCostNs(features, dev) * compute_factor;
-
-        double edges = 0;
-        std::fill(raw_msgs_row.begin(), raw_msgs_row.end(), 0.0);
-        for (const VertexId u : frontier[i]) {
-          const uint32_t deg = g_->OutDegree(u);
-          const Message payload = app.OnFrontier(u, values[u], deg);
-          const auto neighbors = g_->OutNeighbors(u);
-          const auto weights = g_->OutWeights(u);
-          for (size_t e = 0; e < neighbors.size(); ++e) {
-            const VertexId v = neighbors[e];
-            const float w_e = weights.empty() ? 1.0f : weights[e];
-            std::optional<Message> msg = app.Scatter(payload, v, w_e);
-            if (!msg.has_value()) continue;
-            raw_msgs_row[partition_.owner[v]] += 1.0;
-            if (inbox_set.TestAndSet(v)) {
-              inbox[v] = *msg;
-            } else {
-              inbox[v] = app.Combine(inbox[v], *msg);
-            }
-          }
-          edges += deg;
-          result.edges_processed += deg;
-        }
+        const double edges = c.edges;
+        result.edges_processed += c.edges_processed;
 
         double compute_ns = edges * edge_cost_ns;
         double comm_ns = edges * dev.bytes_per_remote_edge /
                          topology_.EffectiveBandwidth(i, i);
         double serial_ns = 0;
         for (int f = 0; f < n; ++f) {
-          const double count = raw_msgs_row[f];
+          const double count = c.raw_msgs[f];
           result.messages_sent += static_cast<uint64_t>(count);
           if (count <= 0) continue;
           const double bytes = count * dev.bytes_per_message;
@@ -153,6 +163,8 @@ class GunrockLikeEngine {
                             serial_ns / 1e6);
         result.timeline.Add(iter, i, sim::TimeCategory::kOverhead,
                             overhead_ns / 1e6);
+
+        store.Merge(staged[idx], combine, [](VertexId) {});
       }
       // Idle devices still participate in the barrier.
       for (int i = 0; i < n; ++i) {
@@ -163,24 +175,18 @@ class GunrockLikeEngine {
       }
 
       if (fixed_rounds >= 0) {
-        for (VertexId v = 0; v < num_v; ++v) {
-          const Message msg = inbox_set.Test(v) ? inbox[v]
-                                                : app.InitialAccumulator();
-          app.Apply(v, values[v], msg);
-        }
+        core::ApplySuperstep(partition_, app, store, values,
+                             /*fixed_rounds=*/true, nullptr, nullptr);
       } else {
-        inbox_set.ForEachSet([&](size_t vi) {
-          const VertexId v = static_cast<VertexId>(vi);
-          if (app.Apply(v, values[v], inbox[v])) {
-            next_frontier[partition_.owner[v]].push_back(v);
-          }
-        });
+        std::vector<std::vector<VertexId>> next_frontier(n);
+        core::ApplySuperstep(partition_, app, store, values,
+                             /*fixed_rounds=*/false, &next_frontier,
+                             nullptr);
+        frontier = std::move(next_frontier);
       }
-      inbox_set.Clear();
 
       result.total_ms += result.timeline.IterationWall(iter);
       result.iterations = iter + 1;
-      frontier = std::move(next_frontier);
     }
 
     if (values_out != nullptr) *values_out = std::move(values);
@@ -199,6 +205,7 @@ class GunrockLikeEngine {
   graph::Partition partition_;
   sim::Topology topology_;
   GunrockOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace gum::baselines

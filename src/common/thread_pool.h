@@ -1,0 +1,72 @@
+// Deterministic host thread pool.
+//
+// The superstep runtime (core/superstep.h) decomposes Step 4 of every
+// iteration into independent work units; this pool runs them concurrently.
+// Determinism is a joint contract: ParallelFor distributes *indices*
+// dynamically (any thread may claim any index), so callers must make each
+// index's effect independent of execution order — write to per-index output
+// slots and merge serially afterwards. The engines do exactly that, which is
+// why results are bit-identical for any thread count (see DESIGN.md,
+// "Determinism contract").
+//
+// The calling thread participates in the loop, so a pool of size k uses k
+// OS threads total (k-1 workers + the caller). Size 1 spawns no workers and
+// ParallelFor degenerates to a plain serial loop — the legacy path.
+
+#ifndef GUM_COMMON_THREAD_POOL_H_
+#define GUM_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gum {
+
+class ThreadPool {
+ public:
+  // num_threads <= 0 selects the hardware concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Invokes fn(i) exactly once for every i in [0, count), distributing
+  // indices dynamically across the pool, and returns once all invocations
+  // have completed. fn must not throw and must not call ParallelFor on the
+  // same pool (no nesting).
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  // std::thread::hardware_concurrency() clamped to at least 1.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+  void RunIndices();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;  // bumped once per ParallelFor, under mu_
+  int unfinished_ = 0;       // workers still inside the current generation
+  bool stop_ = false;
+
+  // Current task; valid only while a generation is in flight.
+  const std::function<void(size_t)>* task_ = nullptr;
+  std::atomic<size_t> next_{0};
+  size_t count_ = 0;
+};
+
+}  // namespace gum
+
+#endif  // GUM_COMMON_THREAD_POOL_H_

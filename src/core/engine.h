@@ -13,6 +13,15 @@
 //           messages are combined per target vertex and forwarded to the
 //           target fragment's owner.
 //
+// GumEngine is a thin orchestrator over layered components (see
+// docs/architecture.md):
+//   core/superstep.h       — Step-4 decomposition into per-executor work
+//                            units, expanded on a host ThreadPool
+//   core/message_store.h   — deterministic inbox + per-worker staging
+//   core/time_accounting.h — the analytic device-time model
+// Results are bit-identical for every num_host_threads setting; see
+// DESIGN.md, "Determinism contract".
+//
 // Algorithm semantics are exact; device time is accounted by the analytic
 // substrate model (see DESIGN.md §1). The App concept:
 //
@@ -26,7 +35,8 @@
 //     Message InitialAccumulator() const;  // Combine identity (fixed-rounds)
 //     // Called exactly once per active vertex per iteration; may mutate the
 //     // vertex value (delta-PageRank consumes its residual here). Returns
-//     // the payload broadcast along the vertex's out-edges.
+//     // the payload broadcast along the vertex's out-edges. Must not mutate
+//     // App member state (runs concurrently on host threads).
 //     Message OnFrontier(VertexId u, Value& val, uint32_t out_degree);
 //     // Per-edge message; nullopt suppresses the edge.
 //     std::optional<Message> Scatter(const Message& payload, VertexId dst,
@@ -40,15 +50,20 @@
 #define GUM_CORE_ENGINE_H_
 
 #include <algorithm>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
-#include "common/bitmap.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/edge_cost_model.h"
 #include "core/engine_options.h"
 #include "core/hub_cache.h"
+#include "core/message_store.h"
 #include "core/run_result.h"
+#include "core/superstep.h"
+#include "core/time_accounting.h"
 #include "graph/csr.h"
 #include "graph/fragment.h"
 #include "graph/frontier_features.h"
@@ -86,6 +101,10 @@ class GumEngine {
     if (options_.enable_hub_cache) {
       hub_cache_ = HubCache(*g_, options_.t4_hub_in_degree);
     }
+    const int threads = options_.num_host_threads <= 0
+                            ? ThreadPool::HardwareThreads()
+                            : options_.num_host_threads;
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   }
 
   // Runs the app to convergence; returns timing statistics and, optionally,
@@ -109,8 +128,7 @@ class GumEngine {
       if (app.IsInitiallyActive(v)) frontier[partition_.owner[v]].push_back(v);
     }
 
-    std::vector<Message> inbox(num_v);
-    Bitmap inbox_set(num_v);
+    MessageStore<Message> store(num_v);
 
     std::vector<int> owner_of_fragment(n);
     for (int i = 0; i < n; ++i) owner_of_fragment[i] = i;
@@ -126,12 +144,14 @@ class GumEngine {
                                ? options_.sync_prior_us * 1000.0
                                : p_ns;
 
-    // Scratch matrices reused across iterations.
+    // Scratch reused across iterations.
     std::vector<std::vector<double>> edges_done(n, std::vector<double>(n));
     std::vector<std::vector<double>> hub_edges(n, std::vector<double>(n));
     std::vector<std::vector<double>> agg_msgs(n, std::vector<double>(n));
     std::vector<std::vector<double>> raw_msgs(n, std::vector<double>(n));
     std::vector<double> apply_msgs(n);
+    std::vector<MessageStaging<Message>> staged;
+    std::vector<UnitCounters> unit_counters;
 
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
       if (fixed_rounds >= 0) {
@@ -228,87 +248,66 @@ class GumEngine {
       result.fsteal_decision_host_ms_total += fs.decision_host_ms;
       if (fs.applied) ++result.fsteal_applied_iterations;
 
-      // --- Step 4: process the frontiers ---
+      // --- Step 4: process the frontiers (superstep runtime) ---
       for (auto& row : edges_done) std::fill(row.begin(), row.end(), 0.0);
       for (auto& row : hub_edges) std::fill(row.begin(), row.end(), 0.0);
       for (auto& row : agg_msgs) std::fill(row.begin(), row.end(), 0.0);
       for (auto& row : raw_msgs) std::fill(row.begin(), row.end(), 0.0);
       std::fill(apply_msgs.begin(), apply_msgs.end(), 0.0);
 
+      const std::vector<WorkUnit> units = BuildWorkUnits(
+          *g_, frontier, fs, loads, owner_of_fragment, active);
+      ExpandSuperstep(pool_.get(), *g_, partition_, &hub_cache_,
+                      owner_of_fragment, app, values, frontier, units,
+                      &staged, &unit_counters);
+
+      // Aggregate per-unit counters and merge staged messages in canonical
+      // unit order (the serial engine's loop nest) — this is what keeps
+      // results bit-identical for any thread count.
       double stolen_edges_this_iter = 0.0;
-      for (int i = 0; i < n; ++i) {
-        if (frontier[i].empty()) continue;
-        // Split the fragment's frontier into per-worker ranges.
-        std::vector<std::pair<size_t, size_t>> ranges;
-        std::vector<int> executors;
-        if (fs.applied && loads[i] > 0) {
-          executors = active;
-          ranges = SelectStolenRanges(*g_, frontier[i], fs.assignment[i],
-                                      executors);
-        } else {
-          executors = {owner_of_fragment[i]};
-          ranges = {{0, frontier[i].size()}};
+      const auto combine = [&app](const Message& a, const Message& b) {
+        return app.Combine(a, b);
+      };
+      for (size_t idx = 0; idx < units.size(); ++idx) {
+        const WorkUnit& unit = units[idx];
+        const UnitCounters& c = unit_counters[idx];
+        edges_done[unit.fragment][unit.executor] += c.edges;
+        hub_edges[unit.fragment][unit.executor] += c.hub_edges;
+        for (int f = 0; f < n; ++f) {
+          raw_msgs[unit.executor][f] += c.raw_msgs[f];
         }
-        for (size_t w = 0; w < executors.size(); ++w) {
-          const int j = executors[w];
-          for (size_t k = ranges[w].first; k < ranges[w].second; ++k) {
-            const VertexId u = frontier[i][k];
-            const uint32_t deg = g_->OutDegree(u);
-            const Message payload = app.OnFrontier(u, values[u], deg);
-            const auto neighbors = g_->OutNeighbors(u);
-            const auto weights = g_->OutWeights(u);
-            for (size_t e = 0; e < neighbors.size(); ++e) {
-              const VertexId v = neighbors[e];
-              const float w_e = weights.empty() ? 1.0f : weights[e];
-              std::optional<Message> msg = app.Scatter(payload, v, w_e);
-              if (!msg.has_value()) continue;
-              const int f = static_cast<int>(partition_.owner[v]);
-              raw_msgs[j][f] += 1.0;
-              if (inbox_set.TestAndSet(v)) {
-                inbox[v] = *msg;
-                agg_msgs[j][f] += 1.0;  // first writer pays the transfer
-              } else {
-                inbox[v] = app.Combine(inbox[v], *msg);
-              }
-            }
-            edges_done[i][j] += deg;
-            if (j != i && hub_cache_.IsHub(u)) hub_edges[i][j] += deg;
-            if (j != owner_of_fragment[i]) stolen_edges_this_iter += deg;
-            result.edges_processed += deg;
-          }
-        }
+        stolen_edges_this_iter += c.stolen_edges;
+        result.edges_processed += c.edges_processed;
+        store.Merge(staged[idx], combine, [&](VertexId v) {
+          // First writer pays the transfer.
+          agg_msgs[unit.executor][partition_.owner[v]] += 1.0;
+        });
       }
       result.stolen_edges_total += stolen_edges_this_iter;
       stats.stolen_edges = stolen_edges_this_iter;
 
       // --- apply phase (end of superstep; next frontier) ---
-      std::vector<std::vector<VertexId>> next_frontier(n);
       if (fixed_rounds >= 0) {
-        for (VertexId v = 0; v < num_v; ++v) {
-          const Message msg = inbox_set.Test(v) ? inbox[v]
-                                                : app.InitialAccumulator();
-          app.Apply(v, values[v], msg);
-          apply_msgs[partition_.owner[v]] += 1.0;
-        }
+        // Stationary workload: the frontier is rebuilt from part_vertices
+        // at the top of the next round, so no next-frontier is built.
+        ApplySuperstep(partition_, app, store, values, /*fixed_rounds=*/true,
+                       nullptr, &apply_msgs);
       } else {
-        inbox_set.ForEachSet([&](size_t vi) {
-          const VertexId v = static_cast<VertexId>(vi);
-          if (app.Apply(v, values[v], inbox[v])) {
-            next_frontier[partition_.owner[v]].push_back(v);
-          }
-          apply_msgs[partition_.owner[v]] += 1.0;
-        });
+        std::vector<std::vector<VertexId>> next_frontier(n);
+        ApplySuperstep(partition_, app, store, values,
+                       /*fixed_rounds=*/false, &next_frontier, &apply_msgs);
+        frontier = std::move(next_frontier);
       }
-      inbox_set.Clear();
 
       // --- time accounting ---
-      AccountTime(iter, n, dev, p_ns, features, edges_done, hub_edges,
-                  agg_msgs, raw_msgs, apply_msgs, owner_of_fragment, active,
-                  fs, stolen_edges_this_iter, &result);
+      const TimeAccountingSummary acct = AccountSuperstepTime(
+          iter, topology_, dev, p_ns, options_.enable_message_aggregation,
+          features, edges_done, hub_edges, agg_msgs, raw_msgs, apply_msgs,
+          owner_of_fragment, active, fs, stolen_edges_this_iter, &result);
 
       // Refresh the p estimate from this iteration's observed barrier cost:
-      // average per-device overhead minus the (known) kernel launches,
-      // divided by the group size.
+      // average per-device overhead minus the kernel-launch time actually
+      // charged by the accounting layer, divided by the group size.
       if (options_.estimate_sync_online && !active.empty()) {
         double overhead_sum = 0;
         for (const int d : active) {
@@ -316,8 +315,8 @@ class GumEngine {
               result.timeline.Get(iter, d, sim::TimeCategory::kOverhead);
         }
         const double per_device_ns =
-            overhead_sum / active.size() * 1e6 -
-            5 * dev.kernel_launch_us * 1000.0;
+            (overhead_sum * 1e6 - acct.kernel_launch_ns_total) /
+            active.size();
         const double observed_p =
             std::max(0.0, per_device_ns / active.size());
         p_estimate_ns = (1.0 - options_.sync_ewma_alpha) * p_estimate_ns +
@@ -336,8 +335,6 @@ class GumEngine {
       }
       prev_wall_ms = wall;
       result.iterations = iter + 1;
-      frontier = std::move(next_frontier);
-      if (fixed_rounds >= 0) frontier.assign(n, {});
     }
 
     if (values_out != nullptr) *values_out = std::move(values);
@@ -351,89 +348,6 @@ class GumEngine {
     return all;
   }
 
-  void AccountTime(int iter, int n, const sim::DeviceParams& dev,
-                   double p_ns,
-                   const std::vector<graph::FrontierFeatures>& features,
-                   const std::vector<std::vector<double>>& edges_done,
-                   const std::vector<std::vector<double>>& hub_edges,
-                   const std::vector<std::vector<double>>& agg_msgs,
-                   const std::vector<std::vector<double>>& raw_msgs,
-                   const std::vector<double>& apply_msgs,
-                   const std::vector<int>& owner_of_fragment,
-                   const std::vector<int>& active, const FStealDecision& fs,
-                   double stolen_edges, RunResult* result) {
-    sim::Timeline& tl = result->timeline;
-    const int m = static_cast<int>(active.size());
-    for (const int j : active) {
-      double compute_ns = 0, comm_ns = 0, serial_ns = 0, overhead_ns = 0;
-      int kernels = 0;
-      int destinations = 0;
-      double worked = 0;
-      for (int i = 0; i < n; ++i) {
-        const double edges = edges_done[i][j];
-        if (edges <= 0) continue;
-        worked += edges;
-        ++kernels;  // one gather kernel per source fragment
-        compute_ns += edges * sim::TrueEdgeCostNs(features[i], dev);
-        const double remote_edges =
-            (i == j) ? 0.0 : edges - hub_edges[i][j];
-        const double local_edges = edges - remote_edges;
-        comm_ns += remote_edges * dev.bytes_per_remote_edge /
-                   topology_.EffectiveBandwidth(i, j);
-        comm_ns += local_edges * dev.bytes_per_remote_edge /
-                   topology_.EffectiveBandwidth(j, j);
-        result->link_bytes[i][j] +=
-            remote_edges * dev.bytes_per_remote_edge;
-        result->link_bytes[j][j] += local_edges * dev.bytes_per_remote_edge;
-      }
-      // Message forwarding to each destination fragment's owner.
-      for (int f = 0; f < n; ++f) {
-        const double count = options_.enable_message_aggregation
-                                 ? agg_msgs[j][f]
-                                 : raw_msgs[j][f];
-        if (count <= 0) continue;
-        const double bytes = count * dev.bytes_per_message;
-        const int owner = owner_of_fragment[f];
-        serial_ns += bytes / dev.serialization_gbps + 3000.0;  // binning
-        ++destinations;
-        if (owner != j) {
-          comm_ns += bytes / topology_.EffectiveBandwidth(j, owner);
-          result->link_bytes[j][owner] += bytes;
-        }
-      }
-      // Apply kernel on the fragments this device owns.
-      for (int f = 0; f < n; ++f) {
-        if (owner_of_fragment[f] == j && apply_msgs[f] > 0) {
-          compute_ns += apply_msgs[f] * 3.0;  // per-message update cost
-          ++kernels;
-        }
-      }
-      overhead_ns += (kernels + 2) * dev.kernel_launch_us * 1000.0;
-      overhead_ns += p_ns * m;  // barrier + buffer bookkeeping, Eq. (4)
-      // Id conversion for outgoing messages.
-      overhead_ns += 0.5 * (worked > 0 ? 1.0 : 0.0) * destinations * 1000.0;
-      if (fs.applied) {
-        // Decision broadcast + stolen-status copies (Table IV overhead).
-        const double fsteal_us = 18.0 + 2.5 * m;
-        overhead_ns += fsteal_us * 1000.0;
-        result->fsteal_sim_overhead_ms += fsteal_us / 1000.0;
-      }
-      tl.Add(iter, j, sim::TimeCategory::kCompute, compute_ns / 1e6);
-      tl.Add(iter, j, sim::TimeCategory::kCommunication, comm_ns / 1e6);
-      tl.Add(iter, j, sim::TimeCategory::kSerialization, serial_ns / 1e6);
-      tl.Add(iter, j, sim::TimeCategory::kOverhead, overhead_ns / 1e6);
-    }
-    if (fs.applied && stolen_edges > 0) {
-      result->fsteal_sim_overhead_ms +=
-          stolen_edges * 0.000008;  // 8 B status copy per stolen edge, ~GB/s
-    }
-    for (int f = 0; f < n; ++f) {
-      double sent = 0;
-      for (int j = 0; j < n; ++j) sent += raw_msgs[j][f];
-      result->messages_sent += static_cast<uint64_t>(sent);
-    }
-  }
-
   const graph::CsrGraph* g_;
   graph::Partition partition_;
   sim::Topology topology_;
@@ -441,6 +355,7 @@ class GumEngine {
   sim::ReductionSchedule schedule_;
   EdgeCostModel cost_model_;
   HubCache hub_cache_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace gum::core

@@ -40,6 +40,13 @@ struct EngineOptions {
   // --- substrate ---
   sim::DeviceParams device;
 
+  // --- host execution ---
+  // Host threads expanding the per-executor work units of Step 4
+  // (core/superstep.h). <= 0 selects the hardware concurrency; 1 forces the
+  // legacy serial path. Results are bit-identical for every setting (see
+  // DESIGN.md, "Determinism contract").
+  int num_host_threads = 0;
+
   // --- safety rails ---
   int max_iterations = 200000;
   bool record_iteration_stats = true;

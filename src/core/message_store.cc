@@ -1,0 +1,12 @@
+#include "core/message_store.h"
+
+namespace gum::core {
+
+MessageStoreBase::MessageStoreBase(size_t num_vertices)
+    : set_(num_vertices) {}
+
+size_t MessageStoreBase::PendingCount() const { return set_.Count(); }
+
+void MessageStoreBase::EndSuperstep() { set_.Clear(); }
+
+}  // namespace gum::core

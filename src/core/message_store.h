@@ -1,0 +1,116 @@
+// Deterministic per-superstep message store.
+//
+// The BSP engines combine every message addressed to a vertex into one
+// inbox slot ("early aggregation", paper Fig. 4b). The store pairs the
+// typed inbox with a membership Bitmap and supports two write paths:
+//
+//   * Deposit — direct combine, used when a single thread expands frontiers;
+//   * MessageStaging + Merge — each worker records its outgoing messages in
+//     a private staging buffer during parallel expansion; the buffers are
+//     then merged serially in canonical work-unit order (fragments
+//     ascending, executors in plan order). Because a staging buffer
+//     preserves generation order and the merge replays the serial engine's
+//     loop nest, the combine chain for every vertex — and therefore the
+//     "first writer pays the transfer" attribution of agg_msgs — is
+//     bit-identical to the single-threaded engine for any thread count.
+//
+// See DESIGN.md, "Determinism contract".
+
+#ifndef GUM_CORE_MESSAGE_STORE_H_
+#define GUM_CORE_MESSAGE_STORE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "graph/types.h"
+
+namespace gum::core {
+
+// Untyped membership state shared by every MessageStore<Message>
+// instantiation (definitions in message_store.cc).
+class MessageStoreBase {
+ public:
+  MessageStoreBase() = default;
+  explicit MessageStoreBase(size_t num_vertices);
+
+  size_t num_vertices() const { return set_.size(); }
+  bool Has(graph::VertexId v) const { return set_.Test(v); }
+  // Vertices with a pending combined message.
+  size_t PendingCount() const;
+  // Forgets every pending message; call once the apply phase has drained
+  // the store.
+  void EndSuperstep();
+
+ protected:
+  Bitmap set_;
+};
+
+// One worker's staged outgoing messages, in generation order.
+template <typename Message>
+class MessageStaging {
+ public:
+  void Emit(graph::VertexId v, const Message& m) {
+    entries_.emplace_back(v, m);
+  }
+  void Clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+  const std::vector<std::pair<graph::VertexId, Message>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<graph::VertexId, Message>> entries_;
+};
+
+template <typename Message>
+class MessageStore : public MessageStoreBase {
+ public:
+  MessageStore() = default;
+  explicit MessageStore(size_t num_vertices)
+      : MessageStoreBase(num_vertices), inbox_(num_vertices) {}
+
+  // Deposits one message: the first writer stores it, later writers fold
+  // theirs in with `combine(old, incoming)`. Returns true iff v had no
+  // pending message — the event that pays the transfer under the early-
+  // aggregation model.
+  template <typename CombineFn>
+  bool Deposit(graph::VertexId v, const Message& m, CombineFn&& combine) {
+    if (set_.TestAndSet(v)) {
+      inbox_[v] = m;
+      return true;
+    }
+    inbox_[v] = combine(inbox_[v], m);
+    return false;
+  }
+
+  // Replays one staging buffer in its recorded order; `first_writer(v)`
+  // fires for each deposit that claimed a fresh slot. Merging every work
+  // unit's buffer in canonical unit order reproduces the serial engine's
+  // combine chains exactly.
+  template <typename CombineFn, typename FirstWriterFn>
+  void Merge(const MessageStaging<Message>& staged, CombineFn&& combine,
+             FirstWriterFn&& first_writer) {
+    for (const auto& [v, m] : staged.entries()) {
+      if (Deposit(v, m, combine)) first_writer(v);
+    }
+  }
+
+  const Message& Get(graph::VertexId v) const { return inbox_[v]; }
+
+  // Pending messages in ascending vertex order: fn(v, combined_message).
+  template <typename Fn>
+  void ForEachPending(Fn&& fn) const {
+    set_.ForEachSet([&](size_t v) {
+      fn(static_cast<graph::VertexId>(v), inbox_[v]);
+    });
+  }
+
+ private:
+  std::vector<Message> inbox_;
+};
+
+}  // namespace gum::core
+
+#endif  // GUM_CORE_MESSAGE_STORE_H_

@@ -1,0 +1,97 @@
+#include "core/time_accounting.h"
+
+#include "sim/kernel_cost.h"
+#include "sim/timeline.h"
+
+namespace gum::core {
+
+TimeAccountingSummary AccountSuperstepTime(
+    int iter, const sim::Topology& topology, const sim::DeviceParams& dev,
+    double p_ns, bool aggregate_messages,
+    const std::vector<graph::FrontierFeatures>& features,
+    const std::vector<std::vector<double>>& edges_done,
+    const std::vector<std::vector<double>>& hub_edges,
+    const std::vector<std::vector<double>>& agg_msgs,
+    const std::vector<std::vector<double>>& raw_msgs,
+    const std::vector<double>& apply_msgs,
+    const std::vector<int>& owner_of_fragment,
+    const std::vector<int>& active, const FStealDecision& fs,
+    double stolen_edges, RunResult* result) {
+  sim::Timeline& tl = result->timeline;
+  const int n = static_cast<int>(edges_done.size());
+  const int m = static_cast<int>(active.size());
+  TimeAccountingSummary summary;
+  summary.kernel_launches.assign(n, 0);
+  for (const int j : active) {
+    double compute_ns = 0, comm_ns = 0, serial_ns = 0, overhead_ns = 0;
+    int kernels = 0;
+    int destinations = 0;
+    double worked = 0;
+    for (int i = 0; i < n; ++i) {
+      const double edges = edges_done[i][j];
+      if (edges <= 0) continue;
+      worked += edges;
+      ++kernels;  // one gather kernel per source fragment
+      compute_ns += edges * sim::TrueEdgeCostNs(features[i], dev);
+      const double remote_edges = (i == j) ? 0.0 : edges - hub_edges[i][j];
+      const double local_edges = edges - remote_edges;
+      comm_ns += remote_edges * dev.bytes_per_remote_edge /
+                 topology.EffectiveBandwidth(i, j);
+      comm_ns += local_edges * dev.bytes_per_remote_edge /
+                 topology.EffectiveBandwidth(j, j);
+      result->link_bytes[i][j] += remote_edges * dev.bytes_per_remote_edge;
+      result->link_bytes[j][j] += local_edges * dev.bytes_per_remote_edge;
+    }
+    // Message forwarding to each destination fragment's owner.
+    for (int f = 0; f < n; ++f) {
+      const double count =
+          aggregate_messages ? agg_msgs[j][f] : raw_msgs[j][f];
+      if (count <= 0) continue;
+      const double bytes = count * dev.bytes_per_message;
+      const int owner = owner_of_fragment[f];
+      serial_ns += bytes / dev.serialization_gbps + 3000.0;  // binning
+      ++destinations;
+      if (owner != j) {
+        comm_ns += bytes / topology.EffectiveBandwidth(j, owner);
+        result->link_bytes[j][owner] += bytes;
+      }
+    }
+    // Apply kernel on the fragments this device owns.
+    for (int f = 0; f < n; ++f) {
+      if (owner_of_fragment[f] == j && apply_msgs[f] > 0) {
+        compute_ns += apply_msgs[f] * 3.0;  // per-message update cost
+        ++kernels;
+      }
+    }
+    const int launches = kernels + 2;
+    const double launch_ns = launches * dev.kernel_launch_us * 1000.0;
+    summary.kernel_launches[j] = launches;
+    summary.kernel_launch_ns_total += launch_ns;
+    overhead_ns += launch_ns;
+    overhead_ns += p_ns * m;  // barrier + buffer bookkeeping, Eq. (4)
+    // Id conversion for outgoing messages.
+    overhead_ns += 0.5 * (worked > 0 ? 1.0 : 0.0) * destinations * 1000.0;
+    if (fs.applied) {
+      // Decision broadcast + stolen-status copies (Table IV overhead).
+      const double fsteal_us = 18.0 + 2.5 * m;
+      overhead_ns += fsteal_us * 1000.0;
+      result->fsteal_sim_overhead_ms += fsteal_us / 1000.0;
+    }
+    tl.Add(iter, j, sim::TimeCategory::kCompute, compute_ns / 1e6);
+    tl.Add(iter, j, sim::TimeCategory::kCommunication, comm_ns / 1e6);
+    tl.Add(iter, j, sim::TimeCategory::kSerialization, serial_ns / 1e6);
+    tl.Add(iter, j, sim::TimeCategory::kOverhead, overhead_ns / 1e6);
+  }
+  if (fs.applied && stolen_edges > 0) {
+    result->fsteal_sim_overhead_ms +=
+        stolen_edges * 0.000008;  // 8 B status copy per stolen edge, ~GB/s
+  }
+  for (int f = 0; f < n; ++f) {
+    double sent = 0;
+    for (int j = 0; j < n; ++j) sent += raw_msgs[j][f];
+    result->messages_sent += static_cast<uint64_t>(sent);
+  }
+  return summary;
+}
+
+}  // namespace gum::core

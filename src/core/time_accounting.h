@@ -1,0 +1,56 @@
+// Per-iteration device time accounting for the superstep runtime.
+//
+// Converts the iteration's counter matrices (edges expanded, hub-cached
+// edges, aggregated/raw messages, applied messages) into simulated time on
+// every active device's timeline, split into the four Fig.-6 buckets. This
+// is the analytic substrate model of DESIGN.md §1, formerly a private
+// template-header method of GumEngine; it depends on nothing App-specific,
+// so it lives here as a plain function.
+
+#ifndef GUM_CORE_TIME_ACCOUNTING_H_
+#define GUM_CORE_TIME_ACCOUNTING_H_
+
+#include <vector>
+
+#include "core/fsteal.h"
+#include "core/run_result.h"
+#include "graph/frontier_features.h"
+#include "sim/device.h"
+#include "sim/topology.h"
+
+namespace gum::core {
+
+// What the accounting actually charged, fed back into the engine's online
+// p estimate (Eq. 4): the estimate subtracts the *recorded* kernel-launch
+// time instead of guessing a fixed per-iteration kernel count.
+struct TimeAccountingSummary {
+  // Kernel launches charged per device this iteration (gather kernels +
+  // apply kernels + the fixed launch pair); zero for inactive devices.
+  std::vector<int> kernel_launches;
+  // Total launch time charged across active devices, in ns.
+  double kernel_launch_ns_total = 0.0;
+};
+
+// Accounts one superstep. `features[i]` describes fragment i's frontier;
+// `edges_done[i][j]` / `hub_edges[i][j]` are fragment-i edges expanded by
+// device j (hub-cached ones read locally); `agg_msgs[j][f]` / `raw_msgs
+// [j][f]` are messages device j sends toward fragment f after / before
+// per-vertex aggregation; `apply_msgs[f]` are messages applied to fragment
+// f's vertices. Adds to result->timeline, link_bytes, messages_sent and
+// the stealing-overhead totals.
+TimeAccountingSummary AccountSuperstepTime(
+    int iter, const sim::Topology& topology, const sim::DeviceParams& dev,
+    double p_ns, bool aggregate_messages,
+    const std::vector<graph::FrontierFeatures>& features,
+    const std::vector<std::vector<double>>& edges_done,
+    const std::vector<std::vector<double>>& hub_edges,
+    const std::vector<std::vector<double>>& agg_msgs,
+    const std::vector<std::vector<double>>& raw_msgs,
+    const std::vector<double>& apply_msgs,
+    const std::vector<int>& owner_of_fragment,
+    const std::vector<int>& active, const FStealDecision& fs,
+    double stolen_edges, RunResult* result);
+
+}  // namespace gum::core
+
+#endif  // GUM_CORE_TIME_ACCOUNTING_H_

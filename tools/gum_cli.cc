@@ -14,6 +14,9 @@
 //   --source=V                   traversal source (default: max out-degree)
 //   --pr-rounds=N --epsilon=E    PageRank controls
 //   --no-fsteal --no-osteal      disable GUM's stealing mechanisms
+//   --host-threads=N             host threads for the superstep runtime
+//                                (0 = hardware concurrency, 1 = serial;
+//                                results are identical for every setting)
 //
 // Output:
 //   --timeline                   print the per-device utilization chart
@@ -47,7 +50,7 @@ constexpr const char* kKnownFlags[] = {
     "seed",      "rows",       "cols",      "engine",      "algo",
     "devices",   "partitioner", "source",   "pr-rounds",   "epsilon",
     "no-fsteal", "no-osteal",  "timeline",  "save-values", "help",
-    "timeline-csv",
+    "timeline-csv", "host-threads",
 };
 
 void PrintUsage() {
@@ -57,8 +60,8 @@ void PrintUsage() {
       "pr|dpr]\n"
       "               [--devices=N] [--partitioner=random|seg|metis]\n"
       "               [--source=V] [--pr-rounds=N] [--epsilon=E]\n"
-      "               [--no-fsteal] [--no-osteal] [--timeline]\n"
-      "               [--save-values=PATH]\n";
+      "               [--no-fsteal] [--no-osteal] [--host-threads=N]\n"
+      "               [--timeline] [--save-values=PATH]\n";
 }
 
 Result<graph::EdgeList> LoadOrGenerate(const FlagParser& flags) {
@@ -109,14 +112,19 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
   core::RunResult result;
   std::vector<Value> values;
 
+  const int host_threads = static_cast<int>(flags.GetInt("host-threads", 0));
   if (engine_name == "gum") {
     core::EngineOptions options;
     options.enable_fsteal = !flags.GetBool("no-fsteal", false);
     options.enable_osteal = !flags.GetBool("no-osteal", false);
+    options.num_host_threads = host_threads;
     core::GumEngine<App> engine(&g, partition, topology, options);
     result = engine.Run(app, &values);
   } else if (engine_name == "gunrock") {
-    baselines::GunrockLikeEngine<App> engine(&g, partition, topology, {});
+    baselines::GunrockOptions options;
+    options.num_host_threads = host_threads;
+    baselines::GunrockLikeEngine<App> engine(&g, partition, topology,
+                                             options);
     result = engine.Run(app, &values);
   } else if (engine_name == "groute") {
     baselines::GrouteLikeEngine<App> engine(&g, partition, {});
