@@ -25,6 +25,7 @@
 #include "graph/partition.h"
 #include "ml/dataset.h"
 #include "ml/polynomial_regression.h"
+#include "sim/comm_plane.h"
 #include "sim/reduction_schedule.h"
 #include "sim/topology.h"
 #include "solver/steal_problem.h"
@@ -280,6 +281,76 @@ void BM_GumEngineBfs8Dev(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GumEngineBfs8Dev)->Arg(1)->Arg(0)->UseRealTime();
+
+// --- the interconnect plane ---
+
+// A deterministic batch mixing direct-lane, 2-hop-transit and PCIe
+// transfers on the 8-GPU hybrid cube mesh. The stride-5 walk visits every
+// (src, dst) flavor; sizes vary so fair-share settling sees staggered
+// completions instead of one synchronized wave.
+sim::TransferBatch CommBatch(int transfers) {
+  sim::TransferBatch batch;
+  for (int i = 0; i < transfers; ++i) {
+    const int src = i % 8;
+    const int dst = (src + 1 + (i * 5) % 7) % 8;
+    const double bytes = 1e5 * (1 + i % 13);
+    batch.Add(src, dst, bytes, src);
+  }
+  return batch;
+}
+
+// Settle cost vs. transfer count. kOff is a linear pass; kFair runs the
+// progressive-filling event simulation, whose rounds grow with the number
+// of distinct completion times. Both must stay far below the per-iteration
+// decision budget (tens of microseconds for engine-sized batches).
+void BM_CommPlaneSettleOff(benchmark::State& state) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  const auto batch = CommBatch(static_cast<int>(state.range(0)));
+  sim::CommPlane plane(topo, sim::ContentionModel::kOff);
+  for (auto _ : state) {
+    auto settled = plane.Settle(batch);
+    benchmark::DoNotOptimize(settled.completion_ns.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CommPlaneSettleOff)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_CommPlaneSettleFair(benchmark::State& state) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  const auto batch = CommBatch(static_cast<int>(state.range(0)));
+  sim::CommPlane plane(topo, sim::ContentionModel::kFair);
+  for (auto _ : state) {
+    auto settled = plane.Settle(batch);
+    benchmark::DoNotOptimize(settled.completion_ns.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CommPlaneSettleFair)->Arg(8)->Arg(64)->Arg(512);
+
+// Whole-engine cost of the contention knob: the same 8-vGPU BFS as
+// BM_GumEngineBfs8Dev but with fair lane sharing. The host-side delta
+// against the Arg(0) rows of that benchmark is the price of the event
+// simulation; the simulated total_ms delta is the modeled contention.
+void BM_GumEngineBfs8DevFairContention(benchmark::State& state) {
+  const SuperstepFixture& fx = GetSuperstepFixture();
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  core::EngineOptions opt;
+  opt.record_iteration_stats = false;
+  opt.num_host_threads = static_cast<int>(state.range(0));
+  opt.contention = sim::ContentionModel::kFair;
+  graph::VertexId source = 0;
+  for (graph::VertexId v = 0; v < fx.g.num_vertices(); ++v) {
+    if (fx.g.OutDegree(v) > fx.g.OutDegree(source)) source = v;
+  }
+  for (auto _ : state) {
+    core::GumEngine<algos::BfsApp> engine(&fx.g, fx.partition, topo, opt);
+    algos::BfsApp app;
+    app.source = source;
+    const auto result = engine.Run(app);
+    benchmark::DoNotOptimize(result.total_ms);
+  }
+}
+BENCHMARK(BM_GumEngineBfs8DevFairContention)->Arg(1)->Arg(0)->UseRealTime();
 
 // --- substrates ---
 

@@ -107,6 +107,7 @@ core::RunResult RunBenchmark(const DatasetGraphs& data,
         opt.device = BenchDeviceParams();
       }
       if (config.cost_model != nullptr) opt.exact_cost_oracle = false;
+      opt.contention = config.contention;
       switch (config.algo) {
         case Algo::kBfs: {
           algos::BfsApp app;
@@ -144,6 +145,7 @@ core::RunResult RunBenchmark(const DatasetGraphs& data,
           if (!config.force_labelprop_wcc && fastwcc_ms < labelprop_ms) {
             core::FastWccOptions wcc_opt;
             wcc_opt.device = opt.device;
+            wcc_opt.contention = config.contention;
             return core::FastWcc(g, *partition, *topology, wcc_opt);
           }
           algos::WccApp app;
@@ -166,7 +168,8 @@ core::RunResult RunBenchmark(const DatasetGraphs& data,
       break;
     }
     case System::kGunrock: {
-      const baselines::GunrockOptions opt = GunrockOptionsFor(config.algo);
+      baselines::GunrockOptions opt = GunrockOptionsFor(config.algo);
+      opt.contention = config.contention;
       switch (config.algo) {
         case Algo::kBfs: {
           if (config.devices == 1) {
@@ -218,6 +221,7 @@ core::RunResult RunBenchmark(const DatasetGraphs& data,
     case System::kGroute: {
       baselines::GrouteOptions opt;
       opt.device = BenchDeviceParams();
+      opt.contention = config.contention;
       switch (config.algo) {
         case Algo::kBfs: {
           algos::BfsApp app;
@@ -239,6 +243,7 @@ core::RunResult RunBenchmark(const DatasetGraphs& data,
           // propagation (see baselines/groute_cc.h).
           baselines::GrouteCcOptions cc_opt;
           cc_opt.device = opt.device;
+          cc_opt.contention = config.contention;
           return baselines::GrouteCcEngine(&g, *partition, cc_opt).Run();
         }
         case Algo::kPr: {

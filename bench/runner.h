@@ -37,6 +37,9 @@ struct RunConfig {
   graph::PartitionerKind partitioner = graph::PartitionerKind::kRandom;
   uint64_t partition_seed = 1;
   int pagerank_rounds = 10;
+  // Interconnect contention model, threaded into every engine's options
+  // (overrides the `gum` field's setting below).
+  sim::ContentionModel contention = sim::ContentionModel::kOff;
   // GUM-specific toggles (ignored by the baselines).
   core::EngineOptions gum;
   // Learned cost model for the GUM stealing policies; null = exact oracle.

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "graph/frontier_features.h"
+#include "sim/comm_plane.h"
 #include "sim/kernel_cost.h"
 #include "sim/timeline.h"
 
@@ -28,6 +29,10 @@ core::RunResult DirectionOptimizedBfs(
 
   core::RunResult result;
   result.timeline = sim::Timeline(n);
+  // Prediction-only plane: DO-BFS charges statistical estimates (mean path
+  // bandwidth for pull probes, a nominal lane for push messages), not
+  // individual transfers.
+  const sim::CommPlane plane(topology);
   DoBfsStats stats;
 
   std::vector<uint32_t> depth(num_v, kUnreached);
@@ -70,14 +75,6 @@ core::RunResult DirectionOptimizedBfs(
           }
         }
         stats.pulled_edges += scanned;
-        // Pull scans are random-access in-CSR reads of a remote-or-local
-        // depth array; charge the bitmap/status bytes at the mean effective
-        // bandwidth of this device's peers.
-        double mean_bw = 0;
-        for (int peer = 0; peer < n; ++peer) {
-          mean_bw += topology.EffectiveBandwidth(d, peer);
-        }
-        mean_bw /= n;
         const auto features = graph::ExtractFrontierFeatures(
             g, partition.part_vertices[d]);
         // Pull gathers are scattered in-CSR reads: worse coalescing than
@@ -86,9 +83,11 @@ core::RunResult DirectionOptimizedBfs(
         const double compute_ms =
             static_cast<double>(scanned) * kPullRandomAccessPenalty *
             sim::TrueEdgeCostNs(features, dev) / 1e6;
-        // 4 bytes per depth probe.
+        // Pull scans are random-access in-CSR reads of a remote-or-local
+        // depth array: 4 bytes per depth probe at the mean path bandwidth
+        // of this device's peers.
         const double comm_ms =
-            static_cast<double>(scanned) * 4.0 / mean_bw / 1e6;
+            plane.MeanPathNs(d, static_cast<double>(scanned) * 4.0) / 1e6;
         result.timeline.Add(level, d, sim::TimeCategory::kCompute,
                             compute_ms);
         result.timeline.Add(level, d, sim::TimeCategory::kCommunication,
@@ -129,8 +128,9 @@ core::RunResult DirectionOptimizedBfs(
             static_cast<double>(edges) *
             sim::TrueEdgeCostNs(features, dev) / 1e6;
         const double comm_ms =
-            remote_msgs * dev.bytes_per_message /
-            sim::Topology::kNvlinkLaneGBps / 1e6;
+            sim::CommPlane::NominalLaneNs(remote_msgs *
+                                          dev.bytes_per_message) /
+            1e6;
         result.timeline.Add(level, d, sim::TimeCategory::kCompute,
                             compute_ms);
         result.timeline.Add(level, d, sim::TimeCategory::kCommunication,

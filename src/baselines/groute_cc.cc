@@ -41,6 +41,12 @@ core::RunResult GrouteCcEngine::Run(std::vector<VertexId>* labels_out) {
 
   core::RunResult result;
   result.timeline = sim::Timeline(n);
+  // Boundary labels travel one ring hop to the next device (the reduction
+  // proceeds around the ring); the plane prices that first hop. Unlike the
+  // general Groute engine this model's ring is uniform — the exchange is
+  // pipelined, so no segment ever pays the PCIe wrap-around alone.
+  sim::CommPlane plane(sim::Topology::Ring(n, options_.ring_gbps),
+                       options_.contention, sim::RoutePolicy::kDirectOnly);
 
   // Current global labels, reduced at the owners after every round.
   std::vector<VertexId> label(num_v);
@@ -96,13 +102,26 @@ core::RunResult GrouteCcEngine::Run(std::vector<VertexId>* labels_out) {
         }
       }
       boundary_updates[d] = updates;
+      result.edges_processed += partition_.part_out_edges[d];
+      result.messages_sent += static_cast<uint64_t>(updates);
+    }
 
+    // The round's exchange: each device ships its boundary labels one hop
+    // along the ring. Settled as one batch so lane sharing is visible to
+    // the contention model.
+    sim::TransferBatch batch;
+    for (int d = 0; d < n; ++d) {
+      batch.Add(d, (d + 1) % n, boundary_updates[d] * dev.bytes_per_message,
+                d);
+    }
+    const sim::SettleResult comm = plane.Settle(batch);
+
+    for (int d = 0; d < n; ++d) {
       const double compute_ms =
           fragment_edges[d] * uf_edge_cost_ns[d] / 1e6;
-      const double comm_ms = updates * dev.bytes_per_message /
-                             options_.ring_gbps / 1e6;
-      const double serial_ms =
-          updates * dev.bytes_per_message / dev.serialization_gbps / 1e6;
+      const double comm_ms = comm.tag_comm_ns[d] / 1e6;
+      const double serial_ms = boundary_updates[d] * dev.bytes_per_message /
+                               dev.serialization_gbps / 1e6;
       const double overhead_ms = options_.round_overhead_us / 1000.0;
       result.timeline.Add(round, d, sim::TimeCategory::kCompute, compute_ms);
       result.timeline.Add(round, d, sim::TimeCategory::kCommunication,
@@ -111,8 +130,6 @@ core::RunResult GrouteCcEngine::Run(std::vector<VertexId>* labels_out) {
                           serial_ms);
       result.timeline.Add(round, d, sim::TimeCategory::kOverhead,
                           overhead_ms);
-      result.edges_processed += partition_.part_out_edges[d];
-      result.messages_sent += static_cast<uint64_t>(updates);
       round_wall_ms = std::max(
           round_wall_ms, compute_ms + comm_ms + serial_ms + overhead_ms);
     }
@@ -126,6 +143,9 @@ core::RunResult GrouteCcEngine::Run(std::vector<VertexId>* labels_out) {
 
   result.iterations = round;
   result.total_ms = clock_ms;
+  result.link_bytes = plane.link_bytes();
+  result.payload_bytes = plane.payload_bytes();
+  result.link_busy_ms = plane.link_busy_ms();
   if (labels_out != nullptr) *labels_out = std::move(label);
   return result;
 }

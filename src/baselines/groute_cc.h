@@ -20,6 +20,7 @@
 #include "core/run_result.h"
 #include "graph/csr.h"
 #include "graph/partition.h"
+#include "sim/comm_plane.h"
 #include "sim/device.h"
 
 namespace gum::baselines {
@@ -31,6 +32,8 @@ struct GrouteCcOptions {
   double round_overhead_us = 40.0;
   double ring_gbps = 25.0;
   int max_rounds = 64;  // safety rail; expected rounds ~ log2(|V|)
+  // Interconnect contention model for the per-round boundary exchange.
+  sim::ContentionModel contention = sim::ContentionModel::kOff;
 };
 
 class GrouteCcEngine {

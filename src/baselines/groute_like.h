@@ -33,6 +33,7 @@
 #include "graph/csr.h"
 #include "graph/frontier_features.h"
 #include "graph/partition.h"
+#include "sim/comm_plane.h"
 #include "sim/device.h"
 #include "sim/kernel_cost.h"
 #include "sim/timeline.h"
@@ -54,6 +55,10 @@ struct GrouteOptions {
   double segment_size_bytes = 16.0 * 1024;
   double flush_timeout_us = 1000.0;
   long long max_batches = 20'000'000;
+  // Interconnect contention model: under kFair a store-and-forward hop
+  // queues behind whatever is still draining on that ring lane; kOff keeps
+  // the legacy infinitely-shareable lanes.
+  sim::ContentionModel contention = sim::ContentionModel::kOff;
 };
 
 template <typename App>
@@ -74,6 +79,12 @@ class GrouteLikeEngine {
 
     core::RunResult result;
     result.timeline = sim::Timeline(n);
+    // Groute's interconnect IS a ring: every transfer cost comes from the
+    // plane over the ring topology (with the odd-n PCIe wrap-around, the
+    // Fig. 7 odd/even artifact).
+    sim::CommPlane plane(
+        sim::Topology::Ring(n, options_.ring_gbps, /*pcie_odd_wrap=*/true),
+        options_.contention);
 
     std::vector<Value> values(num_v);
     for (VertexId v = 0; v < num_v; ++v) values[v] = app.InitValue(v);
@@ -168,8 +179,9 @@ class GrouteLikeEngine {
       }
 
       const double compute_ms = edges * edge_cost_ns / 1e6;
-      const double local_fetch_ms = edges * dev.bytes_per_remote_edge /
-                                    sim::Topology::kLocalMemoryGBps / 1e6;
+      const double local_fetch_ms =
+          plane.LaneMs(d, d, edges * dev.bytes_per_remote_edge);
+      plane.ReserveLane(d, d, t_start, edges * dev.bytes_per_remote_edge);
       double serial_ms = 0;
       double send_ms = 0;
       const double overhead_ms = options_.batch_overhead_us / 1000.0;
@@ -196,10 +208,24 @@ class GrouteLikeEngine {
             options_.flush_timeout_us * (1.0 - fill) / 1000.0;
         double arrival = t_end + serial_ms;
         for (int hop = d; hop != f; hop = (hop + 1) % n) {
-          arrival += options_.hop_latency_us / 1000.0 + flush_ms +
-                     bytes / HopBandwidth(hop, n) / 1e6;
+          const int next = (hop + 1) % n;
+          const double hop_ms = plane.LaneMs(hop, next, bytes);
+          if (hop == d) {
+            // Under contention injection queues on the sender's ring lane.
+            // Only the first hop reserves: a sender's bundles hit its lane
+            // in clock order, so the FIFO is exact there. Forwarding hops
+            // are pipelined by the per-link ring DMA engines and charge
+            // traffic without queueing — reserving them in send order would
+            // let a far-future multi-hop arrival ratchet the lane horizon
+            // ahead of earlier-arriving bundles and starve ingestion.
+            arrival = plane.ReserveLane(hop, next, arrival, bytes);
+          } else {
+            plane.RecordLinkTraffic(hop, next, bytes);
+          }
+          arrival += options_.hop_latency_us / 1000.0 + flush_ms + hop_ms;
         }
-        send_ms += bytes / HopBandwidth(d, n) / 1e6;
+        send_ms += plane.LaneMs(d, (d + 1) % n, bytes);
+        plane.RecordPayload(d, f, bytes);
         Bundle bundle;
         bundle.arrival_ms = arrival;
         bundle.messages = std::move(outgoing[f]);
@@ -219,20 +245,14 @@ class GrouteLikeEngine {
 
     result.iterations = static_cast<int>(batches);
     result.total_ms = *std::max_element(clock_ms.begin(), clock_ms.end());
+    result.link_bytes = plane.link_bytes();
+    result.payload_bytes = plane.payload_bytes();
+    result.link_busy_ms = plane.link_busy_ms();
     if (values_out != nullptr) *values_out = std::move(values);
     return result;
   }
 
  private:
-  // Ring hop bandwidth; with an odd device count one segment (the wrap-
-  // around) cannot be an NVLink lane and falls back to PCIe.
-  double HopBandwidth(int hop_src, int n) const {
-    if (n > 1 && n % 2 == 1 && hop_src == n - 1) {
-      return sim::Topology::kPcieGBps;
-    }
-    return options_.ring_gbps;
-  }
-
   const graph::CsrGraph* g_;
   graph::Partition partition_;
   GrouteOptions options_;

@@ -36,6 +36,7 @@
 #include "graph/csr.h"
 #include "graph/frontier_features.h"
 #include "graph/partition.h"
+#include "sim/comm_plane.h"
 #include "sim/device.h"
 #include "sim/kernel_cost.h"
 #include "sim/timeline.h"
@@ -54,6 +55,10 @@ struct GunrockOptions {
   // Host threads for the superstep runtime; <= 0 = hardware concurrency,
   // 1 = serial. Simulated results are identical for every setting.
   int num_host_threads = 0;
+  // Interconnect contention model (sim/comm_plane.h). The engine's plane
+  // uses RoutePolicy::kDirectOnly either way — Gunrock never routes through
+  // a transit GPU.
+  sim::ContentionModel contention = sim::ContentionModel::kOff;
 };
 
 template <typename App>
@@ -87,6 +92,8 @@ class GunrockLikeEngine {
 
     core::RunResult result;
     result.timeline = sim::Timeline(n);
+    sim::CommPlane plane(topology_, options_.contention,
+                         sim::RoutePolicy::kDirectOnly);
 
     std::vector<Value> values(num_v);
     for (VertexId v = 0; v < num_v; ++v) values[v] = app.InitValue(v);
@@ -127,7 +134,13 @@ class GunrockLikeEngine {
                             &unit_counters);
 
       // Gunrock-specific timing per (fragment == executor) unit, then the
-      // deterministic fragment-order merge.
+      // deterministic fragment-order merge. Pass 1 charges compute/serial/
+      // overhead and enqueues the unit's transfers (local fetch, then one
+      // bin per peer — the topology-oblivious direct/PCIe path); Settle
+      // prices them jointly; pass 2 posts the buckets.
+      sim::TransferBatch batch;
+      std::vector<double> unit_compute_ns(units.size(), 0.0);
+      std::vector<double> unit_serial_ns(units.size(), 0.0);
       for (size_t idx = 0; idx < units.size(); ++idx) {
         const int i = units[idx].fragment;
         const core::UnitCounters& c = unit_counters[idx];
@@ -138,9 +151,8 @@ class GunrockLikeEngine {
         const double edges = c.edges;
         result.edges_processed += c.edges_processed;
 
-        double compute_ns = edges * edge_cost_ns;
-        double comm_ns = edges * dev.bytes_per_remote_edge /
-                         topology_.EffectiveBandwidth(i, i);
+        unit_compute_ns[idx] = edges * edge_cost_ns;
+        batch.Add(i, i, edges * dev.bytes_per_remote_edge, i);
         double serial_ns = 0;
         for (int f = 0; f < n; ++f) {
           const double count = c.raw_msgs[f];
@@ -148,23 +160,26 @@ class GunrockLikeEngine {
           if (count <= 0) continue;
           const double bytes = count * dev.bytes_per_message;
           serial_ns += bytes / dev.serialization_gbps;
-          if (f != i) comm_ns += bytes / PeerBandwidth(i, f);
+          if (f != i) batch.Add(i, f, bytes, i);
         }
         // The separate kernel always runs with one bin per peer.
         serial_ns += 3000.0 * std::max(1, n - 1);
-        const double overhead_ns =
-            5 * dev.kernel_launch_us * 1000.0 + p_ns * n;
-
-        result.timeline.Add(iter, i, sim::TimeCategory::kCompute,
-                            compute_ns / 1e6);
-        result.timeline.Add(iter, i, sim::TimeCategory::kCommunication,
-                            comm_ns / 1e6);
-        result.timeline.Add(iter, i, sim::TimeCategory::kSerialization,
-                            serial_ns / 1e6);
-        result.timeline.Add(iter, i, sim::TimeCategory::kOverhead,
-                            overhead_ns / 1e6);
+        unit_serial_ns[idx] = serial_ns;
 
         store.Merge(staged[idx], combine, [](VertexId) {});
+      }
+      const sim::SettleResult comm = plane.Settle(batch);
+      const double overhead_ns = 5 * dev.kernel_launch_us * 1000.0 + p_ns * n;
+      for (size_t idx = 0; idx < units.size(); ++idx) {
+        const int i = units[idx].fragment;
+        result.timeline.Add(iter, i, sim::TimeCategory::kCompute,
+                            unit_compute_ns[idx] / 1e6);
+        result.timeline.Add(iter, i, sim::TimeCategory::kCommunication,
+                            comm.tag_comm_ns[i] / 1e6);
+        result.timeline.Add(iter, i, sim::TimeCategory::kSerialization,
+                            unit_serial_ns[idx] / 1e6);
+        result.timeline.Add(iter, i, sim::TimeCategory::kOverhead,
+                            overhead_ns / 1e6);
       }
       // Idle devices still participate in the barrier.
       for (int i = 0; i < n; ++i) {
@@ -189,18 +204,15 @@ class GunrockLikeEngine {
       result.iterations = iter + 1;
     }
 
+    result.link_bytes = plane.link_bytes();
+    result.payload_bytes = plane.payload_bytes();
+    result.link_busy_ms = plane.link_busy_ms();
+
     if (values_out != nullptr) *values_out = std::move(values);
     return result;
   }
 
  private:
-  // Topology-oblivious peer path: direct link if present, else PCIe (no
-  // transit routing).
-  double PeerBandwidth(int i, int j) const {
-    const double direct = topology_.DirectBandwidth(i, j);
-    return direct > 0 ? direct : sim::Topology::kPcieGBps;
-  }
-
   const graph::CsrGraph* g_;
   graph::Partition partition_;
   sim::Topology topology_;

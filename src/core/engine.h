@@ -69,6 +69,7 @@
 #include "graph/frontier_features.h"
 #include "graph/partition.h"
 #include "ml/model.h"
+#include "sim/comm_plane.h"
 #include "sim/kernel_cost.h"
 #include "sim/reduction_schedule.h"
 #include "sim/timeline.h"
@@ -117,7 +118,9 @@ class GumEngine {
 
     RunResult result;
     result.timeline = sim::Timeline(n);
-    result.link_bytes.assign(n, std::vector<double>(n, 0.0));
+    // Every transfer of the run is charged and recorded through this plane;
+    // its telemetry is exported into the result after the last iteration.
+    sim::CommPlane plane(topology_, options_.contention);
 
     std::vector<Value> values(num_v);
     for (VertexId v = 0; v < num_v; ++v) values[v] = app.InitValue(v);
@@ -192,7 +195,7 @@ class GumEngine {
            group_size < n)) {
         const auto cost_full =
             BuildCostMatrix(features, remote_discount, cost_model_,
-                            topology_, AllDevices(n));
+                            plane, AllDevices(n));
         OStealDecision dec = DecideOSteal(cost_full, loads, schedule_,
                                           p_estimate_ns, options_.osteal);
         stats.osteal_evaluated = true;
@@ -206,9 +209,8 @@ class GumEngine {
               const double bytes =
                   static_cast<double>(frontier[i].size()) *
                   dev.bytes_per_message;
-              const double ns =
-                  bytes / topology_.EffectiveBandwidth(owner_of_fragment[i],
-                                                       dec.owner[i]);
+              const double ns = plane.PointToPointNs(
+                  owner_of_fragment[i], dec.owner[i], bytes);
               result.timeline.Add(iter, dec.owner[i],
                                   sim::TimeCategory::kOverhead, ns / 1e6);
             }
@@ -232,7 +234,7 @@ class GumEngine {
 
       // --- Step 3: frontier stealing ---
       const auto cost = BuildCostMatrix(features, remote_discount,
-                                        cost_model_, topology_, active);
+                                        cost_model_, plane, active);
       FStealDecision fs;
       if (options_.enable_fsteal && group_size > 1) {
         fs = DecideFSteal(cost, loads, owner_of_fragment, active,
@@ -301,7 +303,7 @@ class GumEngine {
 
       // --- time accounting ---
       const TimeAccountingSummary acct = AccountSuperstepTime(
-          iter, topology_, dev, p_ns, options_.enable_message_aggregation,
+          iter, plane, dev, p_ns, options_.enable_message_aggregation,
           features, edges_done, hub_edges, agg_msgs, raw_msgs, apply_msgs,
           owner_of_fragment, active, fs, stolen_edges_this_iter, &result);
 
@@ -336,6 +338,10 @@ class GumEngine {
       prev_wall_ms = wall;
       result.iterations = iter + 1;
     }
+
+    result.link_bytes = plane.link_bytes();
+    result.payload_bytes = plane.payload_bytes();
+    result.link_busy_ms = plane.link_busy_ms();
 
     if (values_out != nullptr) *values_out = std::move(values);
     return result;

@@ -7,6 +7,7 @@
 
 #include "core/fsteal.h"
 #include "core/osteal.h"
+#include "sim/comm_plane.h"
 #include "sim/device.h"
 
 namespace gum::core {
@@ -39,6 +40,11 @@ struct EngineOptions {
 
   // --- substrate ---
   sim::DeviceParams device;
+  // Interconnect contention model (sim/comm_plane.h): kOff reproduces the
+  // legacy point-to-point timing bit for bit; kFair time-slices each lane
+  // across the transfers occupying it. Results (values, messages) are
+  // identical either way — only time and link telemetry differ.
+  sim::ContentionModel contention = sim::ContentionModel::kOff;
 
   // --- host execution ---
   // Host threads expanding the per-executor work units of Step 4

@@ -39,6 +39,7 @@ RunResult FastWcc(const graph::CsrGraph& g, const graph::Partition& partition,
 
   RunResult result;
   result.timeline = sim::Timeline(n);
+  sim::CommPlane plane(topology, options.contention);
 
   std::vector<VertexId> label(num_v);
   std::iota(label.begin(), label.end(), VertexId{0});
@@ -53,11 +54,19 @@ RunResult FastWcc(const graph::CsrGraph& g, const graph::Partition& partition,
   std::vector<VertexId> parent(num_v);
   std::vector<VertexId> proposed(num_v);
 
+  std::vector<double> compute_ms(n, 0.0);
+  std::vector<double> serial_ms(n, 0.0);
+  std::vector<std::pair<size_t, size_t>> transfer_range(n);
+
   int round = 0;
   bool converged = false;
   for (; round < options.max_rounds && !converged; ++round) {
     std::copy(label.begin(), label.end(), proposed.begin());
 
+    // Pass 1: hook/propose per device and enqueue the round's boundary
+    // shipments as one batch, so under contention=fair the devices'
+    // proposals genuinely compete for lanes.
+    sim::TransferBatch batch;
     for (int d = 0; d < n; ++d) {
       std::iota(parent.begin(), parent.end(), VertexId{0});
       for (const VertexId u : partition.part_vertices[d]) {
@@ -85,25 +94,44 @@ RunResult FastWcc(const graph::CsrGraph& g, const graph::Partition& partition,
 
       const double edges =
           static_cast<double>(partition.part_out_edges[d]);
-      const double compute_ms = edges * hook_edge_cost_ns[d] / 1e6;
-      double comm_ms = 0, serial_ms = 0;
+      compute_ms[d] = edges * hook_edge_cost_ns[d] / 1e6;
+      serial_ms[d] = 0.0;
+      transfer_range[d].first = batch.size();
       for (int owner = 0; owner < n; ++owner) {
         if (remote_updates[owner] <= 0) continue;
         const double bytes = remote_updates[owner] * dev.bytes_per_message;
-        comm_ms += bytes / topology.EffectiveBandwidth(d, owner) / 1e6;
-        serial_ms += bytes / dev.serialization_gbps / 1e6;
+        batch.Add(d, owner, bytes, d);
+        serial_ms[d] += bytes / dev.serialization_gbps / 1e6;
         result.messages_sent += static_cast<uint64_t>(remote_updates[owner]);
       }
-      const double overhead_ms =
-          (3 * dev.kernel_launch_us * 1000.0 + p_ns * n) / 1e6;
-      result.timeline.Add(round, d, sim::TimeCategory::kCompute, compute_ms);
+      transfer_range[d].second = batch.size();
+      result.edges_processed += partition.part_out_edges[d];
+    }
+
+    // Pass 2: settle the round's transfers and post the buckets.
+    const sim::SettleResult comm = plane.Settle(batch);
+    const double overhead_ms =
+        (3 * dev.kernel_launch_us * 1000.0 + p_ns * n) / 1e6;
+    for (int d = 0; d < n; ++d) {
+      double comm_ms = 0.0;
+      if (options.contention == sim::ContentionModel::kOff) {
+        // Legacy per-destination accumulation (each term converted to ms
+        // before summing), for bit-compatibility with the seed timings.
+        for (size_t k = transfer_range[d].first; k < transfer_range[d].second;
+             ++k) {
+          comm_ms += comm.completion_ns[k] / 1e6;
+        }
+      } else {
+        comm_ms = comm.tag_comm_ns[d] / 1e6;
+      }
+      result.timeline.Add(round, d, sim::TimeCategory::kCompute,
+                          compute_ms[d]);
       result.timeline.Add(round, d, sim::TimeCategory::kCommunication,
                           comm_ms);
       result.timeline.Add(round, d, sim::TimeCategory::kSerialization,
-                          serial_ms);
+                          serial_ms[d]);
       result.timeline.Add(round, d, sim::TimeCategory::kOverhead,
                           overhead_ms);
-      result.edges_processed += partition.part_out_edges[d];
     }
 
     converged = proposed == label;
@@ -114,6 +142,9 @@ RunResult FastWcc(const graph::CsrGraph& g, const graph::Partition& partition,
       << "FastWcc failed to converge within the round limit";
 
   result.iterations = round;
+  result.link_bytes = plane.link_bytes();
+  result.payload_bytes = plane.payload_bytes();
+  result.link_busy_ms = plane.link_busy_ms();
   if (labels_out != nullptr) *labels_out = std::move(label);
   return result;
 }

@@ -25,6 +25,7 @@
 #include "core/run_result.h"
 #include "graph/csr.h"
 #include "graph/partition.h"
+#include "sim/comm_plane.h"
 #include "sim/device.h"
 #include "sim/topology.h"
 
@@ -33,6 +34,8 @@ namespace gum::core {
 struct FastWccOptions {
   sim::DeviceParams device;
   int max_rounds = 64;
+  // Interconnect contention model for the per-round proposal shipments.
+  sim::ContentionModel contention = sim::ContentionModel::kOff;
 };
 
 // Runs on a symmetrized graph; labels_out[v] = min vertex id of v's

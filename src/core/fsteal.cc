@@ -18,8 +18,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 std::vector<std::vector<double>> BuildCostMatrix(
     const std::vector<graph::FrontierFeatures>& features,
     const std::vector<double>& remote_discount, const EdgeCostModel& model,
-    const sim::Topology& topology, const std::vector<int>& active_workers) {
-  const int n = topology.num_devices();
+    const sim::CommPlane& plane, const std::vector<int>& active_workers) {
+  const int n = plane.num_devices();
   GUM_CHECK(static_cast<int>(features.size()) == n);
   GUM_CHECK(static_cast<int>(remote_discount.size()) == n);
 
@@ -32,9 +32,8 @@ std::vector<std::vector<double>> BuildCostMatrix(
     const double g = model.EdgeCostNs(features[i]);
     for (int j = 0; j < n; ++j) {
       if (!active[j]) continue;  // OSteal-evicted: c_ij = infinity
-      // bytes / (GB/s) == ns, since 1 GB/s == 1 byte/ns.
       const double transfer =
-          bytes / topology.EffectiveBandwidth(i, j) *
+          plane.PointToPointNs(i, j, bytes) *
           (i == j ? 1.0 : remote_discount[i]);
       cost[i][j] = transfer + g;
     }

@@ -16,7 +16,7 @@
 #include "core/edge_cost_model.h"
 #include "graph/csr.h"
 #include "graph/frontier_features.h"
-#include "sim/topology.h"
+#include "sim/comm_plane.h"
 
 namespace gum::core {
 
@@ -44,10 +44,12 @@ struct FStealDecision {
 // the remote-transfer term of row i (hub-cache optimization, Example 6:
 // cached adjacency is read locally); 1.0 = no caching. Workers not in
 // `active_workers` get +infinity columns (OSteal interaction, §V-A step 3).
+// Transfer terms are the plane's uncontended path predictions — the policy
+// plans against nominal link speed in both contention modes.
 std::vector<std::vector<double>> BuildCostMatrix(
     const std::vector<graph::FrontierFeatures>& features,
     const std::vector<double>& remote_discount, const EdgeCostModel& model,
-    const sim::Topology& topology, const std::vector<int>& active_workers);
+    const sim::CommPlane& plane, const std::vector<int>& active_workers);
 
 // Decides the iteration's assignment. `loads[i]` = active edges of fragment
 // i; `owner_of_fragment[i]` = device that would process fragment i without

@@ -12,6 +12,19 @@ double RunResult::TotalRemoteBytes() const {
   return total;
 }
 
+double RunResult::TotalPayloadBytes() const {
+  // Engines that predate payload telemetry only fill link_bytes; under the
+  // point-to-point model the two are the same thing.
+  const auto& matrix = payload_bytes.empty() ? link_bytes : payload_bytes;
+  double total = 0;
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    for (size_t j = 0; j < matrix[i].size(); ++j) {
+      if (i != j) total += matrix[i][j];
+    }
+  }
+  return total;
+}
+
 double RunResult::StarvationMs() const {
   double starvation = 0;
   for (int it = 0; it < timeline.num_iterations(); ++it) {

@@ -42,11 +42,21 @@ struct RunResult {
   sim::Timeline timeline;
   std::vector<IterationStats> iteration_stats;
 
-  // Bytes moved between device pairs over the whole run (logical src ->
-  // dst; transit hops are not double-counted). link_bytes[i][i] is local
-  // memory traffic from remote-edge gathers. Filled by GumEngine.
+  // Per-hop traffic between device pairs over the whole run, as charged by
+  // the CommPlane: with contention=fair a 2-hop routed transfer appears on
+  // BOTH of its lanes; with contention=off (the legacy point-to-point
+  // model) traffic equals payload. link_bytes[i][i] is local memory
+  // traffic from remote-edge gathers. Filled from CommPlane telemetry.
   std::vector<std::vector<double>> link_bytes;
+  // Logical payload between endpoint pairs, counted once per transfer
+  // regardless of routing.
+  std::vector<std::vector<double>> payload_bytes;
+  // Time each directed lane spent occupied by at least one transfer.
+  std::vector<std::vector<double>> link_busy_ms;
+  // Off-diagonal traffic (per-hop under contention=fair).
   double TotalRemoteBytes() const;
+  // Off-diagonal payload (per-transfer; never double-counts transit hops).
+  double TotalPayloadBytes() const;
 
   // Bucket totals over the whole run (simulated ms).
   double ComputeMs() const {

@@ -6,7 +6,7 @@
 namespace gum::core {
 
 TimeAccountingSummary AccountSuperstepTime(
-    int iter, const sim::Topology& topology, const sim::DeviceParams& dev,
+    int iter, sim::CommPlane& plane, const sim::DeviceParams& dev,
     double p_ns, bool aggregate_messages,
     const std::vector<graph::FrontierFeatures>& features,
     const std::vector<std::vector<double>>& edges_done,
@@ -22,8 +22,16 @@ TimeAccountingSummary AccountSuperstepTime(
   const int m = static_cast<int>(active.size());
   TimeAccountingSummary summary;
   summary.kernel_launches.assign(n, 0);
+  // Pass 1: charge compute/serialization/overhead per device and enqueue
+  // the superstep's transfers. Enqueue order mirrors the legacy per-device
+  // accumulation (per active j: remote gather, local gather per source
+  // fragment, then message forwards per destination), so contention=off is
+  // bit-identical to the pre-CommPlane accounting.
+  sim::TransferBatch batch;
+  std::vector<double> compute_ns(n, 0.0);
+  std::vector<double> serial_ns(n, 0.0);
+  std::vector<double> overhead_ns(n, 0.0);
   for (const int j : active) {
-    double compute_ns = 0, comm_ns = 0, serial_ns = 0, overhead_ns = 0;
     int kernels = 0;
     int destinations = 0;
     double worked = 0;
@@ -32,15 +40,11 @@ TimeAccountingSummary AccountSuperstepTime(
       if (edges <= 0) continue;
       worked += edges;
       ++kernels;  // one gather kernel per source fragment
-      compute_ns += edges * sim::TrueEdgeCostNs(features[i], dev);
+      compute_ns[j] += edges * sim::TrueEdgeCostNs(features[i], dev);
       const double remote_edges = (i == j) ? 0.0 : edges - hub_edges[i][j];
       const double local_edges = edges - remote_edges;
-      comm_ns += remote_edges * dev.bytes_per_remote_edge /
-                 topology.EffectiveBandwidth(i, j);
-      comm_ns += local_edges * dev.bytes_per_remote_edge /
-                 topology.EffectiveBandwidth(j, j);
-      result->link_bytes[i][j] += remote_edges * dev.bytes_per_remote_edge;
-      result->link_bytes[j][j] += local_edges * dev.bytes_per_remote_edge;
+      batch.Add(i, j, remote_edges * dev.bytes_per_remote_edge, j);
+      batch.Add(j, j, local_edges * dev.bytes_per_remote_edge, j);
     }
     // Message forwarding to each destination fragment's owner.
     for (int f = 0; f < n; ++f) {
@@ -49,17 +53,16 @@ TimeAccountingSummary AccountSuperstepTime(
       if (count <= 0) continue;
       const double bytes = count * dev.bytes_per_message;
       const int owner = owner_of_fragment[f];
-      serial_ns += bytes / dev.serialization_gbps + 3000.0;  // binning
+      serial_ns[j] += bytes / dev.serialization_gbps + 3000.0;  // binning
       ++destinations;
       if (owner != j) {
-        comm_ns += bytes / topology.EffectiveBandwidth(j, owner);
-        result->link_bytes[j][owner] += bytes;
+        batch.Add(j, owner, bytes, j);
       }
     }
     // Apply kernel on the fragments this device owns.
     for (int f = 0; f < n; ++f) {
       if (owner_of_fragment[f] == j && apply_msgs[f] > 0) {
-        compute_ns += apply_msgs[f] * 3.0;  // per-message update cost
+        compute_ns[j] += apply_msgs[f] * 3.0;  // per-message update cost
         ++kernels;
       }
     }
@@ -67,20 +70,25 @@ TimeAccountingSummary AccountSuperstepTime(
     const double launch_ns = launches * dev.kernel_launch_us * 1000.0;
     summary.kernel_launches[j] = launches;
     summary.kernel_launch_ns_total += launch_ns;
-    overhead_ns += launch_ns;
-    overhead_ns += p_ns * m;  // barrier + buffer bookkeeping, Eq. (4)
+    overhead_ns[j] += launch_ns;
+    overhead_ns[j] += p_ns * m;  // barrier + buffer bookkeeping, Eq. (4)
     // Id conversion for outgoing messages.
-    overhead_ns += 0.5 * (worked > 0 ? 1.0 : 0.0) * destinations * 1000.0;
+    overhead_ns[j] += 0.5 * (worked > 0 ? 1.0 : 0.0) * destinations * 1000.0;
     if (fs.applied) {
       // Decision broadcast + stolen-status copies (Table IV overhead).
       const double fsteal_us = 18.0 + 2.5 * m;
-      overhead_ns += fsteal_us * 1000.0;
+      overhead_ns[j] += fsteal_us * 1000.0;
       result->fsteal_sim_overhead_ms += fsteal_us / 1000.0;
     }
-    tl.Add(iter, j, sim::TimeCategory::kCompute, compute_ns / 1e6);
-    tl.Add(iter, j, sim::TimeCategory::kCommunication, comm_ns / 1e6);
-    tl.Add(iter, j, sim::TimeCategory::kSerialization, serial_ns / 1e6);
-    tl.Add(iter, j, sim::TimeCategory::kOverhead, overhead_ns / 1e6);
+  }
+  // Pass 2: settle the batch against the interconnect and post the buckets.
+  const sim::SettleResult comm = plane.Settle(batch);
+  for (const int j : active) {
+    tl.Add(iter, j, sim::TimeCategory::kCompute, compute_ns[j] / 1e6);
+    tl.Add(iter, j, sim::TimeCategory::kCommunication,
+           comm.tag_comm_ns[j] / 1e6);
+    tl.Add(iter, j, sim::TimeCategory::kSerialization, serial_ns[j] / 1e6);
+    tl.Add(iter, j, sim::TimeCategory::kOverhead, overhead_ns[j] / 1e6);
   }
   if (fs.applied && stolen_edges > 0) {
     result->fsteal_sim_overhead_ms +=

@@ -6,6 +6,12 @@
 // is the analytic substrate model of DESIGN.md §1, formerly a private
 // template-header method of GumEngine; it depends on nothing App-specific,
 // so it lives here as a plain function.
+//
+// All transfer costs are charged through the CommPlane: the superstep's
+// remote-edge gathers and message forwards are enqueued as one
+// TransferBatch and settled together, so under contention=fair the
+// iteration's transfers genuinely compete for lanes, while contention=off
+// reproduces the legacy per-device accumulation bit for bit.
 
 #ifndef GUM_CORE_TIME_ACCOUNTING_H_
 #define GUM_CORE_TIME_ACCOUNTING_H_
@@ -15,8 +21,8 @@
 #include "core/fsteal.h"
 #include "core/run_result.h"
 #include "graph/frontier_features.h"
+#include "sim/comm_plane.h"
 #include "sim/device.h"
-#include "sim/topology.h"
 
 namespace gum::core {
 
@@ -36,10 +42,11 @@ struct TimeAccountingSummary {
 // device j (hub-cached ones read locally); `agg_msgs[j][f]` / `raw_msgs
 // [j][f]` are messages device j sends toward fragment f after / before
 // per-vertex aggregation; `apply_msgs[f]` are messages applied to fragment
-// f's vertices. Adds to result->timeline, link_bytes, messages_sent and
-// the stealing-overhead totals.
+// f's vertices. Adds to result->timeline, messages_sent and the
+// stealing-overhead totals; transfer bytes and lane busy time accumulate
+// in `plane` (the engine exports them into RunResult after the run).
 TimeAccountingSummary AccountSuperstepTime(
-    int iter, const sim::Topology& topology, const sim::DeviceParams& dev,
+    int iter, sim::CommPlane& plane, const sim::DeviceParams& dev,
     double p_ns, bool aggregate_messages,
     const std::vector<graph::FrontierFeatures>& features,
     const std::vector<std::vector<double>>& edges_done,

@@ -7,8 +7,12 @@
 namespace gum::sim {
 
 ReductionSchedule ReductionSchedule::Build(const Topology& topo) {
+  return Build(CommPlane(topo));
+}
+
+ReductionSchedule ReductionSchedule::Build(const CommPlane& plane) {
   ReductionSchedule schedule;
-  const int n = topo.num_devices();
+  const int n = plane.num_devices();
   schedule.n_ = n;
 
   std::vector<int> active(n);
@@ -27,12 +31,12 @@ ReductionSchedule ReductionSchedule::Build(const Topology& topo) {
       for (size_t k = 0; k < active.size(); ++k) {
         if (k != vi) residual.push_back(active[k]);
       }
-      const double residual_bw = topo.AggregateBandwidth(residual);
+      const double residual_bw = plane.AggregateBandwidth(residual);
       // Receiver: best-connected remaining peer of the victim.
       int receiver = residual[0];
-      double link = topo.EffectiveBandwidth(active[vi], receiver);
+      double link = plane.PathBandwidth(active[vi], receiver);
       for (int r : residual) {
-        const double bw = topo.EffectiveBandwidth(active[vi], r);
+        const double bw = plane.PathBandwidth(active[vi], r);
         if (bw > link || (bw == link && r < receiver)) {
           receiver = r;
           link = bw;

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "sim/comm_plane.h"
 #include "sim/topology.h"
 
 namespace gum::sim {
@@ -24,7 +25,10 @@ struct ReductionStep {
 
 class ReductionSchedule {
  public:
-  // Builds the elimination order for all devices of `topo`.
+  // Builds the elimination order over the plane's path bandwidths (the
+  // receiver choice follows the same routes transfers actually take).
+  static ReductionSchedule Build(const CommPlane& plane);
+  // Convenience: a point-to-point plane over `topo`.
   static ReductionSchedule Build(const Topology& topo);
 
   int num_devices() const { return n_; }

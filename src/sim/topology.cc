@@ -89,11 +89,12 @@ Result<Topology> Topology::HybridCubeMeshSubset(int n) {
   return t;
 }
 
-Topology Topology::Ring(int n, double gbps) {
+Topology Topology::Ring(int n, double gbps, bool pcie_odd_wrap) {
   GUM_CHECK(n >= 1);
   Topology t(n);
   if (n > 1) {
     for (int i = 0; i < n; ++i) t.SetDirectedLink(i, (i + 1) % n, gbps);
+    if (pcie_odd_wrap && n % 2 == 1) t.SetDirectedLink(n - 1, 0, kPcieGBps);
   }
   t.FinalizeRouting();
   return t;

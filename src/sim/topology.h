@@ -38,8 +38,12 @@ class Topology {
   static Result<Topology> HybridCubeMeshSubset(int n);
 
   // Unidirectional ring of single NVLink lanes (Groute's communication
-  // pattern). Only i->i+1 (mod n) links exist.
-  static Topology Ring(int n, double gbps = kNvlinkLaneGBps);
+  // pattern). Only i->i+1 (mod n) links exist. With pcie_odd_wrap and an
+  // odd n > 1, the wrap-around link n-1 -> 0 is the PCIe path instead —
+  // the DGX-1V hybrid cube mesh has no odd NVLink ring, so Groute's ring
+  // closes over PCIe there (the odd/even scalability artifact of Fig. 7).
+  static Topology Ring(int n, double gbps = kNvlinkLaneGBps,
+                       bool pcie_odd_wrap = false);
 
   // All pairs directly connected at `gbps` (NVSwitch-style).
   static Topology FullyConnected(int n, double gbps = kNvlinkLaneGBps);

@@ -1,0 +1,419 @@
+// CommPlane: routing, the two contention models, telemetry semantics, and
+// the engine-level contract that the `contention` knob changes only time
+// and telemetry — never results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "algos/apps.h"
+#include "baselines/groute_like.h"
+#include "baselines/gunrock_like.h"
+#include "core/engine.h"
+#include "sim/comm_plane.h"
+#include "sim/topology.h"
+#include "tests/test_util.h"
+
+namespace gum::sim {
+namespace {
+
+using algos::BfsApp;
+using algos::DeltaPageRankApp;
+using algos::SsspApp;
+using test::MakePartition;
+using test::MaxDegreeSource;
+using test::SocialGraph;
+using test::TestEngineOptions;
+using test::Topo;
+
+Topology Line3() {
+  // 0 -- 1 -- 2 at 50 GB/s; no direct 0 -- 2 link, so (0, 2) routes via 1
+  // (2-hop at kTransitEfficiency * 50 = 25 GB/s, better than PCIe's 10).
+  auto t = Topology::FromMatrix(
+      {{0.0, 50.0, 0.0}, {50.0, 0.0, 50.0}, {0.0, 50.0, 0.0}});
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+Topology Isolated2() {
+  // No NVLink at all: every pair falls back to PCIe.
+  auto t = Topology::FromMatrix({{0.0, 0.0}, {0.0, 0.0}});
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+TEST(CommPlaneTest, ParseContentionModel) {
+  auto off = ParseContentionModel("off");
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(*off, ContentionModel::kOff);
+  auto fair = ParseContentionModel("fair");
+  ASSERT_TRUE(fair.ok());
+  EXPECT_EQ(*fair, ContentionModel::kFair);
+  EXPECT_FALSE(ParseContentionModel("tcp").ok());
+  EXPECT_STREQ(ContentionModelName(ContentionModel::kOff), "off");
+  EXPECT_STREQ(ContentionModelName(ContentionModel::kFair), "fair");
+}
+
+TEST(CommPlaneTest, RoutePicksTransitAndPcie) {
+  const CommPlane plane(Line3());
+  const CommRoute direct = plane.Route(0, 1);
+  EXPECT_EQ(direct.transit, -1);
+  EXPECT_FALSE(direct.via_pcie);
+  EXPECT_DOUBLE_EQ(direct.point_to_point_gbps, 50.0);
+
+  const CommRoute routed = plane.Route(0, 2);
+  EXPECT_EQ(routed.transit, 1);
+  EXPECT_DOUBLE_EQ(routed.point_to_point_gbps,
+                   50.0 * Topology::kTransitEfficiency);
+
+  const CommPlane pcie(Isolated2());
+  const CommRoute fallback = pcie.Route(0, 1);
+  EXPECT_EQ(fallback.transit, -1);
+  EXPECT_TRUE(fallback.via_pcie);
+  EXPECT_DOUBLE_EQ(fallback.point_to_point_gbps, Topology::kPcieGBps);
+}
+
+TEST(CommPlaneTest, DirectOnlyPolicyNeverRoutes) {
+  const CommPlane plane(Line3(), ContentionModel::kOff,
+                        RoutePolicy::kDirectOnly);
+  const CommRoute r = plane.Route(0, 2);
+  EXPECT_EQ(r.transit, -1);
+  EXPECT_TRUE(r.via_pcie);
+  EXPECT_DOUBLE_EQ(r.point_to_point_gbps, Topology::kPcieGBps);
+  EXPECT_DOUBLE_EQ(plane.PointToPointNs(0, 2, 100.0),
+                   100.0 / Topology::kPcieGBps);
+}
+
+TEST(CommPlaneTest, OffModeMatchesEffectiveBandwidth) {
+  const auto topo = Topology::HybridCubeMesh8();
+  CommPlane plane(topo);  // kOff
+  TransferBatch batch;
+  batch.Add(0, 1, 1e6, 0);
+  batch.Add(0, 5, 2e6, 0);
+  batch.Add(3, 2, 5e5, 3);
+  const SettleResult settled = plane.Settle(batch);
+  ASSERT_EQ(settled.completion_ns.size(), 3u);
+  // Solo duration at the legacy path bandwidth, bit for bit.
+  EXPECT_DOUBLE_EQ(settled.completion_ns[0],
+                   1e6 / topo.EffectiveBandwidth(0, 1));
+  EXPECT_DOUBLE_EQ(settled.completion_ns[1],
+                   2e6 / topo.EffectiveBandwidth(0, 5));
+  EXPECT_DOUBLE_EQ(settled.completion_ns[2],
+                   5e5 / topo.EffectiveBandwidth(3, 2));
+  // Tag charge is the legacy accumulator: enqueue-order sum per tag.
+  EXPECT_DOUBLE_EQ(settled.tag_comm_ns[0],
+                   1e6 / topo.EffectiveBandwidth(0, 1) +
+                       2e6 / topo.EffectiveBandwidth(0, 5));
+  EXPECT_DOUBLE_EQ(settled.tag_comm_ns[3],
+                   5e5 / topo.EffectiveBandwidth(3, 2));
+  // Off-mode telemetry records endpoints: link bytes == payload bytes.
+  EXPECT_DOUBLE_EQ(plane.link_bytes()[0][1], 1e6);
+  EXPECT_DOUBLE_EQ(plane.payload_bytes()[0][1], 1e6);
+  EXPECT_DOUBLE_EQ(plane.link_bytes()[0][5], 2e6);
+}
+
+TEST(CommPlaneTest, FairSharesASingleLane) {
+  const auto topo = Topology::FullyConnected(2, 50.0);
+  // Solo: the full 50 GB/s lane.
+  {
+    CommPlane plane(topo, ContentionModel::kFair);
+    TransferBatch batch;
+    batch.Add(0, 1, 1e6, 0);
+    const SettleResult s = plane.Settle(batch);
+    EXPECT_DOUBLE_EQ(s.completion_ns[0], 1e6 / 50.0);
+  }
+  // Two transfers on the same directed lane: each gets half the bandwidth,
+  // both finish at twice the solo time.
+  CommPlane plane(topo, ContentionModel::kFair);
+  TransferBatch batch;
+  batch.Add(0, 1, 1e6, 0);
+  batch.Add(0, 1, 1e6, 1);
+  const SettleResult s = plane.Settle(batch);
+  EXPECT_DOUBLE_EQ(s.completion_ns[0], 1e6 / 25.0);
+  EXPECT_DOUBLE_EQ(s.completion_ns[1], 1e6 / 25.0);
+  // Fair tag charge is the makespan of the tag's transfers.
+  EXPECT_DOUBLE_EQ(s.tag_comm_ns[0], 1e6 / 25.0);
+  EXPECT_DOUBLE_EQ(s.tag_comm_ns[1], 1e6 / 25.0);
+  // The lane was busy for the whole batch; bytes sum over both users.
+  EXPECT_DOUBLE_EQ(plane.link_bytes()[0][1], 2e6);
+  EXPECT_DOUBLE_EQ(plane.link_busy_ms()[0][1], (1e6 / 25.0) / 1e6);
+}
+
+TEST(CommPlaneTest, FairDisjointLanesAreIndependent) {
+  const auto topo = Topology::FullyConnected(2, 50.0);
+  CommPlane plane(topo, ContentionModel::kFair);
+  TransferBatch batch;
+  batch.Add(0, 1, 1e6, 0);
+  batch.Add(1, 0, 4e6, 1);  // the opposite directed lane: no sharing
+  const SettleResult s = plane.Settle(batch);
+  EXPECT_DOUBLE_EQ(s.completion_ns[0], 1e6 / 50.0);
+  EXPECT_DOUBLE_EQ(s.completion_ns[1], 4e6 / 50.0);
+}
+
+TEST(CommPlaneTest, FairTransitChargesBothHops) {
+  CommPlane plane(Line3(), ContentionModel::kFair);
+  TransferBatch batch;
+  batch.Add(0, 2, 1e6, 0);  // routed via device 1
+  batch.Add(0, 1, 1e6, 1);  // competes on the first hop
+  const SettleResult s = plane.Settle(batch);
+  // Both transfers share lane 0 -> 1 (25 GB/s each); the routed one holds
+  // lane 1 -> 2 as well but that lane is uncontended.
+  EXPECT_DOUBLE_EQ(s.completion_ns[0], 1e6 / 25.0);
+  EXPECT_DOUBLE_EQ(s.completion_ns[1], 1e6 / 25.0);
+  // Traffic telemetry charges the routed transfer on BOTH hops...
+  EXPECT_DOUBLE_EQ(plane.link_bytes()[0][1], 2e6);
+  EXPECT_DOUBLE_EQ(plane.link_bytes()[1][2], 1e6);
+  EXPECT_DOUBLE_EQ(plane.link_bytes()[0][2], 0.0);
+  // ...while payload telemetry counts endpoints exactly once.
+  EXPECT_DOUBLE_EQ(plane.payload_bytes()[0][2], 1e6);
+  EXPECT_DOUBLE_EQ(plane.payload_bytes()[0][1], 1e6);
+  EXPECT_DOUBLE_EQ(plane.payload_bytes()[1][2], 0.0);
+}
+
+TEST(CommPlaneTest, FairPcieFallbackSharesThePciePool) {
+  CommPlane plane(Isolated2(), ContentionModel::kFair);
+  TransferBatch batch;
+  batch.Add(0, 1, 1e6, 0);
+  batch.Add(0, 1, 1e6, 1);
+  const SettleResult s = plane.Settle(batch);
+  // Two transfers split the 10 GB/s PCIe path.
+  EXPECT_DOUBLE_EQ(s.completion_ns[0], 1e6 / 5.0);
+  EXPECT_DOUBLE_EQ(s.completion_ns[1], 1e6 / 5.0);
+}
+
+TEST(CommPlaneTest, FairCompletionsAreEnqueueOrderInvariant) {
+  const auto topo = Topology::HybridCubeMesh8();
+  TransferBatch forward;
+  TransferBatch reversed;
+  std::vector<Transfer> transfers;
+  for (int i = 0; i < 24; ++i) {
+    const int src = i % 8;
+    const int dst = (src + 1 + (i * 5) % 7) % 8;
+    transfers.push_back({src, dst, 1e5 * (1 + i % 13), src});
+  }
+  for (const Transfer& t : transfers) {
+    forward.Add(t.src, t.dst, t.bytes, t.tag);
+  }
+  for (auto it = transfers.rbegin(); it != transfers.rend(); ++it) {
+    reversed.Add(it->src, it->dst, it->bytes, it->tag);
+  }
+  CommPlane plane_f(topo, ContentionModel::kFair);
+  CommPlane plane_r(topo, ContentionModel::kFair);
+  const SettleResult sf = plane_f.Settle(forward);
+  const SettleResult sr = plane_r.Settle(reversed);
+  const size_t m = transfers.size();
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_DOUBLE_EQ(sf.completion_ns[i], sr.completion_ns[m - 1 - i]);
+  }
+  for (size_t tag = 0; tag < sf.tag_comm_ns.size(); ++tag) {
+    EXPECT_DOUBLE_EQ(sf.tag_comm_ns[tag], sr.tag_comm_ns[tag]);
+  }
+  EXPECT_EQ(plane_f.link_bytes(), plane_r.link_bytes());
+}
+
+TEST(CommPlaneTest, FairConservesBytes) {
+  // Total traffic absorbed by the lanes at their achieved rates equals the
+  // enqueued per-hop bytes (the max-min allocation never loses work).
+  const auto topo = Topology::HybridCubeMesh8();
+  CommPlane plane(topo, ContentionModel::kFair);
+  TransferBatch batch;
+  double payload = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    const int src = (i * 3) % 8;
+    const int dst = (src + 2 + i % 5) % 8;
+    if (src == dst) continue;
+    batch.Add(src, dst, 7e4 * (1 + i), src);
+    payload += 7e4 * (1 + i);
+  }
+  (void)plane.Settle(batch);
+  double total_payload = 0.0;
+  double total_traffic = 0.0;
+  for (const auto& row : plane.payload_bytes()) {
+    for (double v : row) total_payload += v;
+  }
+  for (const auto& row : plane.link_bytes()) {
+    for (double v : row) total_traffic += v;
+  }
+  EXPECT_DOUBLE_EQ(total_payload, payload);
+  // Per-hop traffic is at least the payload (transit doubles some of it).
+  EXPECT_GE(total_traffic, payload);
+}
+
+TEST(CommPlaneTest, ReserveLaneQueuesOnlyUnderFair) {
+  const auto topo = Topology::FullyConnected(2, 50.0);
+  const double lane_ms = 1e6 / 50.0 / 1e6;
+  {
+    CommPlane plane(topo, ContentionModel::kOff);
+    EXPECT_DOUBLE_EQ(plane.ReserveLane(0, 1, 0.0, 1e6), 0.0);
+    // Legacy lanes are infinitely shareable: no queueing, ever.
+    EXPECT_DOUBLE_EQ(plane.ReserveLane(0, 1, 0.0, 1e6), 0.0);
+  }
+  CommPlane plane(topo, ContentionModel::kFair);
+  EXPECT_DOUBLE_EQ(plane.ReserveLane(0, 1, 0.0, 1e6), 0.0);
+  // The lane drains at lane_ms; a second transfer queues behind it.
+  EXPECT_DOUBLE_EQ(plane.ReserveLane(0, 1, 0.0, 1e6), lane_ms);
+  // A transfer already ready after the drain starts on time.
+  EXPECT_DOUBLE_EQ(plane.ReserveLane(0, 1, 10.0, 1e6), 10.0);
+  EXPECT_DOUBLE_EQ(plane.link_bytes()[0][1], 3e6);
+}
+
+TEST(CommPlaneTest, RecordLinkTrafficAccountsWithoutQueueing) {
+  const auto topo = Topology::FullyConnected(2, 50.0);
+  const double lane_ms = 1e6 / 50.0 / 1e6;
+  CommPlane plane(topo, ContentionModel::kFair);
+  plane.RecordLinkTraffic(0, 1, 1e6);
+  // Telemetry matches a ReserveLane of the same bytes...
+  EXPECT_DOUBLE_EQ(plane.link_bytes()[0][1], 1e6);
+  EXPECT_DOUBLE_EQ(plane.link_busy_ms()[0][1], lane_ms);
+  // ...but the lane FIFO is untouched: the next reservation starts on time.
+  EXPECT_DOUBLE_EQ(plane.ReserveLane(0, 1, 0.0, 1e6), 0.0);
+  // Payload matrix is the caller's job, as with ReserveLane.
+  EXPECT_DOUBLE_EQ(plane.payload_bytes()[0][1], 0.0);
+}
+
+TEST(CommPlaneTest, RenderAsciiListsBusyLanes) {
+  CommPlane plane(Topology::FullyConnected(2, 50.0), ContentionModel::kFair);
+  TransferBatch batch;
+  batch.Add(0, 1, 1e6, 0);
+  (void)plane.Settle(batch);
+  const std::string table = plane.RenderAscii();
+  EXPECT_NE(table.find("0 -> 1"), std::string::npos);
+  EXPECT_EQ(table.find("1 -> 0"), std::string::npos);
+  const std::string empty = CommPlane(Topology::FullyConnected(2)).RenderAscii();
+  EXPECT_NE(empty.find("no interconnect traffic"), std::string::npos);
+}
+
+// ---------- engine-level contract ----------
+
+template <typename App, typename Value = typename App::Value>
+core::RunResult RunGum(const graph::CsrGraph& g, App app,
+                       ContentionModel model, std::vector<Value>* values,
+                       int host_threads = 0, bool enable_osteal = false) {
+  auto opt = TestEngineOptions();
+  opt.contention = model;
+  opt.num_host_threads = host_threads;
+  // OSteal triggers on the previous iteration's *simulated* wall time, so
+  // the contention model may legitimately change its schedule; disable it
+  // where the test demands bitwise-equal schedules across models.
+  opt.enable_osteal = enable_osteal;
+  core::GumEngine<App> engine(&g, MakePartition(g, 4), Topo(4), opt);
+  return engine.Run(app, values);
+}
+
+TEST(CommPlaneEngineTest, GumContentionChangesOnlyTimeAndTelemetry) {
+  const auto g = SocialGraph(10, 21);
+  BfsApp app;
+  app.source = MaxDegreeSource(g);
+  std::vector<uint32_t> depths_off;
+  std::vector<uint32_t> depths_fair;
+  const auto off = RunGum(g, app, ContentionModel::kOff, &depths_off);
+  const auto fair = RunGum(g, app, ContentionModel::kFair, &depths_fair);
+  EXPECT_EQ(depths_off, depths_fair);
+  EXPECT_EQ(off.iterations, fair.iterations);
+  EXPECT_EQ(off.edges_processed, fair.edges_processed);
+  EXPECT_EQ(off.messages_sent, fair.messages_sent);
+  EXPECT_EQ(off.stolen_edges_total, fair.stolen_edges_total);
+  // The same transfers moved: logical payload is model-invariant.
+  EXPECT_DOUBLE_EQ(off.TotalPayloadBytes(), fair.TotalPayloadBytes());
+  // Off-mode legacy semantics: link bytes ARE the payload bytes.
+  EXPECT_EQ(off.link_bytes, off.payload_bytes);
+  // Fair mode never reports less per-hop traffic than payload.
+  EXPECT_GE(fair.TotalRemoteBytes(), fair.TotalPayloadBytes() - 1e-9);
+  // Busy-time telemetry only exists for lanes that carried traffic.
+  ASSERT_EQ(fair.link_busy_ms.size(), fair.link_bytes.size());
+}
+
+TEST(CommPlaneEngineTest, GumSsspContentionPreservesValues) {
+  const auto g = SocialGraph(10, 22, /*weighted=*/true);
+  SsspApp app;
+  app.source = MaxDegreeSource(g);
+  std::vector<float> dist_off;
+  std::vector<float> dist_fair;
+  // Full default machinery (OSteal on): results must still be identical —
+  // schedules may differ, answers may not.
+  (void)RunGum(g, app, ContentionModel::kOff, &dist_off, 0, true);
+  (void)RunGum(g, app, ContentionModel::kFair, &dist_fair, 0, true);
+  EXPECT_EQ(dist_off, dist_fair);
+}
+
+TEST(CommPlaneEngineTest, GumDeltaPageRankContentionPreservesValues) {
+  const auto g = SocialGraph(9, 23);
+  DeltaPageRankApp app;
+  app.num_vertices = g.num_vertices();
+  app.epsilon = 1e-12;
+  std::vector<DeltaPageRankApp::State> off_state;
+  std::vector<DeltaPageRankApp::State> fair_state;
+  const auto off = RunGum(g, app, ContentionModel::kOff, &off_state);
+  const auto fair = RunGum(g, app, ContentionModel::kFair, &fair_state);
+  ASSERT_EQ(off_state.size(), fair_state.size());
+  for (size_t v = 0; v < off_state.size(); ++v) {
+    EXPECT_EQ(off_state[v].rank, fair_state[v].rank);
+  }
+  EXPECT_EQ(off.iterations, fair.iterations);
+}
+
+TEST(CommPlaneEngineTest, FairModeIsDeterministicAcrossThreadCounts) {
+  const auto g = SocialGraph(10, 24);
+  BfsApp app;
+  app.source = MaxDegreeSource(g);
+  std::vector<uint32_t> d1;
+  std::vector<uint32_t> d4;
+  const auto r1 = RunGum(g, app, ContentionModel::kFair, &d1, 1);
+  const auto r4 = RunGum(g, app, ContentionModel::kFair, &d4, 4);
+  EXPECT_EQ(d1, d4);
+  EXPECT_EQ(r1.total_ms, r4.total_ms);  // bitwise, not approximately
+  EXPECT_EQ(r1.link_bytes, r4.link_bytes);
+  EXPECT_EQ(r1.link_busy_ms, r4.link_busy_ms);
+}
+
+TEST(CommPlaneEngineTest, GunrockContentionChangesOnlyTime) {
+  const auto g = SocialGraph(10, 25);
+  BfsApp app;
+  app.source = MaxDegreeSource(g);
+  baselines::GunrockOptions off_opt;
+  baselines::GunrockOptions fair_opt;
+  fair_opt.contention = ContentionModel::kFair;
+  std::vector<uint32_t> depths_off;
+  std::vector<uint32_t> depths_fair;
+  const auto part = MakePartition(g, 4);
+  const auto off =
+      baselines::GunrockLikeEngine<BfsApp>(&g, part, Topo(4), off_opt)
+          .Run(app, &depths_off);
+  app.source = MaxDegreeSource(g);
+  const auto fair =
+      baselines::GunrockLikeEngine<BfsApp>(&g, part, Topo(4), fair_opt)
+          .Run(app, &depths_fair);
+  EXPECT_EQ(depths_off, depths_fair);
+  EXPECT_EQ(off.iterations, fair.iterations);
+  EXPECT_EQ(off.messages_sent, fair.messages_sent);
+  EXPECT_DOUBLE_EQ(off.TotalPayloadBytes(), fair.TotalPayloadBytes());
+  // No direction is asserted on the charge: `off` sums a device's per-peer
+  // flushes serially while `fair` overlaps them (makespan), so fair can be
+  // faster on disjoint lanes even though shared lanes slow it down.
+  EXPECT_GT(fair.CommunicationMs(), 0.0);
+}
+
+TEST(CommPlaneEngineTest, GrouteContentionPreservesValuesAndSlowsRing) {
+  const auto g = SocialGraph(10, 26);
+  BfsApp app;
+  app.source = MaxDegreeSource(g);
+  baselines::GrouteOptions off_opt;
+  baselines::GrouteOptions fair_opt;
+  fair_opt.contention = ContentionModel::kFair;
+  std::vector<uint32_t> depths_off;
+  std::vector<uint32_t> depths_fair;
+  const auto part = MakePartition(g, 4);
+  const auto off = baselines::GrouteLikeEngine<BfsApp>(&g, part, off_opt)
+                       .Run(app, &depths_off);
+  app.source = MaxDegreeSource(g);
+  const auto fair = baselines::GrouteLikeEngine<BfsApp>(&g, part, fair_opt)
+                        .Run(app, &depths_fair);
+  EXPECT_EQ(depths_off, depths_fair);
+  // Store-and-forward hops now queue on busy lanes: the simulated clock
+  // can only move later.
+  EXPECT_GE(fair.total_ms, off.total_ms - 1e-9);
+}
+
+}  // namespace
+}  // namespace gum::sim

@@ -6,6 +6,7 @@
 
 #include "core/fsteal.h"
 #include "graph/generators.h"
+#include "sim/comm_plane.h"
 
 namespace gum::core {
 namespace {
@@ -33,10 +34,10 @@ std::vector<int> AllWorkers(int n) {
 }
 
 TEST(CostMatrixTest, LocalCheaperThanRemote) {
-  const auto topo = sim::Topology::HybridCubeMesh8();
+  const sim::CommPlane plane(sim::Topology::HybridCubeMesh8());
   const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
   const auto cost = BuildCostMatrix(UniformFeatures(8),
-                                    std::vector<double>(8, 1.0), model, topo,
+                                    std::vector<double>(8, 1.0), model, plane,
                                     AllWorkers(8));
   for (int i = 0; i < 8; ++i) {
     for (int j = 0; j < 8; ++j) {
@@ -48,10 +49,10 @@ TEST(CostMatrixTest, LocalCheaperThanRemote) {
 }
 
 TEST(CostMatrixTest, DoubleLaneCheaperThanSingleLane) {
-  const auto topo = sim::Topology::HybridCubeMesh8();
+  const sim::CommPlane plane(sim::Topology::HybridCubeMesh8());
   const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
   const auto cost = BuildCostMatrix(UniformFeatures(8),
-                                    std::vector<double>(8, 1.0), model, topo,
+                                    std::vector<double>(8, 1.0), model, plane,
                                     AllWorkers(8));
   // 0-3 has two lanes, 0-1 has one: processing 0's edges on 3 is cheaper
   // than on 1 (paper §III-B intuition).
@@ -59,10 +60,10 @@ TEST(CostMatrixTest, DoubleLaneCheaperThanSingleLane) {
 }
 
 TEST(CostMatrixTest, EvictedColumnsInfinite) {
-  const auto topo = sim::Topology::HybridCubeMesh8();
+  const sim::CommPlane plane(sim::Topology::HybridCubeMesh8());
   const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
   const auto cost = BuildCostMatrix(UniformFeatures(8),
-                                    std::vector<double>(8, 1.0), model, topo,
+                                    std::vector<double>(8, 1.0), model, plane,
                                     {0, 3});
   for (int i = 0; i < 8; ++i) {
     EXPECT_EQ(cost[i][5], kInf);
@@ -72,22 +73,22 @@ TEST(CostMatrixTest, EvictedColumnsInfinite) {
 }
 
 TEST(CostMatrixTest, HubDiscountReducesRemoteCost) {
-  const auto topo = sim::Topology::HybridCubeMesh8();
+  const sim::CommPlane plane(sim::Topology::HybridCubeMesh8());
   const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
   std::vector<double> no_cache(8, 1.0), cached(8, 0.2);
   const auto plain = BuildCostMatrix(UniformFeatures(8), no_cache, model,
-                                     topo, AllWorkers(8));
-  const auto disc = BuildCostMatrix(UniformFeatures(8), cached, model, topo,
+                                     plane, AllWorkers(8));
+  const auto disc = BuildCostMatrix(UniformFeatures(8), cached, model, plane,
                                     AllWorkers(8));
   EXPECT_LT(disc[0][7], plain[0][7]);
   EXPECT_DOUBLE_EQ(disc[0][0], plain[0][0]);  // local unaffected
 }
 
 TEST(DecideFStealTest, BelowT1KeepsIdentity) {
-  const auto topo = sim::Topology::FullyConnected(4);
+  const sim::CommPlane plane(sim::Topology::FullyConnected(4));
   const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
   const auto cost = BuildCostMatrix(UniformFeatures(4),
-                                    std::vector<double>(4, 1.0), model, topo,
+                                    std::vector<double>(4, 1.0), model, plane,
                                     AllWorkers(4));
   FStealConfig config;
   config.t1_min_max_load = 1000;
@@ -99,10 +100,10 @@ TEST(DecideFStealTest, BelowT1KeepsIdentity) {
 }
 
 TEST(DecideFStealTest, BalancedLoadSkipsViaT2) {
-  const auto topo = sim::Topology::FullyConnected(4);
+  const sim::CommPlane plane(sim::Topology::FullyConnected(4));
   const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
   const auto cost = BuildCostMatrix(UniformFeatures(4),
-                                    std::vector<double>(4, 1.0), model, topo,
+                                    std::vector<double>(4, 1.0), model, plane,
                                     AllWorkers(4));
   FStealConfig config;
   config.t1_min_max_load = 100;
@@ -114,10 +115,10 @@ TEST(DecideFStealTest, BalancedLoadSkipsViaT2) {
 }
 
 TEST(DecideFStealTest, SkewTriggersStealing) {
-  const auto topo = sim::Topology::FullyConnected(4);
+  const sim::CommPlane plane(sim::Topology::FullyConnected(4));
   const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
   const auto cost = BuildCostMatrix(UniformFeatures(4),
-                                    std::vector<double>(4, 1.0), model, topo,
+                                    std::vector<double>(4, 1.0), model, plane,
                                     AllWorkers(4));
   FStealConfig config;
   config.t1_min_max_load = 0;
@@ -136,10 +137,10 @@ TEST(DecideFStealTest, SkewTriggersStealing) {
 }
 
 TEST(DecideFStealTest, GreedyModeAlsoBalances) {
-  const auto topo = sim::Topology::FullyConnected(4);
+  const sim::CommPlane plane(sim::Topology::FullyConnected(4));
   const auto model = EdgeCostModel::ExactOracle(sim::DeviceParams{});
   const auto cost = BuildCostMatrix(UniformFeatures(4),
-                                    std::vector<double>(4, 1.0), model, topo,
+                                    std::vector<double>(4, 1.0), model, plane,
                                     AllWorkers(4));
   FStealConfig config;
   config.t1_min_max_load = 0;

@@ -41,6 +41,18 @@ TEST(RunResultTest, RemoteBytesExcludeDiagonal) {
   EXPECT_DOUBLE_EQ(r.TotalRemoteBytes(), 30.0);
 }
 
+TEST(RunResultTest, PayloadBytesFallBackToLinkBytes) {
+  RunResult r;
+  // Legacy producers fill only link_bytes (== payload under contention=off).
+  r.link_bytes = {{100.0, 10.0}, {20.0, 200.0}};
+  EXPECT_DOUBLE_EQ(r.TotalPayloadBytes(), 30.0);
+  // A contention-aware producer exports both: traffic counts every hop,
+  // payload counts each transfer once, so traffic >= payload.
+  r.payload_bytes = {{0.0, 5.0}, {15.0, 0.0}};
+  EXPECT_DOUBLE_EQ(r.TotalPayloadBytes(), 20.0);
+  EXPECT_DOUBLE_EQ(r.TotalRemoteBytes(), 30.0);
+}
+
 TEST(RunResultTest, EmptyResultIsZero) {
   RunResult r;
   EXPECT_DOUBLE_EQ(r.TotalRemoteBytes(), 0.0);

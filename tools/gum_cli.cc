@@ -14,12 +14,16 @@
 //   --source=V                   traversal source (default: max out-degree)
 //   --pr-rounds=N --epsilon=E    PageRank controls
 //   --no-fsteal --no-osteal      disable GUM's stealing mechanisms
+//   --contention=off|fair        interconnect contention model (default off;
+//                                fair time-slices each lane across the
+//                                transfers occupying it)
 //   --host-threads=N             host threads for the superstep runtime
 //                                (0 = hardware concurrency, 1 = serial;
 //                                results are identical for every setting)
 //
 // Output:
 //   --timeline                   print the per-device utilization chart
+//   --show-links                 print the per-link lane utilization table
 //   --save-values=PATH           write "vertex value" lines
 //
 // Example:
@@ -39,6 +43,7 @@
 #include "graph/io.h"
 #include "graph/partition.h"
 #include "graph/stats.h"
+#include "sim/comm_plane.h"
 #include "sim/topology.h"
 
 using namespace gum;  // NOLINT(build/namespaces)
@@ -50,7 +55,7 @@ constexpr const char* kKnownFlags[] = {
     "seed",      "rows",       "cols",      "engine",      "algo",
     "devices",   "partitioner", "source",   "pr-rounds",   "epsilon",
     "no-fsteal", "no-osteal",  "timeline",  "save-values", "help",
-    "timeline-csv", "host-threads",
+    "timeline-csv", "host-threads", "contention", "show-links",
 };
 
 void PrintUsage() {
@@ -61,7 +66,8 @@ void PrintUsage() {
       "               [--devices=N] [--partitioner=random|seg|metis]\n"
       "               [--source=V] [--pr-rounds=N] [--epsilon=E]\n"
       "               [--no-fsteal] [--no-osteal] [--host-threads=N]\n"
-      "               [--timeline] [--save-values=PATH]\n";
+      "               [--contention=off|fair] [--timeline] [--show-links]\n"
+      "               [--save-values=PATH]\n";
 }
 
 Result<graph::EdgeList> LoadOrGenerate(const FlagParser& flags) {
@@ -113,21 +119,31 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
   std::vector<Value> values;
 
   const int host_threads = static_cast<int>(flags.GetInt("host-threads", 0));
+  auto contention =
+      sim::ParseContentionModel(flags.GetString("contention", "off"));
+  if (!contention.ok()) {
+    std::cerr << contention.status().ToString() << "\n";
+    return 1;
+  }
   if (engine_name == "gum") {
     core::EngineOptions options;
     options.enable_fsteal = !flags.GetBool("no-fsteal", false);
     options.enable_osteal = !flags.GetBool("no-osteal", false);
     options.num_host_threads = host_threads;
+    options.contention = *contention;
     core::GumEngine<App> engine(&g, partition, topology, options);
     result = engine.Run(app, &values);
   } else if (engine_name == "gunrock") {
     baselines::GunrockOptions options;
     options.num_host_threads = host_threads;
+    options.contention = *contention;
     baselines::GunrockLikeEngine<App> engine(&g, partition, topology,
                                              options);
     result = engine.Run(app, &values);
   } else if (engine_name == "groute") {
-    baselines::GrouteLikeEngine<App> engine(&g, partition, {});
+    baselines::GrouteOptions options;
+    options.contention = *contention;
+    baselines::GrouteLikeEngine<App> engine(&g, partition, options);
     result = engine.Run(app, &values);
   } else {
     std::cerr << "unknown --engine=" << engine_name << "\n";
@@ -149,6 +165,12 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
             << result.OverheadMs() << "\n";
   if (flags.GetBool("timeline", false)) {
     std::cout << result.timeline.RenderAscii(96);
+  }
+  if (flags.GetBool("show-links", false)) {
+    std::cout << "link utilization (" << sim::ContentionModelName(*contention)
+              << " contention):\n"
+              << sim::CommPlane::RenderAsciiTable(
+                     result.link_bytes, result.link_busy_ms, result.total_ms);
   }
   if (flags.Has("timeline-csv")) {
     std::ofstream out(flags.GetString("timeline-csv", ""));
