@@ -214,14 +214,17 @@ const SuperstepFixture& GetSuperstepFixture() {
 
 void BM_SuperstepExpandBfs8Dev(benchmark::State& state) {
   const SuperstepFixture& fx = GetSuperstepFixture();
-  ThreadPool pool(static_cast<int>(state.range(0)));
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(threads);
+  const core::ShardMap shards(fx.g.num_vertices(), threads);
   algos::BfsApp app;
   std::vector<uint32_t> values = fx.values;
   std::vector<core::MessageStaging<uint32_t>> staged;
   std::vector<core::UnitCounters> counters;
   for (auto _ : state) {
     core::ExpandSuperstep(&pool, fx.g, fx.partition, nullptr, fx.owner, app,
-                          values, fx.frontier, fx.units, &staged, &counters);
+                          values, fx.frontier, fx.units, shards, &staged,
+                          &counters);
     benchmark::DoNotOptimize(staged.data());
   }
   state.SetItemsProcessed(state.iterations() *
@@ -231,12 +234,15 @@ BENCHMARK(BM_SuperstepExpandBfs8Dev)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime();
 
-// Expansion plus the deterministic ordered merge and store drain — one full
-// Step 4. The merge is intentionally serial (it defines the determinism
-// contract), so this bounds the end-to-end speedup from above.
+// Expansion plus the destination-sharded merge and store drain — one full
+// Step 4. Merge and apply parallelize over shards (= threads here, the
+// default knob), so end-to-end scaling is no longer capped by a serial
+// drain.
 void BM_SuperstepFullBfs8Dev(benchmark::State& state) {
   const SuperstepFixture& fx = GetSuperstepFixture();
-  ThreadPool pool(static_cast<int>(state.range(0)));
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(threads);
+  const core::ShardMap shards(fx.g.num_vertices(), threads);
   algos::BfsApp app;
   std::vector<uint32_t> values = fx.values;
   std::vector<core::MessageStaging<uint32_t>> staged;
@@ -245,10 +251,10 @@ void BM_SuperstepFullBfs8Dev(benchmark::State& state) {
   const auto combine = [](uint32_t a, uint32_t b) { return std::min(a, b); };
   for (auto _ : state) {
     core::ExpandSuperstep(&pool, fx.g, fx.partition, nullptr, fx.owner, app,
-                          values, fx.frontier, fx.units, &staged, &counters);
-    for (size_t idx = 0; idx < fx.units.size(); ++idx) {
-      store.Merge(staged[idx], combine, [](graph::VertexId) {});
-    }
+                          values, fx.frontier, fx.units, shards, &staged,
+                          &counters);
+    store.MergeSharded(&pool, shards, staged, fx.units.size(), combine,
+                       [](int, size_t, graph::VertexId) {});
     benchmark::DoNotOptimize(store.PendingCount());
     store.EndSuperstep();
   }
@@ -257,6 +263,123 @@ void BM_SuperstepFullBfs8Dev(benchmark::State& state) {
 }
 BENCHMARK(BM_SuperstepFullBfs8Dev)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+// --- phase-split superstep timings (expand / merge / apply) ---
+//
+// PageRank on the rmat fixture: every vertex active, double-sum combiner —
+// the message-heaviest Step-4 shape, where merge+apply dominate wall-clock.
+// The CI bench-smoke job emits these rows as BENCH_superstep.json
+// (workload in the name, threads/shards as named args, wall-ms as
+// real_time), the machine-readable perf trajectory of the message plane.
+
+struct PrPhaseFixture {
+  const SuperstepFixture& fx = GetSuperstepFixture();
+  algos::PageRankApp app;
+  std::vector<double> values;
+
+  PrPhaseFixture() {
+    app.num_vertices = fx.g.num_vertices();
+    values.assign(fx.g.num_vertices(), 1.0 / fx.g.num_vertices());
+  }
+};
+
+PrPhaseFixture& GetPrPhaseFixture() {
+  static PrPhaseFixture* fx = new PrPhaseFixture;
+  return *fx;
+}
+
+void BM_SuperstepMergePr8Dev(benchmark::State& state) {
+  PrPhaseFixture& pf = GetPrPhaseFixture();
+  const SuperstepFixture& fx = pf.fx;
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  const core::ShardMap shards(fx.g.num_vertices(),
+                              static_cast<int>(state.range(1)));
+  std::vector<double> values = pf.values;
+  std::vector<core::MessageStaging<double>> staged;
+  std::vector<core::UnitCounters> counters;
+  core::ExpandSuperstep(&pool, fx.g, fx.partition, nullptr, fx.owner, pf.app,
+                        values, fx.frontier, fx.units, shards, &staged,
+                        &counters);
+  core::MessageStore<double> store(fx.g.num_vertices());
+  const auto combine = [](double a, double b) { return a + b; };
+  for (auto _ : state) {
+    store.MergeSharded(&pool, shards, staged, fx.units.size(), combine,
+                       [](int, size_t, graph::VertexId) {});
+    benchmark::DoNotOptimize(store.PendingCount());
+    store.EndSuperstep();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.g.num_edges()));
+}
+BENCHMARK(BM_SuperstepMergePr8Dev)
+    ->ArgNames({"threads", "shards"})
+    ->Args({1, 1})->Args({2, 2})->Args({4, 4})->Args({8, 8})->Args({8, 32})
+    ->UseRealTime();
+
+void BM_SuperstepApplyPr8Dev(benchmark::State& state) {
+  PrPhaseFixture& pf = GetPrPhaseFixture();
+  const SuperstepFixture& fx = pf.fx;
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  const core::ShardMap shards(fx.g.num_vertices(),
+                              static_cast<int>(state.range(1)));
+  std::vector<double> values = pf.values;
+  std::vector<core::MessageStaging<double>> staged;
+  std::vector<core::UnitCounters> counters;
+  core::ExpandSuperstep(&pool, fx.g, fx.partition, nullptr, fx.owner, pf.app,
+                        values, fx.frontier, fx.units, shards, &staged,
+                        &counters);
+  core::MessageStore<double> store(fx.g.num_vertices());
+  const auto combine = [](double a, double b) { return a + b; };
+  core::ApplyScratch scratch;
+  for (auto _ : state) {
+    state.PauseTiming();
+    store.MergeSharded(&pool, shards, staged, fx.units.size(), combine,
+                       [](int, size_t, graph::VertexId) {});
+    state.ResumeTiming();
+    core::ApplySuperstep(&pool, shards, fx.partition, pf.app, store, values,
+                         /*fixed_rounds=*/true, &scratch, nullptr, nullptr);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.g.num_vertices()));
+}
+BENCHMARK(BM_SuperstepApplyPr8Dev)
+    ->ArgNames({"threads", "shards"})
+    ->Args({1, 1})->Args({2, 2})->Args({4, 4})->Args({8, 8})->Args({8, 32})
+    ->UseRealTime();
+
+// Merge + apply back to back — the phase the sharded message plane
+// parallelizes; compare {t,s}={1,1} (the pre-shard serial drain) against
+// {8,8}.
+void BM_SuperstepMergeApplyPr8Dev(benchmark::State& state) {
+  PrPhaseFixture& pf = GetPrPhaseFixture();
+  const SuperstepFixture& fx = pf.fx;
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  const core::ShardMap shards(fx.g.num_vertices(),
+                              static_cast<int>(state.range(1)));
+  std::vector<double> values = pf.values;
+  std::vector<core::MessageStaging<double>> staged;
+  std::vector<core::UnitCounters> counters;
+  core::ExpandSuperstep(&pool, fx.g, fx.partition, nullptr, fx.owner, pf.app,
+                        values, fx.frontier, fx.units, shards, &staged,
+                        &counters);
+  core::MessageStore<double> store(fx.g.num_vertices());
+  const auto combine = [](double a, double b) { return a + b; };
+  core::ApplyScratch scratch;
+  for (auto _ : state) {
+    store.MergeSharded(&pool, shards, staged, fx.units.size(), combine,
+                       [](int, size_t, graph::VertexId) {});
+    core::ApplySuperstep(&pool, shards, fx.partition, pf.app, store, values,
+                         /*fixed_rounds=*/true, &scratch, nullptr, nullptr);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.g.num_edges()));
+}
+BENCHMARK(BM_SuperstepMergeApplyPr8Dev)
+    ->ArgNames({"threads", "shards"})
+    ->Args({1, 1})->Args({2, 2})->Args({4, 4})->Args({8, 8})->Args({8, 32})
     ->UseRealTime();
 
 // Whole-engine host wall-clock on 8 vGPUs (census + stealing decisions +

@@ -55,6 +55,10 @@ struct GunrockOptions {
   // Host threads for the superstep runtime; <= 0 = hardware concurrency,
   // 1 = serial. Simulated results are identical for every setting.
   int num_host_threads = 0;
+  // Destination shards for the message plane's merge/apply parallelism;
+  // <= 0 matches the resolved host thread count. Results are identical for
+  // every setting (core/message_store.h ShardMap).
+  int num_msg_shards = 0;
   // Interconnect contention model (sim/comm_plane.h). The engine's plane
   // uses RoutePolicy::kDirectOnly either way — Gunrock never routes through
   // a transit GPU.
@@ -75,10 +79,12 @@ class GunrockLikeEngine {
         topology_(std::move(topology)),
         options_(options) {
     GUM_CHECK(partition_.num_parts == topology_.num_devices());
-    const int threads = options_.num_host_threads <= 0
-                            ? ThreadPool::HardwareThreads()
-                            : options_.num_host_threads;
-    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+    host_threads_ = options_.num_host_threads <= 0
+                        ? ThreadPool::HardwareThreads()
+                        : options_.num_host_threads;
+    if (host_threads_ > 1) {
+      pool_ = std::make_unique<ThreadPool>(host_threads_);
+    }
   }
 
   core::RunResult Run(App& app, std::vector<Value>* values_out = nullptr) {
@@ -102,8 +108,13 @@ class GunrockLikeEngine {
       if (app.IsInitiallyActive(v)) frontier[partition_.owner[v]].push_back(v);
     }
     core::MessageStore<Message> store(num_v);
+    const core::ShardMap shard_map(num_v, options_.num_msg_shards > 0
+                                              ? options_.num_msg_shards
+                                              : host_threads_);
     std::vector<core::MessageStaging<Message>> staged;
     std::vector<core::UnitCounters> unit_counters;
+    core::ApplyScratch apply_scratch;
+    std::vector<std::vector<VertexId>> next_frontier(n);
 
     // Identity plan: fragment i is always expanded by device i.
     const core::FStealDecision no_steal;
@@ -130,11 +141,11 @@ class GunrockLikeEngine {
                                owner_of_fragment, /*active=*/{});
       core::ExpandSuperstep(pool_.get(), *g_, partition_,
                             /*hub_cache=*/nullptr, owner_of_fragment, app,
-                            values, frontier, units, &staged,
+                            values, frontier, units, shard_map, &staged,
                             &unit_counters);
 
       // Gunrock-specific timing per (fragment == executor) unit, then the
-      // deterministic fragment-order merge. Pass 1 charges compute/serial/
+      // deterministic sharded merge. Pass 1 charges compute/serial/
       // overhead and enqueues the unit's transfers (local fetch, then one
       // bin per peer — the topology-oblivious direct/PCIe path); Settle
       // prices them jointly; pass 2 posts the buckets.
@@ -165,9 +176,9 @@ class GunrockLikeEngine {
         // The separate kernel always runs with one bin per peer.
         serial_ns += 3000.0 * std::max(1, n - 1);
         unit_serial_ns[idx] = serial_ns;
-
-        store.Merge(staged[idx], combine, [](VertexId) {});
       }
+      store.MergeSharded(pool_.get(), shard_map, staged, units.size(),
+                         combine, [](int, size_t, VertexId) {});
       const sim::SettleResult comm = plane.Settle(batch);
       const double overhead_ns = 5 * dev.kernel_launch_us * 1000.0 + p_ns * n;
       for (size_t idx = 0; idx < units.size(); ++idx) {
@@ -190,14 +201,14 @@ class GunrockLikeEngine {
       }
 
       if (fixed_rounds >= 0) {
-        core::ApplySuperstep(partition_, app, store, values,
-                             /*fixed_rounds=*/true, nullptr, nullptr);
+        core::ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
+                             values, /*fixed_rounds=*/true, &apply_scratch,
+                             nullptr, nullptr);
       } else {
-        std::vector<std::vector<VertexId>> next_frontier(n);
-        core::ApplySuperstep(partition_, app, store, values,
-                             /*fixed_rounds=*/false, &next_frontier,
-                             nullptr);
-        frontier = std::move(next_frontier);
+        core::ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
+                             values, /*fixed_rounds=*/false, &apply_scratch,
+                             &next_frontier, nullptr);
+        frontier.swap(next_frontier);
       }
 
       result.total_ms += result.timeline.IterationWall(iter);
@@ -217,6 +228,7 @@ class GunrockLikeEngine {
   graph::Partition partition_;
   sim::Topology topology_;
   GunrockOptions options_;
+  int host_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -7,6 +7,7 @@
 #ifndef GUM_COMMON_BITMAP_H_
 #define GUM_COMMON_BITMAP_H_
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -61,6 +62,30 @@ class Bitmap {
   void ForEachSet(Fn&& fn) const {
     for (size_t w = 0; w < words_.size(); ++w) {
       uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  // Calls fn(index) for every set bit in [begin, end), in increasing index
+  // order. end is clamped to size(); the range may start or end mid-word.
+  template <typename Fn>
+  void ForEachSetInRange(size_t begin, size_t end, Fn&& fn) const {
+    end = std::min(end, size_);
+    if (begin >= end) return;
+    const size_t first_word = begin >> 6;
+    const size_t last_word = (end - 1) >> 6;
+    for (size_t w = first_word; w <= last_word; ++w) {
+      uint64_t word = words_[w];
+      if (w == first_word && (begin & 63) != 0) {
+        word &= ~uint64_t{0} << (begin & 63);
+      }
+      if (w == last_word && (end & 63) != 0) {
+        word &= (uint64_t{1} << (end & 63)) - 1;
+      }
       while (word != 0) {
         const int bit = std::countr_zero(word);
         fn(w * 64 + static_cast<size_t>(bit));

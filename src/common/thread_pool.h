@@ -41,8 +41,16 @@ class ThreadPool {
   // Invokes fn(i) exactly once for every i in [0, count), distributing
   // indices dynamically across the pool, and returns once all invocations
   // have completed. fn must not throw and must not call ParallelFor on the
-  // same pool (no nesting).
-  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+  // same pool (no nesting). grain >= 1 is the number of consecutive indices
+  // a thread claims at a time — larger grains cut claim traffic and keep
+  // index-adjacent data on one thread.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                   size_t grain = 1);
+
+  // Static-range variant: one contiguous block of ceil(count / num_threads)
+  // indices per thread, so index-adjacent work (e.g. ascending vertex
+  // shards) stays cache-local within a thread.
+  void ParallelForStatic(size_t count, const std::function<void(size_t)>& fn);
 
   // std::thread::hardware_concurrency() clamped to at least 1.
   static int HardwareThreads();
@@ -61,10 +69,12 @@ class ThreadPool {
   int unfinished_ = 0;       // workers still inside the current generation
   bool stop_ = false;
 
-  // Current task; valid only while a generation is in flight.
+  // Current task; valid only while a generation is in flight. next_ claims
+  // whole blocks of grain_ consecutive indices.
   const std::function<void(size_t)>* task_ = nullptr;
   std::atomic<size_t> next_{0};
   size_t count_ = 0;
+  size_t grain_ = 1;
 };
 
 }  // namespace gum

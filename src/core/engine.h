@@ -17,10 +17,11 @@
 // docs/architecture.md):
 //   core/superstep.h       — Step-4 decomposition into per-executor work
 //                            units, expanded on a host ThreadPool
-//   core/message_store.h   — deterministic inbox + per-worker staging
+//   core/message_store.h   — deterministic inbox + per-worker staging,
+//                            destination-sharded merge/apply
 //   core/time_accounting.h — the analytic device-time model
-// Results are bit-identical for every num_host_threads setting; see
-// DESIGN.md, "Determinism contract".
+// Results are bit-identical for every num_host_threads and num_msg_shards
+// setting; see DESIGN.md, "Determinism contract".
 //
 // Algorithm semantics are exact; device time is accounted by the analytic
 // substrate model (see DESIGN.md §1). The App concept:
@@ -102,10 +103,12 @@ class GumEngine {
     if (options_.enable_hub_cache) {
       hub_cache_ = HubCache(*g_, options_.t4_hub_in_degree);
     }
-    const int threads = options_.num_host_threads <= 0
-                            ? ThreadPool::HardwareThreads()
-                            : options_.num_host_threads;
-    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+    host_threads_ = options_.num_host_threads <= 0
+                        ? ThreadPool::HardwareThreads()
+                        : options_.num_host_threads;
+    if (host_threads_ > 1) {
+      pool_ = std::make_unique<ThreadPool>(host_threads_);
+    }
   }
 
   // Runs the app to convergence; returns timing statistics and, optionally,
@@ -132,6 +135,10 @@ class GumEngine {
     }
 
     MessageStore<Message> store(num_v);
+    // Destination shards: the parallel axis of the merge and apply phases.
+    const ShardMap shard_map(
+        num_v,
+        options_.num_msg_shards > 0 ? options_.num_msg_shards : host_threads_);
 
     std::vector<int> owner_of_fragment(n);
     for (int i = 0; i < n; ++i) owner_of_fragment[i] = i;
@@ -155,6 +162,13 @@ class GumEngine {
     std::vector<double> apply_msgs(n);
     std::vector<MessageStaging<Message>> staged;
     std::vector<UnitCounters> unit_counters;
+    // Per-shard first-writer attribution ([shard][executor][owner]) and the
+    // sharded apply's segment buffers, both reused across iterations.
+    std::vector<std::vector<std::vector<double>>> shard_agg(
+        shard_map.num_shards(),
+        std::vector<std::vector<double>>(n, std::vector<double>(n)));
+    ApplyScratch apply_scratch;
+    std::vector<std::vector<VertexId>> next_frontier(n);
 
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
       if (fixed_rounds >= 0) {
@@ -261,15 +275,10 @@ class GumEngine {
           *g_, frontier, fs, loads, owner_of_fragment, active);
       ExpandSuperstep(pool_.get(), *g_, partition_, &hub_cache_,
                       owner_of_fragment, app, values, frontier, units,
-                      &staged, &unit_counters);
+                      shard_map, &staged, &unit_counters);
 
-      // Aggregate per-unit counters and merge staged messages in canonical
-      // unit order (the serial engine's loop nest) — this is what keeps
-      // results bit-identical for any thread count.
+      // Aggregate per-unit counters serially (cheap, integer-exact sums).
       double stolen_edges_this_iter = 0.0;
-      const auto combine = [&app](const Message& a, const Message& b) {
-        return app.Combine(a, b);
-      };
       for (size_t idx = 0; idx < units.size(); ++idx) {
         const WorkUnit& unit = units[idx];
         const UnitCounters& c = unit_counters[idx];
@@ -280,25 +289,46 @@ class GumEngine {
         }
         stolen_edges_this_iter += c.stolen_edges;
         result.edges_processed += c.edges_processed;
-        store.Merge(staged[idx], combine, [&](VertexId v) {
-          // First writer pays the transfer.
-          agg_msgs[unit.executor][partition_.owner[v]] += 1.0;
-        });
       }
       result.stolen_edges_total += stolen_edges_this_iter;
       stats.stolen_edges = stolen_edges_this_iter;
+
+      // Sharded merge: every shard replays its bins in canonical unit order
+      // (the serial engine's loop nest restricted to the shard's vertices)
+      // — combine chains and first-writer attribution stay bit-identical
+      // for any shard x thread count.
+      const auto combine = [&app](const Message& a, const Message& b) {
+        return app.Combine(a, b);
+      };
+      for (auto& per_exec : shard_agg) {
+        for (auto& row : per_exec) std::fill(row.begin(), row.end(), 0.0);
+      }
+      store.MergeSharded(
+          pool_.get(), shard_map, staged, units.size(), combine,
+          [&](int shard, size_t unit_idx, VertexId v) {
+            // First writer pays the transfer; attributed per shard, reduced
+            // below (integer-valued doubles, exact in any order).
+            shard_agg[shard][units[unit_idx].executor]
+                     [partition_.owner[v]] += 1.0;
+          });
+      for (const auto& per_exec : shard_agg) {
+        for (int e = 0; e < n; ++e) {
+          for (int f = 0; f < n; ++f) agg_msgs[e][f] += per_exec[e][f];
+        }
+      }
 
       // --- apply phase (end of superstep; next frontier) ---
       if (fixed_rounds >= 0) {
         // Stationary workload: the frontier is rebuilt from part_vertices
         // at the top of the next round, so no next-frontier is built.
-        ApplySuperstep(partition_, app, store, values, /*fixed_rounds=*/true,
+        ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
+                       values, /*fixed_rounds=*/true, &apply_scratch,
                        nullptr, &apply_msgs);
       } else {
-        std::vector<std::vector<VertexId>> next_frontier(n);
-        ApplySuperstep(partition_, app, store, values,
-                       /*fixed_rounds=*/false, &next_frontier, &apply_msgs);
-        frontier = std::move(next_frontier);
+        ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
+                       values, /*fixed_rounds=*/false, &apply_scratch,
+                       &next_frontier, &apply_msgs);
+        frontier.swap(next_frontier);
       }
 
       // --- time accounting ---
@@ -361,6 +391,7 @@ class GumEngine {
   sim::ReductionSchedule schedule_;
   EdgeCostModel cost_model_;
   HubCache hub_cache_;
+  int host_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -52,6 +52,13 @@ struct EngineOptions {
   // legacy serial path. Results are bit-identical for every setting (see
   // DESIGN.md, "Determinism contract").
   int num_host_threads = 0;
+  // Destination shards for the message plane: merge and apply parallelize
+  // over disjoint contiguous vertex ranges (core/message_store.h ShardMap).
+  // <= 0 matches the resolved host thread count. Results are bit-identical
+  // for every setting — a vertex lives in exactly one shard, so combine
+  // chains and first-writer attribution never change (DESIGN.md, "Sharded
+  // message plane").
+  int num_msg_shards = 0;
 
   // --- safety rails ---
   int max_iterations = 200000;

@@ -2,6 +2,17 @@
 
 namespace gum::core {
 
+ShardMap::ShardMap(size_t num_vertices, int num_shards)
+    : num_vertices_(num_vertices) {
+  const size_t requested = num_shards < 1 ? 1 : static_cast<size_t>(num_shards);
+  // Word-aligned width so two shards never share a Bitmap word; graphs too
+  // small to fill the requested shard count get fewer shards.
+  const size_t per_shard = (num_vertices + requested - 1) / requested;
+  width_ = std::max<size_t>(64, (per_shard + 63) / 64 * 64);
+  num_shards_ = static_cast<int>(
+      std::max<size_t>(1, (num_vertices + width_ - 1) / width_));
+}
+
 MessageStoreBase::MessageStoreBase(size_t num_vertices)
     : set_(num_vertices) {}
 

@@ -1,32 +1,114 @@
-// Deterministic per-superstep message store.
+// Deterministic per-superstep message store, sharded by destination.
 //
 // The BSP engines combine every message addressed to a vertex into one
 // inbox slot ("early aggregation", paper Fig. 4b). The store pairs the
 // typed inbox with a membership Bitmap and supports two write paths:
 //
 //   * Deposit — direct combine, used when a single thread expands frontiers;
-//   * MessageStaging + Merge — each worker records its outgoing messages in
-//     a private staging buffer during parallel expansion; the buffers are
-//     then merged serially in canonical work-unit order (fragments
-//     ascending, executors in plan order). Because a staging buffer
-//     preserves generation order and the merge replays the serial engine's
-//     loop nest, the combine chain for every vertex — and therefore the
-//     "first writer pays the transfer" attribution of agg_msgs — is
-//     bit-identical to the single-threaded engine for any thread count.
+//   * MessageStaging + MergeSharded — each worker bins its outgoing
+//     messages by destination shard at generation time (O(1) routing, see
+//     ShardMap); shard s then replays every unit's shard-s bin in canonical
+//     work-unit order (fragments ascending, executors in plan order). A
+//     vertex lives in exactly one shard, so each vertex's combine chain —
+//     and therefore the "first writer pays the transfer" attribution of
+//     agg_msgs — is bit-identical to the single-threaded engine for any
+//     shard x thread count. Shard widths are multiples of 64, so concurrent
+//     shard merges never touch the same Bitmap word.
 //
-// See DESIGN.md, "Determinism contract".
+// See DESIGN.md, "Determinism contract" and "Sharded message plane".
 
 #ifndef GUM_CORE_MESSAGE_STORE_H_
 #define GUM_CORE_MESSAGE_STORE_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <limits>
 #include <utility>
 #include <vector>
 
 #include "common/bitmap.h"
+#include "common/thread_pool.h"
 #include "graph/types.h"
 
 namespace gum::core {
+
+// Partition of [0, num_vertices) into contiguous equal-width shards. The
+// width is rounded up to a multiple of 64 (the Bitmap word size) so that
+// two shards never share a membership word — the invariant that lets
+// MergeSharded and the sharded apply run shards on different threads.
+// Routing is one integer division: ShardOf(v) = v / width().
+class ShardMap {
+ public:
+  // One shard that routes every vertex to bin 0.
+  ShardMap() = default;
+  // Splits num_vertices into at most num_shards word-aligned shards (fewer
+  // when the graph is too small to fill them).
+  ShardMap(size_t num_vertices, int num_shards);
+
+  int num_shards() const { return num_shards_; }
+  size_t width() const { return width_; }
+  int ShardOf(graph::VertexId v) const { return static_cast<int>(v / width_); }
+  size_t ShardBegin(int s) const { return static_cast<size_t>(s) * width_; }
+  size_t ShardEnd(int s) const {
+    return std::min(num_vertices_, ShardBegin(s) + width_);
+  }
+
+ private:
+  size_t num_vertices_ = 0;
+  // The default width routes every representable vertex to shard 0.
+  size_t width_ = std::numeric_limits<size_t>::max();
+  int num_shards_ = 1;
+};
+
+// One worker's staged outgoing messages, binned by destination shard; each
+// bin preserves generation order. Configure() must run before Emit; a
+// default-constructed staging routes everything to one bin.
+template <typename Message>
+class MessageStaging {
+ public:
+  using Entry = std::pair<graph::VertexId, Message>;
+
+  // Adopts the map's routing. Reshaping to a new shard count re-reserves
+  // each bin's previous high-water size so steady-state supersteps stop
+  // re-growing vectors.
+  void Configure(const ShardMap& shards) {
+    width_ = shards.width();
+    const size_t n = static_cast<size_t>(shards.num_shards());
+    if (bins_.size() != n) {
+      bins_.assign(n, {});
+      for (size_t s = 0; s < n && s < high_water_.size(); ++s) {
+        bins_[s].reserve(high_water_[s]);
+      }
+    }
+    if (high_water_.size() < n) high_water_.resize(n, 0);
+  }
+
+  void Emit(graph::VertexId v, const Message& m) {
+    bins_[v / width_].emplace_back(v, m);
+  }
+
+  // Empties every bin in place, keeping capacity for the next iteration.
+  void Clear() {
+    for (size_t s = 0; s < bins_.size(); ++s) {
+      high_water_[s] = std::max(high_water_[s], bins_[s].size());
+      bins_[s].clear();
+    }
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& bin : bins_) total += bin.size();
+    return total;
+  }
+  int num_bins() const { return static_cast<int>(bins_.size()); }
+  const std::vector<Entry>& bin(int s) const { return bins_[s]; }
+
+ private:
+  size_t width_ = std::numeric_limits<size_t>::max();
+  std::vector<std::vector<Entry>> bins_ =
+      std::vector<std::vector<Entry>>(1);
+  std::vector<size_t> high_water_ = std::vector<size_t>(1, 0);
+};
 
 // Untyped membership state shared by every MessageStore<Message>
 // instantiation (definitions in message_store.cc).
@@ -45,23 +127,6 @@ class MessageStoreBase {
 
  protected:
   Bitmap set_;
-};
-
-// One worker's staged outgoing messages, in generation order.
-template <typename Message>
-class MessageStaging {
- public:
-  void Emit(graph::VertexId v, const Message& m) {
-    entries_.emplace_back(v, m);
-  }
-  void Clear() { entries_.clear(); }
-  size_t size() const { return entries_.size(); }
-  const std::vector<std::pair<graph::VertexId, Message>>& entries() const {
-    return entries_;
-  }
-
- private:
-  std::vector<std::pair<graph::VertexId, Message>> entries_;
 };
 
 template <typename Message>
@@ -85,15 +150,57 @@ class MessageStore : public MessageStoreBase {
     return false;
   }
 
-  // Replays one staging buffer in its recorded order; `first_writer(v)`
-  // fires for each deposit that claimed a fresh slot. Merging every work
-  // unit's buffer in canonical unit order reproduces the serial engine's
-  // combine chains exactly.
+  // Replays one staging buffer, bins in shard order; `first_writer(v)`
+  // fires for each deposit that claimed a fresh slot. Per-vertex combine
+  // chains match generation order exactly (a vertex maps to one bin).
   template <typename CombineFn, typename FirstWriterFn>
   void Merge(const MessageStaging<Message>& staged, CombineFn&& combine,
              FirstWriterFn&& first_writer) {
-    for (const auto& [v, m] : staged.entries()) {
-      if (Deposit(v, m, combine)) first_writer(v);
+    for (int s = 0; s < staged.num_bins(); ++s) {
+      for (const auto& [v, m] : staged.bin(s)) {
+        if (Deposit(v, m, combine)) first_writer(v);
+      }
+    }
+  }
+
+  // Replays shard `shard` of staged[0..num_units) in canonical unit order;
+  // `first_writer(unit, v)` fires per fresh slot. Distinct shards touch
+  // disjoint word-aligned vertex ranges, so calls with different `shard`
+  // values may run concurrently.
+  template <typename CombineFn, typename FirstWriterFn>
+  void MergeShard(int shard,
+                  const std::vector<MessageStaging<Message>>& staged,
+                  size_t num_units, CombineFn&& combine,
+                  FirstWriterFn&& first_writer) {
+    for (size_t u = 0; u < num_units; ++u) {
+      if (shard >= staged[u].num_bins()) continue;
+      for (const auto& [v, m] : staged[u].bin(shard)) {
+        if (Deposit(v, m, combine)) first_writer(u, v);
+      }
+    }
+  }
+
+  // The sharded parallel merge: every shard replays in canonical unit
+  // order, shards distributed over the pool in static contiguous ranges.
+  // `first_writer(shard, unit, v)` runs concurrently for distinct shards —
+  // accumulate per shard and reduce afterwards. Bit-identical to a serial
+  // Merge of staged[0..num_units) for any shard x thread count.
+  template <typename CombineFn, typename FirstWriterFn>
+  void MergeSharded(ThreadPool* pool, const ShardMap& shards,
+                    const std::vector<MessageStaging<Message>>& staged,
+                    size_t num_units, CombineFn&& combine,
+                    FirstWriterFn&& first_writer) {
+    const int s_count = shards.num_shards();
+    const auto merge_one = [&](size_t s) {
+      MergeShard(static_cast<int>(s), staged, num_units, combine,
+                 [&first_writer, s](size_t unit, graph::VertexId v) {
+                   first_writer(static_cast<int>(s), unit, v);
+                 });
+    };
+    if (pool == nullptr || pool->num_threads() <= 1 || s_count <= 1) {
+      for (int s = 0; s < s_count; ++s) merge_one(static_cast<size_t>(s));
+    } else {
+      pool->ParallelForStatic(static_cast<size_t>(s_count), merge_one);
     }
   }
 
@@ -103,6 +210,15 @@ class MessageStore : public MessageStoreBase {
   template <typename Fn>
   void ForEachPending(Fn&& fn) const {
     set_.ForEachSet([&](size_t v) {
+      fn(static_cast<graph::VertexId>(v), inbox_[v]);
+    });
+  }
+
+  // Pending messages with begin <= vertex < end, ascending. Safe to call
+  // concurrently for word-aligned disjoint ranges (i.e. shard ranges).
+  template <typename Fn>
+  void ForEachPendingInRange(size_t begin, size_t end, Fn&& fn) const {
+    set_.ForEachSetInRange(begin, end, [&](size_t v) {
       fn(static_cast<graph::VertexId>(v), inbox_[v]);
     });
   }

@@ -13,18 +13,25 @@
 //     private UnitCounters record.
 // They may therefore run on any number of host threads in any order;
 // determinism is restored by merging staging buffers into the MessageStore
-// in canonical unit order — exactly the serial engine's loop nest (see
-// DESIGN.md, "Determinism contract").
+// in canonical unit order — exactly the serial engine's loop nest. The
+// merge and apply phases themselves parallelize over destination shards
+// (disjoint contiguous vertex ranges, core/message_store.h), which leaves
+// every per-vertex combine chain untouched (see DESIGN.md, "Determinism
+// contract" and "Sharded message plane").
 //
-// Thread-safety requirement on App: OnFrontier may mutate the vertex value
-// it is handed but must not mutate App member state; Scatter and Combine
-// must be pure. Every bundled app satisfies this.
+// Thread-safety requirement on App: OnFrontier and Apply may mutate the
+// vertex value they are handed but must not mutate App member state;
+// Scatter and Combine must be pure. Every bundled app satisfies this.
+// (Apply runs concurrently across destination shards — disjoint vertex
+// ranges — in the sharded apply phase below.)
 
 #ifndef GUM_CORE_SUPERSTEP_H_
 #define GUM_CORE_SUPERSTEP_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -96,6 +103,8 @@ inline std::vector<WorkUnit> BuildWorkUnits(
 // Expands one unit: OnFrontier/Scatter over the unit's vertex range,
 // staging every emitted message and recording the unit's counters.
 // hub_cache may be null (baselines without the Example-6 optimization).
+// The weighted/unweighted branch is selected once per unit, not re-tested
+// on every edge, by instantiating the scatter loop per weight accessor.
 template <typename App>
 void ExpandUnit(const graph::CsrGraph& g, const graph::Partition& partition,
                 const HubCache* hub_cache, int fragment_owner, App& app,
@@ -105,33 +114,41 @@ void ExpandUnit(const graph::CsrGraph& g, const graph::Partition& partition,
                 MessageStaging<typename App::Message>* staged,
                 UnitCounters* counters) {
   using Message = typename App::Message;
-  for (size_t k = unit.begin; k < unit.end; ++k) {
-    const graph::VertexId u = frontier[k];
-    const uint32_t deg = g.OutDegree(u);
-    const Message payload = app.OnFrontier(u, values[u], deg);
-    const auto neighbors = g.OutNeighbors(u);
-    const auto weights = g.OutWeights(u);
-    for (size_t e = 0; e < neighbors.size(); ++e) {
-      const graph::VertexId v = neighbors[e];
-      const float w_e = weights.empty() ? 1.0f : weights[e];
-      std::optional<Message> msg = app.Scatter(payload, v, w_e);
-      if (!msg.has_value()) continue;
-      counters->raw_msgs[partition.owner[v]] += 1.0;
-      staged->Emit(v, *msg);
+  const auto expand = [&](auto&& weight_of) {
+    for (size_t k = unit.begin; k < unit.end; ++k) {
+      const graph::VertexId u = frontier[k];
+      const uint32_t deg = g.OutDegree(u);
+      const Message payload = app.OnFrontier(u, values[u], deg);
+      const auto neighbors = g.OutNeighbors(u);
+      const auto weights = g.OutWeights(u);
+      for (size_t e = 0; e < neighbors.size(); ++e) {
+        const graph::VertexId v = neighbors[e];
+        std::optional<Message> msg = app.Scatter(payload, v, weight_of(weights, e));
+        if (!msg.has_value()) continue;
+        counters->raw_msgs[partition.owner[v]] += 1.0;
+        staged->Emit(v, *msg);
+      }
+      counters->edges += deg;
+      if (unit.executor != unit.fragment && hub_cache != nullptr &&
+          hub_cache->IsHub(u)) {
+        counters->hub_edges += deg;
+      }
+      if (unit.executor != fragment_owner) counters->stolen_edges += deg;
+      counters->edges_processed += deg;
     }
-    counters->edges += deg;
-    if (unit.executor != unit.fragment && hub_cache != nullptr &&
-        hub_cache->IsHub(u)) {
-      counters->hub_edges += deg;
-    }
-    if (unit.executor != fragment_owner) counters->stolen_edges += deg;
-    counters->edges_processed += deg;
+  };
+  if (g.has_weights()) {
+    expand([](std::span<const float> w, size_t e) { return w[e]; });
+  } else {
+    expand([](std::span<const float>, size_t) { return 1.0f; });
   }
 }
 
 // Expands every unit — serially when pool is null or single-threaded,
-// otherwise on the pool. staged/counters are indexed by unit and reused
-// across iterations (grown on demand, buffers cleared in place).
+// otherwise on the pool. Each unit's staging buffer bins messages by the
+// destination shards of `shards` (the merge's parallel axis). staged/
+// counters are indexed by unit and reused across iterations (grown on
+// demand, buffers cleared in place).
 template <typename App>
 void ExpandSuperstep(
     ThreadPool* pool, const graph::CsrGraph& g,
@@ -139,13 +156,14 @@ void ExpandSuperstep(
     const std::vector<int>& owner_of_fragment, App& app,
     std::vector<typename App::Value>& values,
     const std::vector<std::vector<graph::VertexId>>& frontier,
-    const std::vector<WorkUnit>& units,
+    const std::vector<WorkUnit>& units, const ShardMap& shards,
     std::vector<MessageStaging<typename App::Message>>* staged,
     std::vector<UnitCounters>* counters) {
   if (staged->size() < units.size()) staged->resize(units.size());
   if (counters->size() < units.size()) counters->resize(units.size());
   const auto expand_one = [&](size_t idx) {
     const WorkUnit& unit = units[idx];
+    (*staged)[idx].Configure(shards);
     (*staged)[idx].Clear();
     (*counters)[idx].Reset(partition.num_parts);
     ExpandUnit(g, partition, hub_cache, owner_of_fragment[unit.fragment],
@@ -159,39 +177,99 @@ void ExpandSuperstep(
   }
 }
 
-// End-of-superstep apply phase: drains the store in ascending vertex order,
-// applies combined messages, and (data-driven mode) pushes activated
-// vertices into next_frontier per owning fragment. In fixed-round mode
-// every vertex is applied, absent inboxes with the app's Combine identity.
-// apply_counts, when non-null, receives per-fragment applied-message
-// counts. Clears the store.
+// Scratch reused across iterations by the sharded apply phase. Buffers are
+// cleared in place, so steady-state supersteps keep their capacity instead
+// of re-growing vectors.
+struct ApplyScratch {
+  // [shard][fragment] -> activated vertices, ascending within the shard.
+  std::vector<std::vector<std::vector<graph::VertexId>>> segments;
+  // [shard][fragment] -> applied-message counts.
+  std::vector<std::vector<double>> counts;
+};
+
+// End-of-superstep apply phase, parallel over destination shards: each
+// shard drains its store range in ascending vertex order, applies combined
+// messages, and (data-driven mode) pushes activated vertices into per-shard
+// per-fragment segments. Segments are then concatenated in shard order —
+// shards are ascending contiguous vertex ranges, so each fragment's next
+// frontier comes out ascending, identical to the serial drain. In
+// fixed-round mode every vertex is applied, absent inboxes with the app's
+// Combine identity. next_frontier, when non-null, receives the rebuilt
+// frontier (cleared first; capacity reused). apply_counts, when non-null,
+// accumulates per-fragment applied-message counts. Clears the store.
 template <typename App>
-void ApplySuperstep(const graph::Partition& partition, App& app,
+void ApplySuperstep(ThreadPool* pool, const ShardMap& shards,
+                    const graph::Partition& partition, App& app,
                     MessageStore<typename App::Message>& store,
                     std::vector<typename App::Value>& values,
-                    bool fixed_rounds,
+                    bool fixed_rounds, ApplyScratch* scratch,
                     std::vector<std::vector<graph::VertexId>>* next_frontier,
                     std::vector<double>* apply_counts) {
   using Message = typename App::Message;
-  if (fixed_rounds) {
-    const auto num_v = static_cast<graph::VertexId>(values.size());
-    for (graph::VertexId v = 0; v < num_v; ++v) {
-      const Message msg =
-          store.Has(v) ? store.Get(v) : app.InitialAccumulator();
-      app.Apply(v, values[v], msg);
-      if (apply_counts != nullptr) {
-        (*apply_counts)[partition.owner[v]] += 1.0;
+  const int s_count = shards.num_shards();
+  const size_t n = static_cast<size_t>(partition.num_parts);
+  const bool want_frontier = !fixed_rounds && next_frontier != nullptr;
+  const bool want_counts = apply_counts != nullptr;
+  if (scratch->segments.size() < static_cast<size_t>(s_count)) {
+    scratch->segments.resize(s_count);
+  }
+  if (scratch->counts.size() < static_cast<size_t>(s_count)) {
+    scratch->counts.resize(s_count);
+  }
+
+  const auto apply_shard = [&](size_t s) {
+    auto& segs = scratch->segments[s];
+    if (want_frontier) {
+      if (segs.size() != n) segs.resize(n);
+      for (auto& seg : segs) seg.clear();
+    }
+    auto& cnt = scratch->counts[s];
+    if (want_counts) cnt.assign(n, 0.0);
+    const size_t begin = shards.ShardBegin(static_cast<int>(s));
+    const size_t end =
+        std::min(values.size(), shards.ShardEnd(static_cast<int>(s)));
+    if (fixed_rounds) {
+      for (size_t v = begin; v < end; ++v) {
+        const auto vid = static_cast<graph::VertexId>(v);
+        const Message msg =
+            store.Has(vid) ? store.Get(vid) : app.InitialAccumulator();
+        app.Apply(vid, values[v], msg);
+        if (want_counts) cnt[partition.owner[vid]] += 1.0;
+      }
+    } else {
+      store.ForEachPendingInRange(
+          begin, end, [&](graph::VertexId v, const Message& msg) {
+            if (app.Apply(v, values[v], msg) && want_frontier) {
+              segs[partition.owner[v]].push_back(v);
+            }
+            if (want_counts) cnt[partition.owner[v]] += 1.0;
+          });
+    }
+  };
+  if (pool == nullptr || pool->num_threads() <= 1 || s_count <= 1) {
+    for (int s = 0; s < s_count; ++s) apply_shard(static_cast<size_t>(s));
+  } else {
+    pool->ParallelForStatic(static_cast<size_t>(s_count), apply_shard);
+  }
+
+  if (want_frontier) {
+    for (auto& f : *next_frontier) f.clear();
+    for (int s = 0; s < s_count; ++s) {
+      const auto& segs = scratch->segments[s];
+      for (size_t i = 0; i < segs.size(); ++i) {
+        (*next_frontier)[i].insert((*next_frontier)[i].end(),
+                                   segs[i].begin(), segs[i].end());
       }
     }
-  } else {
-    store.ForEachPending([&](graph::VertexId v, const Message& msg) {
-      if (app.Apply(v, values[v], msg) && next_frontier != nullptr) {
-        (*next_frontier)[partition.owner[v]].push_back(v);
+  }
+  if (want_counts) {
+    // Integer-valued doubles: exact under any summation order; shard order
+    // keeps it deterministic anyway.
+    for (int s = 0; s < s_count; ++s) {
+      for (size_t i = 0; i < n && i < scratch->counts[s].size(); ++i) {
+        (*apply_counts)[i] += scratch->counts[s][i];
       }
-      if (apply_counts != nullptr) {
-        (*apply_counts)[partition.owner[v]] += 1.0;
-      }
-    });
+    }
   }
   store.EndSuperstep();
 }

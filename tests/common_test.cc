@@ -160,6 +160,26 @@ TEST(BitmapTest, ForEachSetAscendingOrder) {
   EXPECT_EQ(std::set<size_t>(seen.begin(), seen.end()), expected);
 }
 
+TEST(BitmapTest, ForEachSetInRangeMatchesFilteredFullScan) {
+  Bitmap bm(300);
+  for (size_t i : {0u, 1u, 62u, 63u, 64u, 65u, 127u, 128u, 200u, 299u}) {
+    bm.Set(i);
+  }
+  // Aligned and mid-word boundaries, empty and past-the-end ranges.
+  const std::pair<size_t, size_t> ranges[] = {
+      {0, 300}, {0, 64}, {64, 128}, {1, 63}, {63, 65},
+      {65, 200}, {128, 1000}, {10, 10}, {299, 300}};
+  for (const auto& [begin, end] : ranges) {
+    std::vector<size_t> expected;
+    bm.ForEachSet([&](size_t i) {
+      if (i >= begin && i < end) expected.push_back(i);
+    });
+    std::vector<size_t> seen;
+    bm.ForEachSetInRange(begin, end, [&](size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, expected) << "range [" << begin << ", " << end << ")";
+  }
+}
+
 TEST(BitmapTest, ClearAndAny) {
   Bitmap bm(100);
   EXPECT_FALSE(bm.Any());

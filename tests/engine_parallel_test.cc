@@ -1,9 +1,10 @@
 // Determinism contract of the superstep runtime (DESIGN.md): for every
-// num_host_threads setting the engines must produce bit-identical vertex
-// values AND bit-identical simulated statistics — total_ms, link_bytes,
-// messages_sent, per-iteration timelines. The parallel path stages each
-// work unit's messages privately and merges them in canonical unit order,
-// so nothing may depend on thread scheduling.
+// num_host_threads x num_msg_shards setting the engines must produce
+// bit-identical vertex values AND bit-identical simulated statistics —
+// total_ms, link_bytes, messages_sent, per-iteration timelines. The
+// parallel path stages each work unit's messages privately, bins them by
+// destination shard, and replays every shard in canonical unit order, so
+// nothing may depend on thread scheduling or the shard count.
 
 #include <gtest/gtest.h>
 
@@ -66,23 +67,32 @@ void ExpectResultsIdentical(const RunResult& a, const RunResult& b) {
 
 template <typename App>
 RunResult RunGumWithThreads(const graph::CsrGraph& g, App app, int threads,
-                            std::vector<typename App::Value>* values) {
+                            std::vector<typename App::Value>* values,
+                            int shards = 1) {
   auto opt = TestEngineOptions();
   opt.num_host_threads = threads;
+  opt.num_msg_shards = shards;
   GumEngine<App> engine(&g, MakePartition(g, 4), Topo(4), opt);
   return engine.Run(app, values);
 }
 
+// The full determinism matrix: every {threads} x {shards} combination must
+// reproduce the serial single-shard run bit for bit.
 template <typename App>
 void ExpectGumDeterministic(const graph::CsrGraph& g, const App& app) {
   std::vector<typename App::Value> values1;
-  const RunResult r1 = RunGumWithThreads(g, app, 1, &values1);
-  for (const int threads : {2, 8}) {
-    std::vector<typename App::Value> values_k;
-    const RunResult rk = RunGumWithThreads(g, app, threads, &values_k);
-    SCOPED_TRACE(testing::Message() << "num_host_threads=" << threads);
-    EXPECT_EQ(values1, values_k);
-    ExpectResultsIdentical(r1, rk);
+  const RunResult r1 = RunGumWithThreads(g, app, 1, &values1, 1);
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const int shards : {1, 2, 4, 8}) {
+      if (threads == 1 && shards == 1) continue;
+      std::vector<typename App::Value> values_k;
+      const RunResult rk =
+          RunGumWithThreads(g, app, threads, &values_k, shards);
+      SCOPED_TRACE(testing::Message() << "num_host_threads=" << threads
+                                      << " num_msg_shards=" << shards);
+      EXPECT_EQ(values1, values_k);
+      ExpectResultsIdentical(r1, rk);
+    }
   }
 }
 
@@ -102,6 +112,31 @@ TEST(EngineParallelTest, ThreadPoolRunsEveryIndexExactlyOnce) {
   pool.ParallelFor(7, [&](size_t) { ++total; });
   EXPECT_EQ(total.load(), 7);
   pool.ParallelFor(0, [&](size_t) { FAIL() << "count 0 must not invoke"; });
+}
+
+TEST(EngineParallelTest, ThreadPoolGrainAndStaticRangeCoverEveryIndex) {
+  ThreadPool pool(4);
+  // Grain that does not divide the count: the last block is short.
+  for (const size_t grain : {3, 64, 5000}) {
+    constexpr size_t kCount = 10001;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.ParallelFor(
+        kCount,
+        [&](size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+        grain);
+    for (size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+  // Static ranges: one contiguous block per thread, count not a multiple.
+  constexpr size_t kCount = 31;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelForStatic(kCount, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
 }
 
 TEST(EngineParallelTest, BfsBitIdenticalAcrossThreadCounts) {
@@ -129,6 +164,14 @@ TEST(EngineParallelTest, PageRankBitIdenticalAcrossThreadCounts) {
   ExpectGumDeterministic(g, app);
 }
 
+TEST(EngineParallelTest, WccBitIdenticalAcrossThreadCounts) {
+  // All-active first iteration: every shard's merge and apply bins are
+  // populated at once — the widest sharded-drain shape.
+  const auto g = test::SocialGraphSym(9, 11);
+  algos::WccApp app;
+  ExpectGumDeterministic(g, app);
+}
+
 TEST(EngineParallelTest, ParallelRunStillMatchesReference) {
   const auto g = SocialGraph(10, 7);
   BfsApp app;
@@ -150,20 +193,24 @@ TEST(EngineParallelTest, GunrockBitIdenticalAcrossThreadCounts) {
       baselines::GunrockLikeEngine<BfsApp>(&g, part, Topo(4), opt1)
           .Run(app, &values1);
   for (const int threads : {2, 8}) {
-    SCOPED_TRACE(testing::Message() << "num_host_threads=" << threads);
-    baselines::GunrockOptions optk;
-    optk.num_host_threads = threads;
-    std::vector<uint32_t> values_k;
-    app.source = 5;
-    const RunResult rk =
-        baselines::GunrockLikeEngine<BfsApp>(&g, part, Topo(4), optk)
-            .Run(app, &values_k);
-    EXPECT_EQ(values1, values_k);
-    EXPECT_EQ(r1.iterations, rk.iterations);
-    EXPECT_EQ(r1.total_ms, rk.total_ms);
-    EXPECT_EQ(r1.edges_processed, rk.edges_processed);
-    EXPECT_EQ(r1.messages_sent, rk.messages_sent);
-    ExpectTimelinesIdentical(r1.timeline, rk.timeline);
+    for (const int shards : {1, 4}) {
+      SCOPED_TRACE(testing::Message() << "num_host_threads=" << threads
+                                      << " num_msg_shards=" << shards);
+      baselines::GunrockOptions optk;
+      optk.num_host_threads = threads;
+      optk.num_msg_shards = shards;
+      std::vector<uint32_t> values_k;
+      app.source = 5;
+      const RunResult rk =
+          baselines::GunrockLikeEngine<BfsApp>(&g, part, Topo(4), optk)
+              .Run(app, &values_k);
+      EXPECT_EQ(values1, values_k);
+      EXPECT_EQ(r1.iterations, rk.iterations);
+      EXPECT_EQ(r1.total_ms, rk.total_ms);
+      EXPECT_EQ(r1.edges_processed, rk.edges_processed);
+      EXPECT_EQ(r1.messages_sent, rk.messages_sent);
+      ExpectTimelinesIdentical(r1.timeline, rk.timeline);
+    }
   }
 }
 

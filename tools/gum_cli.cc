@@ -20,6 +20,10 @@
 //   --host-threads=N             host threads for the superstep runtime
 //                                (0 = hardware concurrency, 1 = serial;
 //                                results are identical for every setting)
+//   --msg-shards=N               destination shards for the message plane's
+//                                parallel merge/apply (0 = match host
+//                                threads; results identical for every
+//                                setting)
 //
 // Output:
 //   --timeline                   print the per-device utilization chart
@@ -56,6 +60,7 @@ constexpr const char* kKnownFlags[] = {
     "devices",   "partitioner", "source",   "pr-rounds",   "epsilon",
     "no-fsteal", "no-osteal",  "timeline",  "save-values", "help",
     "timeline-csv", "host-threads", "contention", "show-links",
+    "msg-shards",
 };
 
 void PrintUsage() {
@@ -66,6 +71,7 @@ void PrintUsage() {
       "               [--devices=N] [--partitioner=random|seg|metis]\n"
       "               [--source=V] [--pr-rounds=N] [--epsilon=E]\n"
       "               [--no-fsteal] [--no-osteal] [--host-threads=N]\n"
+      "               [--msg-shards=N]\n"
       "               [--contention=off|fair] [--timeline] [--show-links]\n"
       "               [--save-values=PATH]\n";
 }
@@ -119,6 +125,7 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
   std::vector<Value> values;
 
   const int host_threads = static_cast<int>(flags.GetInt("host-threads", 0));
+  const int msg_shards = static_cast<int>(flags.GetInt("msg-shards", 0));
   auto contention =
       sim::ParseContentionModel(flags.GetString("contention", "off"));
   if (!contention.ok()) {
@@ -130,12 +137,14 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
     options.enable_fsteal = !flags.GetBool("no-fsteal", false);
     options.enable_osteal = !flags.GetBool("no-osteal", false);
     options.num_host_threads = host_threads;
+    options.num_msg_shards = msg_shards;
     options.contention = *contention;
     core::GumEngine<App> engine(&g, partition, topology, options);
     result = engine.Run(app, &values);
   } else if (engine_name == "gunrock") {
     baselines::GunrockOptions options;
     options.num_host_threads = host_threads;
+    options.num_msg_shards = msg_shards;
     options.contention = *contention;
     baselines::GunrockLikeEngine<App> engine(&g, partition, topology,
                                              options);
