@@ -3,12 +3,23 @@
 // of paper Table IV from below: everything on the critical decision path
 // (cost matrix, MILP solve, vertex-range selection, feature extraction)
 // must stay in the tens-of-microseconds range for n <= 8 devices.
+//
+// JSON output goes through the repo's own writer (common/json.h), not
+// google-benchmark's built-in --benchmark_out: pass --bench-json=FILE and
+// the collected runs (including aggregates and user counters) are emitted
+// in the same shape CI's figure harness reads, with the writer's uniform
+// escaping and round-trip-safe doubles.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <fstream>
 #include <numeric>
+#include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/json.h"
 
 #include "algos/apps.h"
 #include "common/parallel_primitives.h"
@@ -537,6 +548,79 @@ void BM_PrefixSumAndSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_PrefixSumAndSearch);
 
+// --- the --bench-json reporter ---
+
+// Console output as usual, plus a copy of every finished run for the JSON
+// dump below.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    runs_.insert(runs_.end(), runs.begin(), runs.end());
+    ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+void WriteBenchJson(std::ostream& os,
+                    const std::vector<benchmark::BenchmarkReporter::Run>&
+                        runs) {
+  using Run = benchmark::BenchmarkReporter::Run;
+  JsonWriter w(os, 1);
+  w.BeginObject();
+  w.Key("benchmarks").BeginArray();
+  for (const Run& run : runs) {
+    w.BeginObject();
+    w.Key("name").Value(run.benchmark_name());
+    w.Key("run_type").Value(
+        run.run_type == Run::RT_Aggregate ? "aggregate" : "iteration");
+    if (run.run_type == Run::RT_Aggregate) {
+      w.Key("aggregate_name").Value(run.aggregate_name);
+    }
+    w.Key("iterations").Value(static_cast<int64_t>(run.iterations));
+    w.Key("real_time").Value(run.GetAdjustedRealTime());
+    w.Key("cpu_time").Value(run.GetAdjustedCPUTime());
+    w.Key("time_unit").Value(benchmark::GetTimeUnitString(run.time_unit));
+    if (!run.report_label.empty()) w.Key("label").Value(run.report_label);
+    for (const auto& [name, counter] : run.counters) {
+      w.Key(name).Value(static_cast<double>(counter));
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << "\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --bench-json=FILE before google-benchmark sees the arguments.
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    constexpr std::string_view kPrefix = "--bench-json=";
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, kPrefix.size()) == kPrefix) {
+      json_path = std::string(arg.substr(kPrefix.size()));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    WriteBenchJson(out, reporter.runs());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

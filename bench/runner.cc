@@ -1,5 +1,10 @@
 #include "bench/runner.h"
 
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "algos/apps.h"
 #include "algos/dobfs.h"
 #include "algos/near_far_sssp.h"
@@ -11,6 +16,8 @@
 #include "core/fast_wcc.h"
 #include "graph/frontier_features.h"
 #include "graph/stats.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "sim/kernel_cost.h"
 #include "sim/topology.h"
 
@@ -80,10 +87,9 @@ baselines::GunrockOptions GunrockOptionsFor(Algo algo) {
   return opt;
 }
 
-}  // namespace
-
-core::RunResult RunBenchmark(const DatasetGraphs& data,
-                             const RunConfig& config) {
+// Executes one cell; the report plumbing lives in the RunBenchmark wrapper.
+core::RunResult RunBenchmarkImpl(const DatasetGraphs& data,
+                                 const RunConfig& config) {
   const graph::CsrGraph& g =
       config.algo == Algo::kWcc ? data.symmetric : data.directed;
 
@@ -260,6 +266,62 @@ core::RunResult RunBenchmark(const DatasetGraphs& data,
   }
   GUM_CHECK(false) << "unreachable";
   return {};
+}
+
+}  // namespace
+
+core::RunResult RunBenchmark(const DatasetGraphs& data,
+                             const RunConfig& config) {
+  std::string report_dir = config.report_dir;
+  if (report_dir.empty()) {
+    const char* env = std::getenv("GUM_BENCH_REPORT_DIR");
+    if (env != nullptr) report_dir = env;
+  }
+  if (report_dir.empty()) return RunBenchmarkImpl(data, config);
+
+  // Per-run metrics snapshot: the harnesses run cells serially, so resetting
+  // the global registry around the cell leaves exactly this run's series in
+  // the report. Metrics recording does not affect simulated results.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Reset();
+  obs::SetMetricsEnabled(true);
+  core::RunResult result = RunBenchmarkImpl(data, config);
+  obs::SetMetricsEnabled(false);
+
+  obs::RunReportMeta meta;
+  meta.system = SystemName(config.system);
+  meta.algorithm = AlgoName(config.algo);
+  meta.dataset = data.spec.abbr;
+  meta.num_devices = config.devices;
+  meta.config = {
+      {"partitioner", graph::PartitionerName(config.partitioner)},
+      {"partition_seed", std::to_string(config.partition_seed)},
+      {"contention", sim::ContentionModelName(config.contention)},
+      {"pagerank_rounds", std::to_string(config.pagerank_rounds)},
+      {"cost_model", config.cost_model != nullptr ? "learned" : "oracle"},
+  };
+
+  std::string name;
+  name += meta.system;
+  name += '_';
+  name += meta.algorithm;
+  name += '_';
+  name += meta.dataset;
+  name += '_';
+  name += std::to_string(config.devices);
+  name += "dev.report.json";
+  for (char& c : name) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  const std::string path = report_dir + "/" + name;
+
+  std::ofstream out(path);
+  if (!out) {
+    GUM_LOG(Warning) << "cannot write run report to " << path;
+    return result;
+  }
+  obs::WriteRunReport(out, meta, result, &metrics);
+  return result;
 }
 
 }  // namespace gum::bench

@@ -48,6 +48,13 @@ struct RunConfig {
   // FastWcc/label-prop choice — used by fig10, which isolates the stealing
   // increments and must keep the algorithm variant fixed.
   bool force_labelprop_wcc = false;
+  // When non-empty, RunBenchmark writes the schema-versioned run report
+  // (obs/run_report.h) for this cell to
+  //   <report_dir>/<system>_<algo>_<dataset>_<devices>dev.report.json
+  // so table/figure results stay machine-diffable across revisions. The
+  // GUM_BENCH_REPORT_DIR environment variable supplies a default when this
+  // field is empty, letting any harness opt in without a flag change.
+  std::string report_dir;
 };
 
 // Runs the cell. WCC uses data.symmetric, everything else data.directed.

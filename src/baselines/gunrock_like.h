@@ -30,6 +30,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "core/message_store.h"
 #include "core/run_result.h"
 #include "core/superstep.h"
@@ -139,10 +140,13 @@ class GunrockLikeEngine {
       const std::vector<core::WorkUnit> units =
           core::BuildWorkUnits(*g_, frontier, no_steal, no_loads,
                                owner_of_fragment, /*active=*/{});
-      core::ExpandSuperstep(pool_.get(), *g_, partition_,
-                            /*hub_cache=*/nullptr, owner_of_fragment, app,
-                            values, frontier, units, shard_map, &staged,
-                            &unit_counters);
+      {
+        GUM_TRACE_SCOPE("gunrock.expand");
+        core::ExpandSuperstep(pool_.get(), *g_, partition_,
+                              /*hub_cache=*/nullptr, owner_of_fragment, app,
+                              values, frontier, units, shard_map, &staged,
+                              &unit_counters);
+      }
 
       // Gunrock-specific timing per (fragment == executor) unit, then the
       // deterministic sharded merge. Pass 1 charges compute/serial/
@@ -177,8 +181,11 @@ class GunrockLikeEngine {
         serial_ns += 3000.0 * std::max(1, n - 1);
         unit_serial_ns[idx] = serial_ns;
       }
-      store.MergeSharded(pool_.get(), shard_map, staged, units.size(),
-                         combine, [](int, size_t, VertexId) {});
+      {
+        GUM_TRACE_SCOPE("gunrock.merge");
+        store.MergeSharded(pool_.get(), shard_map, staged, units.size(),
+                           combine, [](int, size_t, VertexId) {});
+      }
       const sim::SettleResult comm = plane.Settle(batch);
       const double overhead_ns = 5 * dev.kernel_launch_us * 1000.0 + p_ns * n;
       for (size_t idx = 0; idx < units.size(); ++idx) {
@@ -200,15 +207,18 @@ class GunrockLikeEngine {
         }
       }
 
-      if (fixed_rounds >= 0) {
-        core::ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
-                             values, /*fixed_rounds=*/true, &apply_scratch,
-                             nullptr, nullptr);
-      } else {
-        core::ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
-                             values, /*fixed_rounds=*/false, &apply_scratch,
-                             &next_frontier, nullptr);
-        frontier.swap(next_frontier);
+      {
+        GUM_TRACE_SCOPE("gunrock.apply");
+        if (fixed_rounds >= 0) {
+          core::ApplySuperstep(pool_.get(), shard_map, partition_, app,
+                               store, values, /*fixed_rounds=*/true,
+                               &apply_scratch, nullptr, nullptr);
+        } else {
+          core::ApplySuperstep(pool_.get(), shard_map, partition_, app,
+                               store, values, /*fixed_rounds=*/false,
+                               &apply_scratch, &next_frontier, nullptr);
+          frontier.swap(next_frontier);
+        }
       }
 
       result.total_ms += result.timeline.IterationWall(iter);

@@ -1,0 +1,434 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace gum {
+
+void JsonEscape(std::string_view s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  std::string s(buf, res.ptr);
+#else
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s(buf);
+#endif
+  // "1e+300" and "1E300" are both valid JSON, but bare "1" for 1.0 is too —
+  // shortest-form integers are fine; consumers treat them as numbers either
+  // way.
+  return s;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  Raw("{");
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  GUM_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "EndObject outside an object";
+  GUM_CHECK(!key_pending_) << "EndObject after a dangling key";
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) NewlineIndent();
+  Raw("}");
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  Raw("[");
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  GUM_CHECK(!stack_.empty() && stack_.back() == Scope::kArray)
+      << "EndArray outside an array";
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) NewlineIndent();
+  Raw("]");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  GUM_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "Key outside an object";
+  GUM_CHECK(!key_pending_) << "two keys in a row";
+  if (has_items_.back()) Raw(",");
+  has_items_.back() = true;
+  NewlineIndent();
+  std::string out = "\"";
+  JsonEscape(key, &out);
+  out += indent_ > 0 ? "\": " : "\":";
+  Raw(out);
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  BeforeValue();
+  std::string out = "\"";
+  JsonEscape(v, &out);
+  out += '"';
+  Raw(out);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  BeforeValue();
+  Raw(JsonNumber(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  BeforeValue();
+  Raw(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  BeforeValue();
+  Raw(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeValue();
+  Raw(v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  Raw("null");
+  return *this;
+}
+
+void JsonWriter::BeforeValue() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the Key() already positioned us
+  }
+  if (stack_.empty()) return;  // root value
+  GUM_CHECK(stack_.back() == Scope::kArray)
+      << "object member without a Key()";
+  if (has_items_.back()) Raw(",");
+  has_items_.back() = true;
+  NewlineIndent();
+}
+
+void JsonWriter::NewlineIndent() {
+  if (indent_ <= 0) return;
+  std::string s = "\n";
+  s.append(static_cast<size_t>(indent_) * stack_.size(), ' ');
+  Raw(s);
+}
+
+// --- parser ---
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    if (Status s = ParseValue(&root, 0); !s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 200;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          out->type_ = JsonValue::Type::kBool;
+          out->bool_ = true;
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          out->type_ = JsonValue::Type::kBool;
+          out->bool_ = false;
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out->type_ = JsonValue::Type::kNull;
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->type_ = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      if (Status s = ParseString(&key); !s.ok()) return s;
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      if (Status s = ParseValue(&value, depth + 1); !s.ok()) return s;
+      // First occurrence wins on duplicate keys.
+      if (out->Find(key) == nullptr) {
+        out->members_.emplace_back(std::move(key), std::move(value));
+      }
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->type_ = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue value;
+      if (Status s = ParseValue(&value, depth + 1); !s.ok()) return s;
+      out->array_.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + i];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point; surrogate pairs are passed
+          // through as two 3-byte sequences (the writer never emits them).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string_view token = text_.substr(start, pos_ - start);
+    out->type_ = JsonValue::Type::kNumber;
+    double d = 0.0;
+    const auto res =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (res.ec != std::errc() || res.ptr != token.data() + token.size()) {
+      return Error("malformed number");
+    }
+    out->number_ = d;
+    int64_t i = 0;
+    const auto ires =
+        std::from_chars(token.data(), token.data() + token.size(), i);
+    if (ires.ec == std::errc() && ires.ptr == token.data() + token.size()) {
+      out->is_integer_ = true;
+      out->int_ = i;
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  GUM_CHECK(v != nullptr) << "missing JSON member: " << std::string(key);
+  return *v;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace gum

@@ -1,0 +1,133 @@
+// Minimal dependency-free JSON support: a streaming writer and a small
+// recursive-descent parser.
+//
+// JsonWriter is the one sanctioned JSON emitter in the repo — the
+// observability plane (obs/), the bench harnesses, and the CLI all write
+// through it, so escaping and number formatting are uniform:
+//   * strings are escaped per RFC 8259 (control characters as \u00XX);
+//   * doubles are emitted with the shortest representation that parses
+//     back to the same bits (std::to_chars), so every exported double
+//     round-trips exactly;
+//   * non-finite doubles (which JSON cannot represent) are emitted as null.
+//
+// JsonValue/ParseJson exist so tests can round-trip what the writer
+// produced without an external JSON dependency. The parser accepts exactly
+// RFC 8259 JSON (no comments, no trailing commas); object keys keep their
+// first occurrence on duplicates.
+
+#ifndef GUM_COMMON_JSON_H_
+#define GUM_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gum {
+
+// Appends the RFC 8259 escape of `s` (without surrounding quotes) to `out`.
+void JsonEscape(std::string_view s, std::string* out);
+
+// Shortest round-trip decimal form of `v`; "null" for NaN / infinities.
+std::string JsonNumber(double v);
+
+// Streaming writer with automatic comma/indent management. indent = 0
+// writes compact single-line JSON; indent > 0 pretty-prints with that many
+// spaces per nesting level. Misuse (e.g. a value where a key is required)
+// aborts via GUM_CHECK — callers are all in-tree.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 0)
+      : os_(os), indent_(indent) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Object key; must be followed by exactly one value or container.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+
+  // Nesting depth still open; 0 once the root container is closed.
+  int depth() const { return static_cast<int>(stack_.size()); }
+
+ private:
+  enum class Scope : uint8_t { kObject, kArray };
+
+  void BeforeValue();  // comma/newline/indent bookkeeping for one value
+  void NewlineIndent();
+  void Raw(std::string_view s) { os_ << s; }
+
+  std::ostream& os_;
+  int indent_ = 0;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool key_pending_ = false;
+};
+
+// Parsed JSON document. Numbers are kept as double (plus the int64 value
+// when the literal was integral and in range); object member order is the
+// document order.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  int64_t int_value() const { return int_; }
+  bool is_integer() const { return is_integer_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // Object member lookup; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  // Convenience: Find, aborting (GUM_CHECK) when absent. Test helper.
+  const JsonValue& at(std::string_view key) const;
+
+  size_t size() const {
+    return type_ == Type::kArray ? array_.size() : members_.size();
+  }
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  bool is_integer_ = false;
+  double number_ = 0.0;
+  int64_t int_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses one JSON document (surrounding whitespace allowed, trailing
+// non-whitespace is an error). Returns InvalidArgument with an offset on
+// malformed input.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace gum
+
+#endif  // GUM_COMMON_JSON_H_

@@ -1,5 +1,8 @@
 #include "common/logging.h"
 
+#include <cstdio>
+#include <string>
+
 namespace gum {
 
 namespace {
@@ -42,7 +45,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    // One write per record: operator<< pieces from concurrent ParallelFor
+    // bodies interleave mid-line on a shared stream, so the whole record
+    // (terminator included) goes out in a single fwrite — POSIX stdio
+    // streams are locked per call, keeping each record intact.
+    std::string record = stream_.str();
+    record.push_back('\n');
+    std::fwrite(record.data(), 1, record.size(), stderr);
+    std::fflush(stderr);
   }
   if (fatal_) {
     std::abort();

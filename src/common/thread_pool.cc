@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace gum {
 
@@ -13,7 +16,12 @@ ThreadPool::ThreadPool(int num_threads)
     : num_threads_(num_threads <= 0 ? HardwareThreads() : num_threads) {
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int t = 0; t < num_threads_ - 1; ++t) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, t] {
+      // Deterministic trace lanes: the caller is lane 0 ("host-main"),
+      // workers are 1..k-1 — stable across runs, unlike OS thread ids.
+      obs::SetThreadLane(t + 1, "pool-worker-" + std::to_string(t + 1));
+      WorkerLoop();
+    });
   }
 }
 
@@ -49,7 +57,10 @@ void ThreadPool::WorkerLoop() {
       if (stop_) return;
       seen_generation = generation_;
     }
-    RunIndices();
+    {
+      GUM_TRACE_SCOPE("pool.busy");
+      RunIndices();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --unfinished_;
@@ -77,7 +88,10 @@ void ThreadPool::ParallelFor(size_t count,
     ++generation_;
   }
   work_cv_.notify_all();
-  RunIndices();
+  {
+    GUM_TRACE_SCOPE("pool.busy");
+    RunIndices();
+  }
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return unfinished_ == 0; });
   task_ = nullptr;

@@ -58,6 +58,8 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/edge_cost_model.h"
 #include "core/engine_options.h"
 #include "core/hub_cache.h"
@@ -183,6 +185,8 @@ class GumEngine {
       std::vector<double> remote_discount(n, 1.0);
       double total_load = 0.0;
       size_t total_frontier = 0;
+      {
+      GUM_TRACE_SCOPE("gum.census");
       for (int i = 0; i < n; ++i) {
         double hub_load = 0.0;
         for (VertexId v : frontier[i]) {
@@ -193,6 +197,7 @@ class GumEngine {
         total_frontier += frontier[i].size();
         features[i] = graph::ExtractFrontierFeatures(*g_, frontier[i]);
         if (loads[i] > 0) remote_discount[i] = 1.0 - hub_load / loads[i];
+      }
       }
       if (fixed_rounds < 0 && total_frontier == 0) break;
 
@@ -207,6 +212,7 @@ class GumEngine {
       if (options_.enable_osteal && n > 1 &&
           (prev_wall_ms < options_.osteal.t3_trigger_ms ||
            group_size < n)) {
+        GUM_TRACE_SCOPE("gum.osteal");
         const auto cost_full =
             BuildCostMatrix(features, remote_discount, cost_model_,
                             plane, AllDevices(n));
@@ -215,6 +221,8 @@ class GumEngine {
         stats.osteal_evaluated = true;
         stats.osteal_decision_host_ms = dec.decision_host_ms;
         result.osteal_decision_host_ms_total += dec.decision_host_ms;
+        result.osteal_lp_iterations_total += dec.lp_iterations_total;
+        result.osteal_milp_nodes_total += dec.milp_nodes_total;
         if (dec.group_size != group_size) {
           // Migrate residual frontier status from re-owned fragments.
           for (int i = 0; i < n; ++i) {
@@ -251,6 +259,7 @@ class GumEngine {
                                         cost_model_, plane, active);
       FStealDecision fs;
       if (options_.enable_fsteal && group_size > 1) {
+        GUM_TRACE_SCOPE("gum.fsteal");
         fs = DecideFSteal(cost, loads, owner_of_fragment, active,
                           options_.fsteal);
       } else {
@@ -261,7 +270,11 @@ class GumEngine {
       }
       stats.fsteal_applied = fs.applied;
       stats.fsteal_decision_host_ms = fs.decision_host_ms;
+      stats.fsteal_plan_cells = fs.plan_cells;
       result.fsteal_decision_host_ms_total += fs.decision_host_ms;
+      result.fsteal_lp_iterations_total += fs.lp_iterations;
+      result.fsteal_milp_nodes_total += fs.milp_nodes;
+      result.fsteal_plan_cells_total += fs.plan_cells;
       if (fs.applied) ++result.fsteal_applied_iterations;
 
       // --- Step 4: process the frontiers (superstep runtime) ---
@@ -273,9 +286,12 @@ class GumEngine {
 
       const std::vector<WorkUnit> units = BuildWorkUnits(
           *g_, frontier, fs, loads, owner_of_fragment, active);
-      ExpandSuperstep(pool_.get(), *g_, partition_, &hub_cache_,
-                      owner_of_fragment, app, values, frontier, units,
-                      shard_map, &staged, &unit_counters);
+      {
+        GUM_TRACE_SCOPE("gum.expand");
+        ExpandSuperstep(pool_.get(), *g_, partition_, &hub_cache_,
+                        owner_of_fragment, app, values, frontier, units,
+                        shard_map, &staged, &unit_counters);
+      }
 
       // Aggregate per-unit counters serially (cheap, integer-exact sums).
       double stolen_edges_this_iter = 0.0;
@@ -303,6 +319,8 @@ class GumEngine {
       for (auto& per_exec : shard_agg) {
         for (auto& row : per_exec) std::fill(row.begin(), row.end(), 0.0);
       }
+      {
+      GUM_TRACE_SCOPE("gum.merge");
       store.MergeSharded(
           pool_.get(), shard_map, staged, units.size(), combine,
           [&](int shard, size_t unit_idx, VertexId v) {
@@ -316,26 +334,33 @@ class GumEngine {
           for (int f = 0; f < n; ++f) agg_msgs[e][f] += per_exec[e][f];
         }
       }
+      }
 
       // --- apply phase (end of superstep; next frontier) ---
-      if (fixed_rounds >= 0) {
-        // Stationary workload: the frontier is rebuilt from part_vertices
-        // at the top of the next round, so no next-frontier is built.
-        ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
-                       values, /*fixed_rounds=*/true, &apply_scratch,
-                       nullptr, &apply_msgs);
-      } else {
-        ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
-                       values, /*fixed_rounds=*/false, &apply_scratch,
-                       &next_frontier, &apply_msgs);
-        frontier.swap(next_frontier);
+      {
+        GUM_TRACE_SCOPE("gum.apply");
+        if (fixed_rounds >= 0) {
+          // Stationary workload: the frontier is rebuilt from part_vertices
+          // at the top of the next round, so no next-frontier is built.
+          ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
+                         values, /*fixed_rounds=*/true, &apply_scratch,
+                         nullptr, &apply_msgs);
+        } else {
+          ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
+                         values, /*fixed_rounds=*/false, &apply_scratch,
+                         &next_frontier, &apply_msgs);
+          frontier.swap(next_frontier);
+        }
       }
 
       // --- time accounting ---
-      const TimeAccountingSummary acct = AccountSuperstepTime(
-          iter, plane, dev, p_ns, options_.enable_message_aggregation,
-          features, edges_done, hub_edges, agg_msgs, raw_msgs, apply_msgs,
-          owner_of_fragment, active, fs, stolen_edges_this_iter, &result);
+      const TimeAccountingSummary acct = [&] {
+        GUM_TRACE_SCOPE("gum.account");
+        return AccountSuperstepTime(
+            iter, plane, dev, p_ns, options_.enable_message_aggregation,
+            features, edges_done, hub_edges, agg_msgs, raw_msgs, apply_msgs,
+            owner_of_fragment, active, fs, stolen_edges_this_iter, &result);
+      }();
 
       // Refresh the p estimate from this iteration's observed barrier cost:
       // average per-device overhead minus the kernel-launch time actually
@@ -364,6 +389,19 @@ class GumEngine {
       }
       if (options_.record_iteration_stats) {
         result.iteration_stats.push_back(std::move(stats));
+      }
+      if (obs::MetricsEnabled()) {
+        auto& reg = obs::MetricsRegistry::Global();
+        reg.GetCounter("gum_iterations_total").Increment();
+        if (fs.applied) reg.GetCounter("gum_fsteal_applied_total").Increment();
+        if (stats.osteal_evaluated) {
+          reg.GetCounter("gum_osteal_evaluations_total").Increment();
+        }
+        reg.GetHistogram("gum_fsteal_decision_us")
+            .Observe(static_cast<uint64_t>(fs.decision_host_ms * 1000.0));
+        reg.GetHistogram("gum_iteration_frontier_vertices")
+            .Observe(static_cast<uint64_t>(total_frontier));
+        reg.GetGauge("gum_group_size").Set(group_size);
       }
       prev_wall_ms = wall;
       result.iterations = iter + 1;

@@ -7,12 +7,28 @@
 #include "common/logging.h"
 #include "common/parallel_primitives.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 #include "solver/steal_problem.h"
 
 namespace gum::core {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Off-owner cells of the plan — its "size" in the run report.
+int CountPlanCells(const std::vector<std::vector<double>>& assignment,
+                   const std::vector<int>& owner_of_fragment) {
+  int cells = 0;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    for (size_t j = 0; j < assignment[i].size(); ++j) {
+      if (assignment[i][j] > 0.0 &&
+          static_cast<int>(j) != owner_of_fragment[i]) {
+        ++cells;
+      }
+    }
+  }
+  return cells;
+}
 }  // namespace
 
 std::vector<std::vector<double>> BuildCostMatrix(
@@ -46,6 +62,7 @@ FStealDecision DecideFSteal(const std::vector<std::vector<double>>& cost,
                             const std::vector<int>& owner_of_fragment,
                             const std::vector<int>& active_workers,
                             const FStealConfig& config) {
+  GUM_TRACE_SCOPE("fsteal.decide");
   const int n = static_cast<int>(loads.size());
   FStealDecision decision;
   decision.assignment.assign(n, std::vector<double>(n, 0.0));
@@ -78,6 +95,8 @@ FStealDecision DecideFSteal(const std::vector<std::vector<double>>& cost,
       decision.assignment = std::move(plan.assignment);
       decision.predicted_makespan_ns = plan.makespan;
       decision.applied = true;
+      decision.plan_cells =
+          CountPlanCells(decision.assignment, owner_of_fragment);
     }
     return decision;
   }
@@ -91,10 +110,14 @@ FStealDecision DecideFSteal(const std::vector<std::vector<double>>& cost,
                      << "); keeping identity plan";
     return decision;
   }
+  decision.lp_iterations = plan->lp_iterations;
+  decision.milp_nodes = plan->milp_nodes;
   if (plan->makespan < decision.predicted_makespan_ns) {
     decision.assignment = std::move(plan->assignment);
     decision.predicted_makespan_ns = plan->makespan;
     decision.applied = true;
+    decision.plan_cells =
+        CountPlanCells(decision.assignment, owner_of_fragment);
   }
   return decision;
 }

@@ -38,6 +38,12 @@ struct FStealDecision {
   std::vector<std::vector<double>> assignment;
   double predicted_makespan_ns = 0.0;
   double decision_host_ms = 0.0;  // measured wall time of the decision
+  // Solver effort behind the plan (0 when thresholds skipped the solve):
+  // simplex iterations, branch-and-bound nodes (exact mode only), and the
+  // number of off-owner assignment cells — the plan's "size".
+  int lp_iterations = 0;
+  int milp_nodes = 0;
+  int plan_cells = 0;
 };
 
 // Builds the full n x n cost coefficient matrix. `remote_discount[i]` scales

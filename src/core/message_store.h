@@ -28,6 +28,7 @@
 
 #include "common/bitmap.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "graph/types.h"
 
 namespace gum::core {
@@ -192,6 +193,7 @@ class MessageStore : public MessageStoreBase {
                     FirstWriterFn&& first_writer) {
     const int s_count = shards.num_shards();
     const auto merge_one = [&](size_t s) {
+      GUM_TRACE_SCOPE("merge.shard");
       MergeShard(static_cast<int>(s), staged, num_units, combine,
                  [&first_writer, s](size_t unit, graph::VertexId v) {
                    first_writer(static_cast<int>(s), unit, v);

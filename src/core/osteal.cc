@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 #include "solver/steal_problem.h"
 
 namespace gum::core {
@@ -14,6 +15,7 @@ OStealDecision DecideOSteal(const std::vector<std::vector<double>>& cost,
                             const sim::ReductionSchedule& schedule,
                             double sync_per_peer_ns,
                             const OStealConfig& config) {
+  GUM_TRACE_SCOPE("osteal.decide");
   const int n = schedule.num_devices();
   OStealDecision best;
   best.evaluated = true;
@@ -33,6 +35,8 @@ OStealDecision DecideOSteal(const std::vector<std::vector<double>>& cost,
                          << plan.status().ToString();
         continue;
       }
+      best.lp_iterations_total += plan->lp_iterations;
+      best.milp_nodes_total += plan->milp_nodes;
       z = plan->makespan;
     }
     const double total = z + sync_per_peer_ns * m;

@@ -30,6 +30,9 @@ struct OStealDecision {
   std::vector<int> active;       // surviving devices, ascending
   double predicted_cost_ns = 0;  // z + p*m of the winner
   double decision_host_ms = 0;   // measured wall time of the enumeration
+  // Solver effort summed over every candidate group size evaluated.
+  int64_t lp_iterations_total = 0;
+  int64_t milp_nodes_total = 0;
 };
 
 // Enumerates m = 1..n over the reduction schedule. `cost` is the full

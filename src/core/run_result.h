@@ -22,6 +22,7 @@ struct IterationStats {
   double fsteal_decision_host_ms = 0.0;
   double osteal_decision_host_ms = 0.0;
   double stolen_edges = 0.0;          // edges processed away from the owner
+  int fsteal_plan_cells = 0;          // off-owner cells of the applied plan
 };
 
 struct RunResult {
@@ -38,6 +39,14 @@ struct RunResult {
   // broadcast, stolen-status copies) — the "Cost" columns of paper Table IV.
   double fsteal_sim_overhead_ms = 0.0;
   double osteal_sim_overhead_ms = 0.0;
+  // Solver effort behind the steal decisions, summed over the run: simplex
+  // iterations, MILP branch-and-bound nodes, and applied-plan sizes
+  // (off-owner assignment cells). Surfaced in the obs run report.
+  int64_t fsteal_lp_iterations_total = 0;
+  int64_t fsteal_milp_nodes_total = 0;
+  int64_t fsteal_plan_cells_total = 0;
+  int64_t osteal_lp_iterations_total = 0;
+  int64_t osteal_milp_nodes_total = 0;
 
   sim::Timeline timeline;
   std::vector<IterationStats> iteration_stats;

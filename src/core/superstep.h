@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "core/fsteal.h"
 #include "core/hub_cache.h"
 #include "core/message_store.h"
@@ -162,6 +163,7 @@ void ExpandSuperstep(
   if (staged->size() < units.size()) staged->resize(units.size());
   if (counters->size() < units.size()) counters->resize(units.size());
   const auto expand_one = [&](size_t idx) {
+    GUM_TRACE_SCOPE("expand.unit");
     const WorkUnit& unit = units[idx];
     (*staged)[idx].Configure(shards);
     (*staged)[idx].Clear();
@@ -218,6 +220,7 @@ void ApplySuperstep(ThreadPool* pool, const ShardMap& shards,
   }
 
   const auto apply_shard = [&](size_t s) {
+    GUM_TRACE_SCOPE("apply.shard");
     auto& segs = scratch->segments[s];
     if (want_frontier) {
       if (segs.size() != n) segs.resize(n);

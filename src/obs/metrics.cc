@@ -1,0 +1,237 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace gum::obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Series id: name{k1="v1",k2="v2"} with labels sorted by key. Used both as
+// the map key (export order) and the Prometheus series line prefix.
+std::string SeriesId(std::string_view name, const MetricLabels& labels) {
+  std::string id(name);
+  if (labels.empty()) return id;
+  id += '{';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) id += ',';
+    id += labels[i].first;
+    id += "=\"";
+    // Prometheus label escaping: backslash, double quote, newline.
+    for (char c : labels[i].second) {
+      switch (c) {
+        case '\\': id += "\\\\"; break;
+        case '"': id += "\\\""; break;
+        case '\n': id += "\\n"; break;
+        default: id += c;
+      }
+    }
+    id += '"';
+  }
+  id += '}';
+  return id;
+}
+
+// Re-renders a series id with one extra label (for histogram `le`).
+std::string SeriesIdWith(std::string_view name, const MetricLabels& labels,
+                         const std::string& extra_key,
+                         const std::string& extra_value) {
+  MetricLabels extended = labels;
+  extended.emplace_back(extra_key, extra_value);
+  return SeriesId(name, extended);
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+int Histogram::BucketIndex(uint64_t v) { return std::bit_width(v); }
+
+uint64_t Histogram::BucketUpperBound(int b) {
+  if (b <= 0) return 0;
+  if (b >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << b) - 1;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(std::string_view name,
+                                                  MetricLabels labels,
+                                                  Kind kind) {
+  std::sort(labels.begin(), labels.end());
+  std::string id = SeriesId(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.name = std::string(name);
+    entry.labels = std::move(labels);
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = entries_.emplace(std::move(id), std::move(entry)).first;
+  }
+  GUM_CHECK(it->second.kind == kind)
+      << "metric '" << it->first << "' registered with a different kind";
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     MetricLabels labels) {
+  return *GetEntry(name, std::move(labels), Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, MetricLabels labels) {
+  return *GetEntry(name, std::move(labels), Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         MetricLabels labels) {
+  return *GetEntry(name, std::move(labels), Kind::kHistogram).histogram;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void MetricsRegistry::WritePrometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string last_typed_name;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.name != last_typed_name) {
+      const char* type = entry.kind == Kind::kCounter  ? "counter"
+                         : entry.kind == Kind::kGauge  ? "gauge"
+                                                       : "histogram";
+      os << "# TYPE " << entry.name << " " << type << "\n";
+      last_typed_name = entry.name;
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        os << id << " " << entry.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << id << " " << JsonNumber(entry.gauge->value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        uint64_t cumulative = 0;
+        for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+          const uint64_t n = h.bucket(b);
+          cumulative += n;
+          if (n == 0) continue;  // sparse: only buckets that gained counts
+          os << SeriesIdWith(entry.name + "_bucket", entry.labels, "le",
+                             std::to_string(Histogram::BucketUpperBound(b)))
+             << " " << cumulative << "\n";
+        }
+        os << SeriesIdWith(entry.name + "_bucket", entry.labels, "le",
+                           "+Inf")
+           << " " << cumulative << "\n";
+        os << SeriesId(entry.name + "_sum", entry.labels) << " " << h.sum()
+           << "\n";
+        os << SeriesId(entry.name + "_count", entry.labels) << " "
+           << cumulative << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  JsonWriter w(os, 1);
+  AppendJson(w);
+  os << "\n";
+}
+
+void MetricsRegistry::AppendJson(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.BeginObject();
+
+  const auto write_labels = [&](const MetricLabels& labels) {
+    w.Key("labels").BeginObject();
+    for (const auto& [k, v] : labels) w.Key(k).Value(v);
+    w.EndObject();
+  };
+
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const Kind kind = section[0] == 'c'   ? Kind::kCounter
+                      : section[0] == 'g' ? Kind::kGauge
+                                          : Kind::kHistogram;
+    w.Key(section).BeginArray();
+    for (const auto& [id, entry] : entries_) {
+      if (entry.kind != kind) continue;
+      w.BeginObject();
+      w.Key("name").Value(entry.name);
+      write_labels(entry.labels);
+      switch (kind) {
+        case Kind::kCounter:
+          w.Key("value").Value(entry.counter->value());
+          break;
+        case Kind::kGauge:
+          w.Key("value").Value(entry.gauge->value());
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *entry.histogram;
+          uint64_t count = 0;
+          w.Key("buckets").BeginArray();
+          for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+            const uint64_t n = h.bucket(b);
+            count += n;
+            if (n == 0) continue;
+            w.BeginObject();
+            w.Key("le").Value(Histogram::BucketUpperBound(b));
+            w.Key("count").Value(n);
+            w.EndObject();
+          }
+          w.EndArray();
+          w.Key("sum").Value(h.sum());
+          w.Key("count").Value(count);
+          break;
+        }
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
+  w.EndObject();
+}
+
+}  // namespace gum::obs

@@ -1,0 +1,151 @@
+// Labeled metrics registry (observability plane, DESIGN.md §10).
+//
+// Three instrument kinds, all safe to update concurrently from pool
+// threads:
+//   * Counter   — monotonically increasing uint64 (relaxed fetch_add).
+//   * Gauge     — last-write-wins double (relaxed store).
+//   * Histogram — integer observations in power-of-two buckets: bucket b
+//     holds values whose bit width is b (bucket 0 is exactly zero), so the
+//     upper bound of bucket b is 2^b - 1. Buckets and the sum are integers,
+//     which makes aggregation and export order-independent: two runs that
+//     record the same multiset of observations export byte-identical text
+//     regardless of thread interleaving.
+//
+// Instruments are identified by (name, sorted labels). Lookup returns a
+// stable reference — the registry never invalidates instruments — so hot
+// paths resolve once and cache the pointer. Export orders series by id
+// (name, then labels) and is byte-deterministic for a fixed set of values.
+
+#ifndef GUM_OBS_METRICS_H_
+#define GUM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gum {
+class JsonWriter;
+}  // namespace gum
+
+namespace gum::obs {
+
+namespace internal {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace internal
+
+// Built-in instrumentation sites (engine, CommPlane, thread pool) only
+// record into the global registry while this is true — the same
+// zero-cost-when-disabled contract as tracing: one relaxed load. Tests
+// using their own registries are unaffected.
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void SetMetricsEnabled(bool enabled);
+
+// Label set: key/value pairs, sorted by key at construction.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  // 0 and every bit width of a uint64 value.
+  static constexpr int kNumBuckets = 65;
+
+  void Observe(uint64_t v);
+  uint64_t count() const;          // total observations
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  // Inclusive upper bound of bucket b: 0 for b == 0, else 2^b - 1
+  // (UINT64_MAX for b == 64).
+  static uint64_t BucketUpperBound(int b);
+  static int BucketIndex(uint64_t v);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Registry of named instruments. GetX creates on first use and returns the
+// existing instrument afterwards (the kind must match — checked). Thread
+// safe; returned references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name, MetricLabels labels = {});
+  Gauge& GetGauge(std::string_view name, MetricLabels labels = {});
+  Histogram& GetHistogram(std::string_view name, MetricLabels labels = {});
+
+  // Prometheus text exposition format (one # TYPE line per metric name,
+  // histograms as cumulative _bucket/_sum/_count series).
+  void WritePrometheus(std::ostream& os) const;
+  // {"counters": [...], "gauges": [...], "histograms": [...]} — the shape
+  // embedded in run reports. Histogram buckets are emitted sparsely
+  // (non-zero buckets only), with inclusive upper bounds.
+  void WriteJson(std::ostream& os) const;
+  // Same object emitted into an existing writer at a value position — how
+  // run reports embed their metrics snapshot.
+  void AppendJson(JsonWriter& w) const;
+
+  // Drops every instrument. Only for tests and between CLI runs — callers
+  // must not hold instrument references across a Reset.
+  void Reset();
+
+  size_t size() const;
+
+  // Process-wide registry used by the built-in instrumentation.
+  static MetricsRegistry& Global();
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    MetricLabels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetEntry(std::string_view name, MetricLabels labels, Kind kind);
+
+  mutable std::mutex mu_;
+  // Keyed by the rendered series id so iteration order == export order.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace gum::obs
+
+#endif  // GUM_OBS_METRICS_H_

@@ -1,0 +1,140 @@
+#include "obs/run_report.h"
+
+#include "common/json.h"
+#include "obs/metrics.h"
+#include "sim/timeline.h"
+
+namespace gum::obs {
+
+namespace {
+
+void WriteMatrix(JsonWriter& w, const char* key,
+                 const std::vector<std::vector<double>>& m) {
+  w.Key(key).BeginArray();
+  for (const auto& row : m) {
+    w.BeginArray();
+    for (double v : row) w.Value(v);
+    w.EndArray();
+  }
+  w.EndArray();
+}
+
+}  // namespace
+
+void WriteRunReport(std::ostream& os, const RunReportMeta& meta,
+                    const core::RunResult& result,
+                    const MetricsRegistry* metrics) {
+  const sim::Timeline& tl = result.timeline;
+
+  JsonWriter w(os, 1);
+  w.BeginObject();
+  w.Key("schema_version").Value(kRunReportSchemaVersion);
+
+  w.Key("meta").BeginObject();
+  w.Key("system").Value(meta.system);
+  w.Key("algorithm").Value(meta.algorithm);
+  w.Key("dataset").Value(meta.dataset);
+  w.Key("num_devices").Value(meta.num_devices);
+  w.Key("config").BeginObject();
+  for (const auto& [k, v] : meta.config) w.Key(k).Value(v);
+  w.EndObject();
+  w.EndObject();
+
+  w.Key("result").BeginObject();
+  w.Key("iterations").Value(result.iterations);
+  w.Key("total_ms").Value(result.total_ms);
+  w.Key("edges_processed").Value(result.edges_processed);
+  w.Key("messages_sent").Value(result.messages_sent);
+  w.Key("stolen_edges_total").Value(result.stolen_edges_total);
+  w.Key("compute_ms").Value(result.ComputeMs());
+  w.Key("communication_ms").Value(result.CommunicationMs());
+  w.Key("serialization_ms").Value(result.SerializationMs());
+  w.Key("overhead_ms").Value(result.OverheadMs());
+  w.Key("starvation_ms").Value(result.StarvationMs());
+  w.Key("stall_fraction").Value(tl.StallFraction());
+  w.EndObject();
+
+  w.Key("steal").BeginObject();
+  w.Key("fsteal").BeginObject();
+  w.Key("applied_iterations").Value(result.fsteal_applied_iterations);
+  w.Key("decision_host_ms_total").Value(result.fsteal_decision_host_ms_total);
+  w.Key("sim_overhead_ms").Value(result.fsteal_sim_overhead_ms);
+  w.Key("lp_iterations_total").Value(result.fsteal_lp_iterations_total);
+  w.Key("milp_nodes_total").Value(result.fsteal_milp_nodes_total);
+  w.Key("plan_cells_total").Value(result.fsteal_plan_cells_total);
+  w.EndObject();
+  w.Key("osteal").BeginObject();
+  w.Key("shrink_events").Value(result.osteal_shrink_events);
+  w.Key("decision_host_ms_total").Value(result.osteal_decision_host_ms_total);
+  w.Key("sim_overhead_ms").Value(result.osteal_sim_overhead_ms);
+  w.Key("lp_iterations_total").Value(result.osteal_lp_iterations_total);
+  w.Key("milp_nodes_total").Value(result.osteal_milp_nodes_total);
+  w.EndObject();
+  w.EndObject();
+
+  w.Key("iterations").BeginArray();
+  for (const core::IterationStats& it : result.iteration_stats) {
+    w.BeginObject();
+    w.Key("iteration").Value(it.iteration);
+    w.Key("wall_ms").Value(it.wall_ms);
+    w.Key("group_size").Value(it.group_size);
+    w.Key("fsteal_applied").Value(it.fsteal_applied);
+    w.Key("osteal_evaluated").Value(it.osteal_evaluated);
+    w.Key("group_size_changed").Value(it.group_size_changed);
+    w.Key("fsteal_decision_host_ms").Value(it.fsteal_decision_host_ms);
+    w.Key("osteal_decision_host_ms").Value(it.osteal_decision_host_ms);
+    w.Key("stolen_edges").Value(it.stolen_edges);
+    w.Key("fsteal_plan_cells").Value(it.fsteal_plan_cells);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // Full per-(iteration, device) bucket matrix — the data behind paper
+  // Figs. 1/6/8. Rows are [compute, communication, serialization, overhead]
+  // in ms, one row per device.
+  w.Key("timeline").BeginObject();
+  w.Key("num_devices").Value(tl.num_devices());
+  w.Key("num_iterations").Value(tl.num_iterations());
+  w.Key("categories").BeginArray();
+  for (int c = 0; c < sim::kNumTimeCategories; ++c) {
+    w.Value(sim::TimeCategoryName(static_cast<sim::TimeCategory>(c)));
+  }
+  w.EndArray();
+  w.Key("per_iteration").BeginArray();
+  for (int iter = 0; iter < tl.num_iterations(); ++iter) {
+    w.BeginObject();
+    w.Key("wall_ms").Value(tl.IterationWall(iter));
+    w.Key("devices").BeginArray();
+    for (int d = 0; d < tl.num_devices(); ++d) {
+      w.BeginArray();
+      for (int c = 0; c < sim::kNumTimeCategories; ++c) {
+        w.Value(tl.Get(iter, d, static_cast<sim::TimeCategory>(c)));
+      }
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  w.Key("comm").BeginObject();
+  w.Key("total_remote_bytes").Value(result.TotalRemoteBytes());
+  w.Key("total_payload_bytes").Value(result.TotalPayloadBytes());
+  WriteMatrix(w, "link_bytes", result.link_bytes);
+  WriteMatrix(w, "payload_bytes", result.payload_bytes);
+  WriteMatrix(w, "link_busy_ms", result.link_busy_ms);
+  w.EndObject();
+
+  w.Key("metrics");
+  if (metrics != nullptr) {
+    metrics->AppendJson(w);
+  } else {
+    w.BeginObject().EndObject();
+  }
+
+  w.EndObject();
+  os << "\n";
+}
+
+}  // namespace gum::obs

@@ -1,0 +1,48 @@
+// Schema-versioned JSON run reports (observability plane, DESIGN.md §10).
+//
+// One report = one engine run, merged into a single machine-diffable JSON
+// artifact: run metadata, the RunResult scalars, the steal-decision stats
+// (plan sizes, simplex iterations, MILP nodes, decision host-ms), the full
+// per-iteration/per-device simulated Timeline, the per-link CommPlane
+// telemetry matrices, and (optionally) a metrics registry snapshot.
+//
+// The report is what CI and the bench harness consume; the schema is
+// versioned so downstream diffing can reject mixed-version comparisons.
+// For a fixed input the output is byte-deterministic.
+
+#ifndef GUM_OBS_RUN_REPORT_H_
+#define GUM_OBS_RUN_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/run_result.h"
+
+namespace gum::obs {
+
+class MetricsRegistry;
+
+inline constexpr int kRunReportSchemaVersion = 1;
+
+// Free-form identification of the run. `config` carries whatever knobs the
+// caller wants recorded (flag echoes, dataset scale, seeds, ...); pairs are
+// emitted in the order given.
+struct RunReportMeta {
+  std::string system;     // "gum", "gunrock", "groute"
+  std::string algorithm;  // "bfs", "sssp", "pr", "wcc"
+  std::string dataset;
+  int num_devices = 0;
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+// Writes the complete report. `metrics` may be null (the "metrics" key is
+// then an empty object).
+void WriteRunReport(std::ostream& os, const RunReportMeta& meta,
+                    const core::RunResult& result,
+                    const MetricsRegistry* metrics);
+
+}  // namespace gum::obs
+
+#endif  // GUM_OBS_RUN_REPORT_H_

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gum::sim {
 namespace {
@@ -98,6 +100,7 @@ double CommPlane::LegacyGbps(int src, int dst) const {
 }
 
 SettleResult CommPlane::Settle(const TransferBatch& batch) {
+  GUM_TRACE_SCOPE("comm.settle");
   SettleResult out;
   const int n = topo_.num_devices();
   int max_tag = n - 1;
@@ -111,6 +114,16 @@ SettleResult CommPlane::Settle(const TransferBatch& batch) {
     SettleOff(batch.transfers_, &out);
   } else {
     SettleFair(batch.transfers_, &out);
+  }
+  if (obs::MetricsEnabled()) {
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("gum_comm_settle_batches_total").Increment();
+    reg.GetCounter("gum_comm_transfers_total")
+        .Increment(batch.transfers_.size());
+    auto& bytes_hist = reg.GetHistogram("gum_comm_transfer_bytes");
+    for (const Transfer& t : batch.transfers_) {
+      bytes_hist.Observe(static_cast<uint64_t>(t.bytes));
+    }
   }
   return out;
 }

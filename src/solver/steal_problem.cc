@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "solver/milp.h"
 
 namespace gum::solver {
@@ -68,6 +69,7 @@ Result<StealPlan> SolveStealProblem(
     const std::vector<std::vector<double>>& cost,
     const std::vector<double>& load, const std::vector<int>& active_workers,
     const StealProblemOptions& options) {
+  GUM_TRACE_SCOPE("solver.steal_problem");
   const int n = static_cast<int>(cost.size());
   if (n == 0 || static_cast<int>(load.size()) != n) {
     return Status::InvalidArgument("cost/load dimension mismatch");

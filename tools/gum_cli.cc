@@ -30,6 +30,12 @@
 //   --show-links                 print the per-link lane utilization table
 //   --save-values=PATH           write "vertex value" lines
 //
+// Observability (src/obs/, DESIGN.md §10; no effect on results or stdout):
+//   --trace=PATH                 Chrome/Perfetto trace-event JSON (simulated
+//                                vGPU lanes + host wall-clock lanes)
+//   --metrics=PATH               metrics registry snapshot as JSON
+//   --report=PATH                schema-versioned JSON run report
+//
 // Example:
 //   gum_cli --gen=road --rows=128 --cols=128 --algo=sssp --devices=8
 
@@ -37,6 +43,9 @@
 #include <iostream>
 
 #include "algos/apps.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "baselines/groute_cc.h"
 #include "baselines/groute_like.h"
 #include "baselines/gunrock_like.h"
@@ -60,7 +69,7 @@ constexpr const char* kKnownFlags[] = {
     "devices",   "partitioner", "source",   "pr-rounds",   "epsilon",
     "no-fsteal", "no-osteal",  "timeline",  "save-values", "help",
     "timeline-csv", "host-threads", "contention", "show-links",
-    "msg-shards",
+    "msg-shards", "trace", "metrics", "report",
 };
 
 void PrintUsage() {
@@ -73,7 +82,8 @@ void PrintUsage() {
       "               [--no-fsteal] [--no-osteal] [--host-threads=N]\n"
       "               [--msg-shards=N]\n"
       "               [--contention=off|fair] [--timeline] [--show-links]\n"
-      "               [--save-values=PATH]\n";
+      "               [--save-values=PATH]\n"
+      "               [--trace=PATH] [--metrics=PATH] [--report=PATH]\n";
 }
 
 Result<graph::EdgeList> LoadOrGenerate(const FlagParser& flags) {
@@ -124,6 +134,14 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
   core::RunResult result;
   std::vector<Value> values;
 
+  const bool want_trace = flags.Has("trace");
+  const bool want_metrics = flags.Has("metrics");
+  const bool want_report = flags.Has("report");
+  obs::TraceSession trace;
+  if (want_trace) trace.Start();
+  // The report embeds a metrics snapshot, so recording is on for both.
+  if (want_metrics || want_report) obs::SetMetricsEnabled(true);
+
   const int host_threads = static_cast<int>(flags.GetInt("host-threads", 0));
   const int msg_shards = static_cast<int>(flags.GetInt("msg-shards", 0));
   auto contention =
@@ -157,6 +175,41 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
   } else {
     std::cerr << "unknown --engine=" << engine_name << "\n";
     return 1;
+  }
+
+  if (want_metrics || want_report) obs::SetMetricsEnabled(false);
+  if (want_trace) {
+    // The engine (and its thread pool) is already destroyed, so every
+    // worker buffer has drained to the retired list; Stop collects them
+    // plus the main thread's spans.
+    trace.Stop();
+    trace.AddSimulatedTimeline(result.timeline);
+    std::ofstream out(flags.GetString("trace", ""));
+    trace.WriteChromeTrace(out);
+  }
+  if (want_metrics) {
+    std::ofstream out(flags.GetString("metrics", ""));
+    obs::MetricsRegistry::Global().WriteJson(out);
+  }
+  if (want_report) {
+    obs::RunReportMeta meta;
+    meta.system = engine_name;
+    meta.algorithm = flags.GetString("algo", "bfs");
+    meta.dataset = flags.Has("graph")
+                       ? flags.GetString("graph", "")
+                       : flags.GetString("gen", "");
+    meta.num_devices = partition.num_parts;
+    meta.config = {
+        {"contention", flags.GetString("contention", "off")},
+        {"partitioner", flags.GetString("partitioner", "random")},
+        {"host_threads", std::to_string(host_threads)},
+        {"msg_shards", std::to_string(msg_shards)},
+        {"fsteal", flags.GetBool("no-fsteal", false) ? "off" : "on"},
+        {"osteal", flags.GetBool("no-osteal", false) ? "off" : "on"},
+    };
+    std::ofstream out(flags.GetString("report", ""));
+    obs::WriteRunReport(out, meta, result,
+                        &obs::MetricsRegistry::Global());
   }
 
   std::cout << "engine:          " << engine_name << "\n"
