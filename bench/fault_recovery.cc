@@ -1,0 +1,86 @@
+// Recovery overhead: makespan vs checkpoint cadence x fail iteration.
+// GUM BFS and PageRank on 8 vGPUs with one device fail-stopping mid-run.
+// Rows report the fault-free makespan, the checkpoint-only overhead at
+// each cadence, and the faulted makespan / recovery charge for every
+// (cadence, fail iteration) cell — the cadence trade-off the fault plane
+// exists to expose: frequent checkpoints cost steady-state time but bound
+// the lost work replayed after a failure.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/datasets.h"
+#include "bench/runner.h"
+#include "common/table_printer.h"
+#include "fault/fault_plane.h"
+
+using namespace gum;        // NOLINT(build/namespaces)
+using namespace gum::bench; // NOLINT(build/namespaces)
+
+namespace {
+
+core::RunResult Run(const DatasetGraphs& data, Algo algo,
+                    const fault::FaultPlane* plane, int ckpt_every) {
+  RunConfig config;
+  config.system = System::kGum;
+  config.algo = algo;
+  config.devices = 8;
+  config.gum.fault_plane = plane;
+  config.gum.checkpoint.every = ckpt_every;
+  return RunBenchmark(data, config);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Recovery overhead: makespan vs checkpoint cadence x "
+               "fail iteration — GUM, 8 vGPUs ===\n\n";
+  TablePrinter tp({"Graph", "Algo", "Fail@", "Ckpt", "Makespan",
+                   "Overhead%", "Recovery ms", "Lost ms"});
+  for (const std::string abbr : {std::string("SW"), std::string("U2")}) {
+    const DatasetGraphs data = BuildDataset(abbr);
+    for (const Algo algo : {Algo::kBfs, Algo::kPr}) {
+      const core::RunResult clean = Run(data, algo, nullptr, 0);
+      const int iters = clean.iterations;
+      tp.AddRow({abbr, AlgoName(algo), "-", "off",
+                 TablePrinter::Num(clean.total_ms, 2), "0.0", "-", "-"});
+      for (const int ckpt : {1, 2, 4}) {
+        const core::RunResult ck = Run(data, algo, nullptr, ckpt);
+        tp.AddRow({abbr, AlgoName(algo), "-", std::to_string(ckpt),
+                   TablePrinter::Num(ck.total_ms, 2),
+                   TablePrinter::Num(
+                       100.0 * (ck.total_ms - clean.total_ms) /
+                           clean.total_ms,
+                       1),
+                   "-", "-"});
+      }
+      // Fail one device early and mid-run; the mid-run point replays the
+      // most work at coarse cadences.
+      for (const int fail_at : {2, iters / 2}) {
+        const auto plan = fault::FaultPlan::Parse(
+            "failstop:3@" + std::to_string(fail_at));
+        auto plane = fault::FaultPlane::Create(*plan, 8);
+        for (const int ckpt : {0, 1, 2, 4}) {
+          const core::RunResult r = Run(data, algo, &*plane, ckpt);
+          tp.AddRow({abbr, AlgoName(algo), std::to_string(fail_at),
+                     ckpt == 0 ? "off" : std::to_string(ckpt),
+                     TablePrinter::Num(r.total_ms, 2),
+                     TablePrinter::Num(
+                         100.0 * (r.total_ms - clean.total_ms) /
+                             clean.total_ms,
+                         1),
+                     TablePrinter::Num(r.RecoveryChargedMs(), 2),
+                     TablePrinter::Num(r.lost_work_ms, 2)});
+        }
+      }
+    }
+    std::cerr << "done " << abbr << "\n";
+  }
+  tp.Print(std::cout);
+  std::cout << "\nShape check: checkpoint-only overhead grows with cadence "
+               "frequency; the faulted makespan at cadence off pays the "
+               "full replay (lost ms ~ fail iteration), while cadence 1 "
+               "bounds lost work to under one iteration.\n";
+  return 0;
+}

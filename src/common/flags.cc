@@ -71,6 +71,25 @@ bool FlagParser::GetBool(const std::string& name, bool default_value) const {
   return default_value;
 }
 
+Result<std::string> FlagParser::GetEnum(
+    const std::string& name, const std::string& default_value,
+    const std::vector<std::string>& allowed) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  if (std::find(allowed.begin(), allowed.end(), it->second) !=
+      allowed.end()) {
+    return it->second;
+  }
+  std::string expected;
+  for (const std::string& v : allowed) {
+    if (!expected.empty()) expected += "|";
+    expected += v;
+  }
+  return Status::InvalidArgument("unknown value '" + it->second +
+                                 "' for --" + name + " (expected " +
+                                 expected + ")");
+}
+
 Status FlagParser::KnownFlagsOnly(
     const std::vector<std::string>& known) const {
   std::string unknown;

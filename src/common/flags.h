@@ -28,6 +28,13 @@ class FlagParser {
   // Bare "--name" and "--name=true/1/yes/on" are true; "=false/0/no/off"
   // false; anything else falls back to the default.
   bool GetBool(const std::string& name, bool default_value) const;
+  // Enumerated flag: the default when absent; InvalidArgument naming the
+  // flag, the offending value, and the allowed set when present with a
+  // value outside `allowed`. Use this for every closed-vocabulary flag so
+  // typos fail loudly instead of silently falling back.
+  Result<std::string> GetEnum(const std::string& name,
+                              const std::string& default_value,
+                              const std::vector<std::string>& allowed) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -67,6 +67,9 @@
 #include "core/run_result.h"
 #include "core/superstep.h"
 #include "core/time_accounting.h"
+#include "fault/checkpoint.h"
+#include "fault/fault_plane.h"
+#include "fault/recovery.h"
 #include "graph/csr.h"
 #include "graph/fragment.h"
 #include "graph/frontier_features.h"
@@ -172,7 +175,135 @@ class GumEngine {
     ApplyScratch apply_scratch;
     std::vector<std::vector<VertexId>> next_frontier(n);
 
+    // --- fault plane state (DESIGN.md §11) ---
+    // With no plane (or an empty plan) every guard below is dead and the
+    // run is bit-identical to a fault-free build.
+    const fault::FaultPlane* faults =
+        options_.fault_plane != nullptr && options_.fault_plane->active()
+            ? options_.fault_plane
+            : nullptr;
+    if (faults != nullptr) {
+      GUM_CHECK(faults->num_devices() == n)
+          << "fault plane bound to " << faults->num_devices()
+          << " devices, engine has " << n;
+    }
+    const int ckpt_every = options_.checkpoint.every;
+    std::vector<bool> failed(n, false);
+    std::vector<int> survivors = AllDevices(n);
+    sim::ReductionSchedule survivor_schedule = schedule_;
+    fault::Checkpoint<Value> ckpt;
+    bool recovery_pending = false;
+    double pending_lost_ms = 0.0;
+    // Monotonic fault accounting, kept outside RunResult so checkpoint
+    // rollback never erases it; folded into the result after the loop.
+    // Timeline charges DO roll back — the discarded execution (including
+    // any recovery charged on it) is re-charged as lost work at restore.
+    struct FaultAccounting {
+      int checkpoints_taken = 0;
+      double checkpoint_bytes_total = 0.0;
+      double checkpoint_ms_total = 0.0;
+      int devices_failed = 0;
+      int recovery_events = 0;
+      int fragments_migrated = 0;
+      double recovery_detect_ms = 0.0;
+      double recovery_restore_ms = 0.0;
+      double recovery_migrate_ms = 0.0;
+      double lost_work_ms = 0.0;
+      double straggler_ms = 0.0;
+      int link_fault_iterations = 0;
+    } facct;
+    const auto fragment_state_bytes = [&](int i) {
+      return fault::FragmentStateBytes(partition_.part_vertices[i].size(),
+                                       frontier[i].size(), sizeof(Value));
+    };
+    // Snapshots everything the loop needs to re-enter at `next_iter`. The
+    // initial snapshot is free (state is still host-resident); periodic
+    // ones charge their owners a PCIe read-back before being taken.
+    const auto take_checkpoint = [&](int next_iter) {
+      ckpt.iteration = next_iter;
+      ckpt.values = values;
+      ckpt.frontier = frontier;
+      ckpt.owner_of_fragment = owner_of_fragment;
+      ckpt.active = active;
+      ckpt.group_size = group_size;
+      ckpt.p_estimate_ns = p_estimate_ns;
+      ckpt.prev_wall_ms = prev_wall_ms;
+      ckpt.result = result;
+      ckpt.comm = plane.SnapshotTelemetry();
+    };
+    if (faults != nullptr) take_checkpoint(0);
+
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
+      // --- fail-stop detection at the superstep barrier ---
+      if (faults != nullptr) {
+        std::vector<int> newly;
+        for (const int d : faults->FailuresAt(iter)) {
+          // Replay re-crosses the failure iteration; already-dead devices
+          // never re-trigger.
+          if (!failed[d]) newly.push_back(d);
+        }
+        if (!newly.empty()) {
+          obs::TraceInstant("fault.failstop");
+          for (const int d : newly) failed[d] = true;
+          survivors.clear();
+          std::vector<int> failed_list;
+          for (int i = 0; i < n; ++i) {
+            (failed[i] ? failed_list : survivors).push_back(i);
+          }
+          GUM_CHECK(!survivors.empty()) << "fault plan killed every device";
+          survivor_schedule =
+              sim::ReductionSchedule::BuildWithForbidden(topology_,
+                                                         failed_list);
+          // State is lost only if a dead device owned fragments or worked
+          // in the group; a device OSteal already evicted takes nothing
+          // with it, so the run continues from live state.
+          bool state_lost = false;
+          for (const int d : newly) {
+            for (int i = 0; i < n; ++i) {
+              state_lost = state_lost || owner_of_fragment[i] == d;
+            }
+            state_lost = state_lost ||
+                         std::find(active.begin(), active.end(), d) !=
+                             active.end();
+          }
+          facct.devices_failed += static_cast<int>(newly.size());
+          if (state_lost) {
+            // Roll back to the last checkpoint; everything charged since
+            // (including the lost iterations' walls) becomes lost work,
+            // re-charged at the restore barrier below.
+            pending_lost_ms = result.total_ms - ckpt.result.total_ms;
+            values = ckpt.values;
+            frontier = ckpt.frontier;
+            owner_of_fragment = ckpt.owner_of_fragment;
+            active = ckpt.active;
+            group_size = ckpt.group_size;
+            p_estimate_ns = ckpt.p_estimate_ns;
+            prev_wall_ms = ckpt.prev_wall_ms;
+            result = ckpt.result;
+            plane.RestoreTelemetry(ckpt.comm);
+            iter = ckpt.iteration;
+            recovery_pending = true;
+          } else {
+            // Nothing rolls back: charge the barrier timeout and continue
+            // with the shrunk candidate set.
+            const double detect_ms =
+                options_.recovery.detect_timeout_us / 1000.0;
+            for (const int d : survivors) {
+              result.timeline.Add(iter, d, sim::TimeCategory::kOverhead,
+                                  detect_ms);
+            }
+            facct.recovery_detect_ms += detect_ms;
+            ++facct.recovery_events;
+          }
+        }
+        // --- link-fault overlay for this iteration ---
+        plane.ClearLinkFaults();
+        const auto link_faults = faults->LinkFaultsAt(iter);
+        for (const auto& lf : link_faults) {
+          plane.SetLinkScale(lf.a, lf.b, lf.scale);
+        }
+        if (!link_faults.empty()) ++facct.link_fault_iterations;
+      }
       if (fixed_rounds >= 0) {
         if (iter >= fixed_rounds) break;
         // Stationary workload: every inner vertex is active each round.
@@ -205,19 +336,76 @@ class GumEngine {
       stats.iteration = iter;
       stats.fragment_load = loads;
 
+      // --- fault recovery: rebuild ownership over the survivors ---
+      // Runs at the first barrier after a rollback: drive the OSteal
+      // enumeration over the survivor schedule (dead columns forbidden),
+      // then charge detection, checkpoint read-back, migration, and the
+      // rolled-back work at this barrier.
+      bool recovered_this_iter = false;
+      if (recovery_pending) {
+        recovery_pending = false;
+        recovered_this_iter = true;
+        GUM_TRACE_SCOPE("fault.recover");
+        const auto cost_surv = BuildCostMatrix(
+            features, remote_discount, cost_model_, plane, survivors);
+        OStealDecision dec = fault::RebuildOwnership(
+            cost_surv, loads, survivor_schedule, p_estimate_ns,
+            options_.osteal, static_cast<int>(survivors.size()),
+            options_.enable_osteal);
+        stats.osteal_evaluated = options_.enable_osteal;
+        stats.osteal_decision_host_ms = dec.decision_host_ms;
+        result.osteal_decision_host_ms_total += dec.decision_host_ms;
+        result.osteal_lp_iterations_total += dec.lp_iterations_total;
+        result.osteal_milp_nodes_total += dec.milp_nodes_total;
+        std::vector<double> frag_bytes(n);
+        for (int i = 0; i < n; ++i) frag_bytes[i] = fragment_state_bytes(i);
+        const fault::RecoveryCharge charge = fault::ComputeRecoveryCharge(
+            options_.recovery, owner_of_fragment, dec.owner, failed,
+            frag_bytes);
+        if (dec.group_size != group_size) {
+          stats.group_size_changed = true;
+          ++result.osteal_shrink_events;
+        }
+        group_size = dec.group_size;
+        owner_of_fragment = dec.owner;
+        active = dec.active;
+        for (const int d : survivors) {
+          result.timeline.Add(iter, d, sim::TimeCategory::kOverhead,
+                              charge.per_device_ms[d] + pending_lost_ms);
+        }
+        facct.recovery_detect_ms += charge.detect_ms;
+        facct.recovery_restore_ms += charge.restore_ms;
+        facct.recovery_migrate_ms += charge.migrate_ms;
+        facct.lost_work_ms += pending_lost_ms;
+        facct.fragments_migrated += charge.fragments_migrated;
+        ++facct.recovery_events;
+        pending_lost_ms = 0.0;
+        obs::TraceInstant("fault.recover");
+        if (obs::MetricsEnabled()) {
+          auto& reg = obs::MetricsRegistry::Global();
+          reg.GetCounter("gum_fault_recoveries_total").Increment();
+          reg.GetCounter("gum_fault_fragments_migrated_total")
+              .Increment(charge.fragments_migrated);
+        }
+      }
+
       // --- Step 2: ownership stealing ---
       // Evaluate OSteal when the previous iteration was latency-bound, or
       // whenever the group is already shrunk (so it can grow back as the
-      // workload recovers, paper §IV-B).
-      if (options_.enable_osteal && n > 1 &&
+      // workload recovers, paper §IV-B). After a fail-stop the enumeration
+      // runs over the survivor schedule, capped at the survivor count —
+      // with no failures both equal the full schedule, bit for bit.
+      if (!recovered_this_iter && options_.enable_osteal && n > 1 &&
           (prev_wall_ms < options_.osteal.t3_trigger_ms ||
            group_size < n)) {
         GUM_TRACE_SCOPE("gum.osteal");
         const auto cost_full =
             BuildCostMatrix(features, remote_discount, cost_model_,
-                            plane, AllDevices(n));
-        OStealDecision dec = DecideOSteal(cost_full, loads, schedule_,
-                                          p_estimate_ns, options_.osteal);
+                            plane, survivors);
+        OStealDecision dec = DecideOSteal(cost_full, loads,
+                                          survivor_schedule, p_estimate_ns,
+                                          options_.osteal,
+                                          static_cast<int>(survivors.size()));
         stats.osteal_evaluated = true;
         stats.osteal_decision_host_ms = dec.decision_host_ms;
         result.osteal_decision_host_ms_total += dec.decision_host_ms;
@@ -362,6 +550,26 @@ class GumEngine {
             owner_of_fragment, active, fs, stolen_edges_this_iter, &result);
       }();
 
+      // --- fault plane: straggler slowdown ---
+      // A straggler's kernels run `factor`x slower this iteration; charge
+      // the extra compute on whatever the accounting layer charged it
+      // (including stolen work it executed).
+      if (faults != nullptr) {
+        for (const int d : active) {
+          const double slow = faults->ComputeSlowdown(d, iter);
+          if (slow > 1.0) {
+            const double extra =
+                (slow - 1.0) *
+                result.timeline.Get(iter, d, sim::TimeCategory::kCompute);
+            if (extra > 0.0) {
+              result.timeline.Add(iter, d, sim::TimeCategory::kCompute,
+                                  extra);
+              facct.straggler_ms += extra;
+            }
+          }
+        }
+      }
+
       // Refresh the p estimate from this iteration's observed barrier cost:
       // average per-device overhead minus the kernel-launch time actually
       // charged by the accounting layer, divided by the group size.
@@ -378,6 +586,30 @@ class GumEngine {
             std::max(0.0, per_device_ns / active.size());
         p_estimate_ns = (1.0 - options_.sync_ewma_alpha) * p_estimate_ns +
                         options_.sync_ewma_alpha * observed_p;
+      }
+
+      // --- fault plane: periodic checkpoint ---
+      // Each active owner writes its fragments' state to host storage over
+      // PCIe; the write is charged inside this iteration's wall (and is
+      // therefore part of its own snapshot's accounted past).
+      const bool checkpoint_due =
+          ckpt_every > 0 && (iter + 1) % ckpt_every == 0;
+      if (checkpoint_due) {
+        GUM_TRACE_SCOPE("fault.checkpoint");
+        double slowest_ms = 0.0;
+        for (const int d : active) {
+          double dev_bytes = 0.0;
+          for (int i = 0; i < n; ++i) {
+            if (owner_of_fragment[i] == d) dev_bytes += fragment_state_bytes(i);
+          }
+          const double ms = fault::CheckpointTransferMs(dev_bytes);
+          result.timeline.Add(iter, d, sim::TimeCategory::kOverhead, ms);
+          facct.checkpoint_bytes_total += dev_bytes;
+          slowest_ms = std::max(slowest_ms, ms);
+        }
+        ++facct.checkpoints_taken;
+        facct.checkpoint_ms_total += slowest_ms;
+        obs::TraceInstant("fault.checkpoint");
       }
 
       const double wall = result.timeline.IterationWall(iter);
@@ -405,7 +637,27 @@ class GumEngine {
       }
       prev_wall_ms = wall;
       result.iterations = iter + 1;
+      // Snapshot after the wall is in total_ms, so a restore resumes with
+      // exactly the accounted past of this barrier. Without a fault plan
+      // the snapshot is never read; only the charge above matters.
+      if (checkpoint_due && faults != nullptr) take_checkpoint(iter + 1);
     }
+
+    // Fold the monotonic fault accounting into the result.
+    result.fault_plan_active = faults != nullptr;
+    result.checkpoints_taken = facct.checkpoints_taken;
+    result.checkpoint_bytes_total = facct.checkpoint_bytes_total;
+    result.checkpoint_ms_total = facct.checkpoint_ms_total;
+    result.devices_failed = facct.devices_failed;
+    result.recovery_events = facct.recovery_events;
+    result.fragments_migrated = facct.fragments_migrated;
+    result.recovery_detect_ms = facct.recovery_detect_ms;
+    result.recovery_restore_ms = facct.recovery_restore_ms;
+    result.recovery_migrate_ms = facct.recovery_migrate_ms;
+    result.lost_work_ms = facct.lost_work_ms;
+    result.straggler_ms = facct.straggler_ms;
+    result.link_fault_iterations = facct.link_fault_iterations;
+    if (faults != nullptr) plane.ClearLinkFaults();
 
     result.link_bytes = plane.link_bytes();
     result.payload_bytes = plane.payload_bytes();

@@ -7,6 +7,9 @@
 
 #include "core/fsteal.h"
 #include "core/osteal.h"
+#include "fault/checkpoint.h"
+#include "fault/fault_plane.h"
+#include "fault/recovery.h"
 #include "sim/comm_plane.h"
 #include "sim/device.h"
 
@@ -59,6 +62,18 @@ struct EngineOptions {
   // chains and first-writer attribution never change (DESIGN.md, "Sharded
   // message plane").
   int num_msg_shards = 0;
+
+  // --- fault plane (src/fault/, DESIGN.md §11) ---
+  // Deterministic fault schedule queried at every superstep barrier. Null,
+  // or a plane whose plan is empty, disables every fault-plane code path —
+  // the run is bit-identical to a build without the subsystem. The plane
+  // must outlive the engine and match the device count.
+  const fault::FaultPlane* fault_plane = nullptr;
+  // Periodic checkpoint cadence (checkpoint.every == 0 disables). Charged
+  // honestly: each snapshot costs its owners a PCIe read-back, so turning
+  // checkpoints on changes reported time (never values).
+  fault::CheckpointConfig checkpoint;
+  fault::RecoveryConfig recovery;
 
   // --- safety rails ---
   int max_iterations = 200000;

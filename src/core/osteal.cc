@@ -14,15 +14,18 @@ OStealDecision DecideOSteal(const std::vector<std::vector<double>>& cost,
                             const std::vector<double>& loads,
                             const sim::ReductionSchedule& schedule,
                             double sync_per_peer_ns,
-                            const OStealConfig& config) {
+                            const OStealConfig& config,
+                            int max_group_size) {
   GUM_TRACE_SCOPE("osteal.decide");
   const int n = schedule.num_devices();
+  const int limit =
+      max_group_size > 0 ? std::min(max_group_size, n) : n;
   OStealDecision best;
   best.evaluated = true;
   best.predicted_cost_ns = std::numeric_limits<double>::infinity();
 
   Stopwatch timer;
-  for (int m = 1; m <= n; ++m) {
+  for (int m = 1; m <= limit; ++m) {
     const std::vector<int> active = schedule.ActiveFor(m);
 
     double z;

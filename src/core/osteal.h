@@ -38,12 +38,16 @@ struct OStealDecision {
 // Enumerates m = 1..n over the reduction schedule. `cost` is the full
 // (un-restricted) coefficient matrix from BuildCostMatrix with all devices
 // allowed; columns are forbidden per-candidate internally. `sync_per_peer_ns`
-// is the estimated p of Eq. (4) in ns.
+// is the estimated p of Eq. (4) in ns. `max_group_size` caps the
+// enumeration (0 means every device): after a fail-stop the recovery path
+// passes the survivor count so the dead devices' group sizes are never
+// candidates.
 OStealDecision DecideOSteal(const std::vector<std::vector<double>>& cost,
                             const std::vector<double>& loads,
                             const sim::ReductionSchedule& schedule,
                             double sync_per_peer_ns,
-                            const OStealConfig& config);
+                            const OStealConfig& config,
+                            int max_group_size = 0);
 
 }  // namespace gum::core
 

@@ -25,6 +25,11 @@ double RunResult::TotalPayloadBytes() const {
   return total;
 }
 
+double RunResult::RecoveryChargedMs() const {
+  return recovery_detect_ms + recovery_restore_ms + recovery_migrate_ms +
+         lost_work_ms;
+}
+
 double RunResult::StarvationMs() const {
   double starvation = 0;
   for (int it = 0; it < timeline.num_iterations(); ++it) {

@@ -48,6 +48,26 @@ struct RunResult {
   int64_t osteal_lp_iterations_total = 0;
   int64_t osteal_milp_nodes_total = 0;
 
+  // --- fault plane (src/fault/, DESIGN.md §11) ---
+  // All zero unless a fault plan or a checkpoint cadence was active; the
+  // obs run report emits its `faults` section only when one was.
+  bool fault_plan_active = false;
+  int checkpoints_taken = 0;
+  double checkpoint_bytes_total = 0.0;  // state written across checkpoints
+  double checkpoint_ms_total = 0.0;     // wall charge across checkpoints
+  int devices_failed = 0;               // fail-stops observed
+  int recovery_events = 0;              // barrier detections that recovered
+  int fragments_migrated = 0;           // re-owned away from their ckpt owner
+  double recovery_detect_ms = 0.0;      // barrier timeout charges
+  double recovery_restore_ms = 0.0;     // checkpoint read-back (slowest dev)
+  double recovery_migrate_ms = 0.0;     // inherited-fragment state read-back
+  double lost_work_ms = 0.0;            // rolled-back simulated wall time
+  double straggler_ms = 0.0;            // extra compute charged to stragglers
+  int link_fault_iterations = 0;        // iterations run with a degraded link
+  // Total charged recovery time: detection + restore + migration + lost
+  // work. Nonzero iff at least one fail-stop was recovered from.
+  double RecoveryChargedMs() const;
+
   sim::Timeline timeline;
   std::vector<IterationStats> iteration_stats;
 

@@ -1,0 +1,20 @@
+#include "fault/checkpoint.h"
+
+#include "graph/types.h"
+#include "sim/topology.h"
+
+namespace gum::fault {
+
+double FragmentStateBytes(size_t fragment_vertices, size_t frontier_vertices,
+                          size_t bytes_per_value) {
+  return static_cast<double>(fragment_vertices) *
+             static_cast<double>(bytes_per_value) +
+         static_cast<double>(frontier_vertices) * sizeof(graph::VertexId);
+}
+
+double CheckpointTransferMs(double bytes) {
+  // 1 GB/s == 1 byte/ns, so bytes / GBps is ns.
+  return bytes / sim::Topology::kPcieGBps / 1e6;
+}
+
+}  // namespace gum::fault

@@ -1,0 +1,63 @@
+// Periodic engine checkpoints (DESIGN.md §11).
+//
+// A Checkpoint is a full snapshot of the state the GUM engine needs to
+// re-enter its superstep loop at an iteration barrier: vertex values, the
+// per-fragment frontier, fragment ownership and the active group, the
+// online p estimate, and the whole RunResult (timeline + counters) plus
+// CommPlane telemetry so a rolled-back run re-accumulates time exactly as
+// if the lost iterations never ran. The determinism contract (DESIGN.md §7)
+// makes values independent of ownership and steal plans, which is what lets
+// a replay over a *shrunk* group converge to byte-identical output.
+//
+// Snapshots live in host memory (the coordinator); what the analytic model
+// charges is the device -> host read-back of each owner's fragment state
+// over PCIe, sized by FragmentStateBytes.
+
+#ifndef GUM_FAULT_CHECKPOINT_H_
+#define GUM_FAULT_CHECKPOINT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/run_result.h"
+#include "graph/types.h"
+#include "sim/comm_plane.h"
+
+namespace gum::fault {
+
+struct CheckpointConfig {
+  // Take a snapshot after every `every`-th iteration's apply phase; 0
+  // disables periodic checkpoints. With a fault plan active, an implicit
+  // free snapshot of the initial state always exists, so recovery falls
+  // back to iteration 0 when no periodic checkpoint was taken yet.
+  int every = 0;
+};
+
+// Bytes a device moves when snapshotting (or restoring) one fragment:
+// the dense value array plus the fragment's current frontier.
+double FragmentStateBytes(size_t fragment_vertices, size_t frontier_vertices,
+                          size_t bytes_per_value);
+
+// Simulated wall charge (ms) for moving `bytes` of checkpoint state between
+// a device and host storage over the PCIe path.
+double CheckpointTransferMs(double bytes);
+
+// Engine snapshot at an iteration barrier. `iteration` is the resume point:
+// the first iteration whose effects are NOT captured.
+template <typename Value>
+struct Checkpoint {
+  int iteration = 0;
+  std::vector<Value> values;
+  std::vector<std::vector<graph::VertexId>> frontier;
+  std::vector<int> owner_of_fragment;
+  std::vector<int> active;
+  int group_size = 0;
+  double p_estimate_ns = 0.0;
+  double prev_wall_ms = 0.0;
+  core::RunResult result;
+  sim::CommPlane::Telemetry comm;
+};
+
+}  // namespace gum::fault
+
+#endif  // GUM_FAULT_CHECKPOINT_H_

@@ -1,0 +1,64 @@
+#include "fault/recovery.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "fault/checkpoint.h"
+
+namespace gum::fault {
+
+core::OStealDecision RebuildOwnership(
+    const std::vector<std::vector<double>>& cost,
+    const std::vector<double>& loads,
+    const sim::ReductionSchedule& survivor_schedule, double sync_per_peer_ns,
+    const core::OStealConfig& config, int num_survivors, bool enumerate) {
+  GUM_CHECK(num_survivors >= 1 &&
+            num_survivors <= survivor_schedule.num_devices());
+  if (enumerate) {
+    return core::DecideOSteal(cost, loads, survivor_schedule,
+                              sync_per_peer_ns, config, num_survivors);
+  }
+  // OSteal disabled: no voluntary shrinking, the group is every survivor.
+  core::OStealDecision dec;
+  dec.evaluated = true;
+  dec.group_size = num_survivors;
+  dec.owner = survivor_schedule.OwnerVectorFor(num_survivors);
+  dec.active = survivor_schedule.ActiveFor(num_survivors);
+  return dec;
+}
+
+RecoveryCharge ComputeRecoveryCharge(
+    const RecoveryConfig& config, const std::vector<int>& ckpt_owner,
+    const std::vector<int>& new_owner, const std::vector<bool>& failed,
+    const std::vector<double>& fragment_bytes) {
+  const size_t n = ckpt_owner.size();
+  GUM_CHECK(new_owner.size() == n && failed.size() == n &&
+            fragment_bytes.size() == n);
+  RecoveryCharge charge;
+  charge.detect_ms = config.detect_timeout_us / 1000.0;
+  charge.per_device_ms.assign(n, 0.0);
+  std::vector<double> restore_bytes(n, 0.0);
+  std::vector<double> migrate_bytes(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const int owner = new_owner[i];
+    GUM_CHECK(owner >= 0 && owner < static_cast<int>(n) && !failed[owner])
+        << "recovery assigned fragment " << i << " to a dead device";
+    if (owner == ckpt_owner[i]) {
+      restore_bytes[owner] += fragment_bytes[i];
+    } else {
+      migrate_bytes[owner] += fragment_bytes[i];
+      ++charge.fragments_migrated;
+    }
+  }
+  for (size_t d = 0; d < n; ++d) {
+    if (failed[d]) continue;
+    const double restore_ms = CheckpointTransferMs(restore_bytes[d]);
+    const double migrate_ms = CheckpointTransferMs(migrate_bytes[d]);
+    charge.restore_ms = std::max(charge.restore_ms, restore_ms);
+    charge.migrate_ms = std::max(charge.migrate_ms, migrate_ms);
+    charge.per_device_ms[d] = charge.detect_ms + restore_ms + migrate_ms;
+  }
+  return charge;
+}
+
+}  // namespace gum::fault

@@ -118,6 +118,29 @@ void WriteRunReport(std::ostream& os, const RunReportMeta& meta,
   w.EndArray();
   w.EndObject();
 
+  // Fault-plane counters (DESIGN.md §11). Gated so a faults-off run emits
+  // no "faults" key at all — its report stays byte-identical to a build
+  // without the fault subsystem (modulo schema_version).
+  if (result.fault_plan_active || result.checkpoints_taken > 0 ||
+      result.recovery_events > 0) {
+    w.Key("faults").BeginObject();
+    w.Key("plan_active").Value(result.fault_plan_active);
+    w.Key("checkpoints_taken").Value(result.checkpoints_taken);
+    w.Key("checkpoint_bytes_total").Value(result.checkpoint_bytes_total);
+    w.Key("checkpoint_ms_total").Value(result.checkpoint_ms_total);
+    w.Key("devices_failed").Value(result.devices_failed);
+    w.Key("recovery_events").Value(result.recovery_events);
+    w.Key("fragments_migrated").Value(result.fragments_migrated);
+    w.Key("recovery_detect_ms").Value(result.recovery_detect_ms);
+    w.Key("recovery_restore_ms").Value(result.recovery_restore_ms);
+    w.Key("recovery_migrate_ms").Value(result.recovery_migrate_ms);
+    w.Key("recovery_charged_ms").Value(result.RecoveryChargedMs());
+    w.Key("lost_work_ms").Value(result.lost_work_ms);
+    w.Key("straggler_ms").Value(result.straggler_ms);
+    w.Key("link_fault_iterations").Value(result.link_fault_iterations);
+    w.EndObject();
+  }
+
   w.Key("comm").BeginObject();
   w.Key("total_remote_bytes").Value(result.TotalRemoteBytes());
   w.Key("total_payload_bytes").Value(result.TotalPayloadBytes());

@@ -24,7 +24,10 @@ namespace gum::obs {
 
 class MetricsRegistry;
 
-inline constexpr int kRunReportSchemaVersion = 1;
+// v2 adds an optional "faults" section (fault-plane counters); it is only
+// emitted when the run had a fault plan, checkpoints, or recoveries, so
+// faults-off reports differ from v1 only in this version number.
+inline constexpr int kRunReportSchemaVersion = 2;
 
 // Free-form identification of the run. `config` carries whatever knobs the
 // caller wants recorded (flag echoes, dataset scale, seeds, ...); pairs are

@@ -109,6 +109,16 @@ void ScopedTrace::End() {
   buf.spans.push_back(HostSpan{name_, buf.lane, ts_us, dur_us});
 }
 
+void TraceInstant(const char* name) {
+  if (!TracingEnabled()) return;
+  Registry& r = GetRegistry();
+  ThreadBuffer& buf = GetThreadBuffer();
+  const double ts_us = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - r.epoch)
+                           .count();
+  buf.spans.push_back(HostSpan{name, buf.lane, ts_us, 0.0});
+}
+
 TraceSession::~TraceSession() {
   if (recording_) Stop();
 }

@@ -122,6 +122,12 @@ class TraceSession {
   int sim_devices_ = 0;
 };
 
+// Records a zero-duration point event on the calling thread's lane — fault
+// plane markers (fail-stop detection, checkpoint, recovery) and similar
+// instants. `name` must have static storage duration. No-op (one relaxed
+// load) unless a session is recording.
+void TraceInstant(const char* name);
+
 // RAII host-clock span recorder. `name` must have static storage duration
 // (pass a string literal).
 class ScopedTrace {

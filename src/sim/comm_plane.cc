@@ -59,12 +59,14 @@ CommRoute CommPlane::Route(int src, int dst) const {
   route.dst = dst;
   route.point_to_point_gbps = LegacyGbps(src, dst);
   if (src == dst) return route;
-  const double direct = topo_.DirectBandwidth(src, dst);
+  const double direct = ScaledDirect(src, dst);
   if (policy_ == RoutePolicy::kDirectOnly) {
     route.via_pcie = direct <= 0.0;
     return route;
   }
-  const int transit = topo_.BestTransit(src, dst);
+  const int n = topo_.num_devices();
+  const int transit = faults_active_ ? faulted_transit_[src * n + dst]
+                                     : topo_.BestTransit(src, dst);
   if (transit >= 0) {
     route.transit = transit;
   } else if (direct <= 0.0 || direct < Topology::kPcieGBps) {
@@ -73,6 +75,76 @@ CommRoute CommPlane::Route(int src, int dst) const {
     route.via_pcie = direct < Topology::kPcieGBps;
   }
   return route;
+}
+
+double CommPlane::ScaledDirect(int src, int dst) const {
+  const double direct = topo_.DirectBandwidth(src, dst);
+  if (!faults_active_ || src == dst) return direct;
+  return direct * link_scale_[src * topo_.num_devices() + dst];
+}
+
+void CommPlane::SetLinkScale(int a, int b, double scale) {
+  const int n = topo_.num_devices();
+  GUM_CHECK(a >= 0 && a < n && b >= 0 && b < n && a != b);
+  GUM_CHECK(scale >= 0.0 && scale <= 1.0);
+  if (link_scale_.empty()) {
+    link_scale_.assign(static_cast<size_t>(n) * n, 1.0);
+  }
+  link_scale_[a * n + b] *= scale;
+  link_scale_[b * n + a] *= scale;
+  faults_active_ = true;
+  RecomputeFaultRouting();
+}
+
+void CommPlane::ClearLinkFaults() {
+  if (!faults_active_) return;
+  std::fill(link_scale_.begin(), link_scale_.end(), 1.0);
+  faults_active_ = false;
+}
+
+void CommPlane::RecomputeFaultRouting() {
+  // The same rule as Topology::FinalizeRouting, over the scaled matrix:
+  // best of {scaled direct, PCIe, best 2-hop with both legs alive at
+  // kTransitEfficiency of the bottleneck leg}.
+  const int n = topo_.num_devices();
+  faulted_effective_.assign(static_cast<size_t>(n) * n, 0.0);
+  faulted_transit_.assign(static_cast<size_t>(n) * n, -1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) {
+        faulted_effective_[i * n + j] = Topology::kLocalMemoryGBps;
+        continue;
+      }
+      double best = std::max(ScaledDirect(i, j), Topology::kPcieGBps);
+      int best_transit = -1;
+      for (int k = 0; k < n; ++k) {
+        if (k == i || k == j) continue;
+        const double leg1 = ScaledDirect(i, k);
+        const double leg2 = ScaledDirect(k, j);
+        if (leg1 <= 0.0 || leg2 <= 0.0) continue;
+        const double routed =
+            std::min(leg1, leg2) * Topology::kTransitEfficiency;
+        if (routed > best) {
+          best = routed;
+          best_transit = k;
+        }
+      }
+      faulted_effective_[i * n + j] = best;
+      faulted_transit_[i * n + j] = best_transit;
+    }
+  }
+}
+
+CommPlane::Telemetry CommPlane::SnapshotTelemetry() const {
+  return Telemetry{link_bytes_, payload_bytes_, link_busy_ms_,
+                   lane_busy_until_ms_};
+}
+
+void CommPlane::RestoreTelemetry(const Telemetry& telemetry) {
+  link_bytes_ = telemetry.link_bytes;
+  payload_bytes_ = telemetry.payload_bytes;
+  link_busy_ms_ = telemetry.link_busy_ms;
+  lane_busy_until_ms_ = telemetry.lane_busy_until_ms;
 }
 
 double CommPlane::MeanPathNs(int src, double bytes) const {
@@ -86,16 +158,19 @@ double CommPlane::MeanPathNs(int src, double bytes) const {
 }
 
 double CommPlane::LaneGbps(int src, int dst) const {
-  const double direct = topo_.DirectBandwidth(src, dst);
+  const double direct = ScaledDirect(src, dst);
   if (src == dst || direct > 0.0) return direct;
   return Topology::kPcieGBps;
 }
 
 double CommPlane::LegacyGbps(int src, int dst) const {
   if (policy_ == RoutePolicy::kBestPath || src == dst) {
+    if (faults_active_) {
+      return faulted_effective_[src * topo_.num_devices() + dst];
+    }
     return topo_.EffectiveBandwidth(src, dst);
   }
-  const double direct = topo_.DirectBandwidth(src, dst);
+  const double direct = ScaledDirect(src, dst);
   return direct > 0.0 ? direct : Topology::kPcieGBps;
 }
 

@@ -161,6 +161,31 @@ class CommPlane {
   // where ReserveLane/RecordLinkTraffic record per-hop traffic).
   void RecordPayload(int src, int dst, double bytes);
 
+  // --- fault overlay (fault/fault_plane.h; applied by the engine) ---
+  // Scales the direct link pair (a, b) to `scale` of its nominal bandwidth
+  // for all subsequent conversions; 0 removes the link. Routing is
+  // recomputed over the degraded matrix, so transfers fall back to the
+  // next-best 2-hop transit or the PCIe path and every prediction and
+  // charge sees the detour honestly. The local HBM lane and the PCIe pool
+  // are never faulted. Scales compose per call (multiplicative).
+  void SetLinkScale(int a, int b, double scale);
+  // Restores every link to nominal. A plane whose faults are cleared (or
+  // that never had any) is bit-identical to one without the overlay.
+  void ClearLinkFaults();
+  bool HasLinkFaults() const { return faults_active_; }
+
+  // --- telemetry snapshot (fault/checkpoint.h) ---
+  // Accumulated telemetry as a value, so a rolled-back run restores the
+  // exact counters it had at the checkpoint barrier and re-accumulates.
+  struct Telemetry {
+    std::vector<std::vector<double>> link_bytes;
+    std::vector<std::vector<double>> payload_bytes;
+    std::vector<std::vector<double>> link_busy_ms;
+    std::vector<double> lane_busy_until_ms;
+  };
+  Telemetry SnapshotTelemetry() const;
+  void RestoreTelemetry(const Telemetry& telemetry);
+
   // --- telemetry (accumulated across Settle/ReserveLane calls) ---
   // Per-hop traffic: bytes that crossed the directed lane i -> j. A routed
   // transfer appears on both of its hops. [i][i] is local memory traffic.
@@ -192,6 +217,11 @@ class CommPlane {
   double LaneGbps(int src, int dst) const;
   // Legacy point-to-point bandwidth under this plane's route policy.
   double LegacyGbps(int src, int dst) const;
+  // Direct bandwidth with the fault overlay applied (nominal when none).
+  double ScaledDirect(int src, int dst) const;
+  // Re-derives effective bandwidth / best transit over the degraded direct
+  // matrix — the same routing rule as Topology::FinalizeRouting.
+  void RecomputeFaultRouting();
 
   void SettleOff(const std::vector<Transfer>& transfers, SettleResult* out);
   void SettleFair(const std::vector<Transfer>& transfers, SettleResult* out);
@@ -199,6 +229,14 @@ class CommPlane {
   Topology topo_;
   ContentionModel model_ = ContentionModel::kOff;
   RoutePolicy policy_ = RoutePolicy::kBestPath;
+
+  // Fault overlay: per directed pair scale (1 = nominal) plus the routing
+  // tables recomputed over the scaled matrix. Inactive (and unallocated)
+  // until the first SetLinkScale, so a fault-free run never consults it.
+  bool faults_active_ = false;
+  std::vector<double> link_scale_;
+  std::vector<double> faulted_effective_;
+  std::vector<int> faulted_transit_;
 
   std::vector<std::vector<double>> link_bytes_;
   std::vector<std::vector<double>> payload_bytes_;

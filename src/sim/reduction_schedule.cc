@@ -11,14 +11,35 @@ ReductionSchedule ReductionSchedule::Build(const Topology& topo) {
 }
 
 ReductionSchedule ReductionSchedule::Build(const CommPlane& plane) {
+  return BuildWithForbidden(plane, {});
+}
+
+ReductionSchedule ReductionSchedule::BuildWithForbidden(
+    const Topology& topo, const std::vector<int>& forbidden) {
+  return BuildWithForbidden(CommPlane(topo), forbidden);
+}
+
+ReductionSchedule ReductionSchedule::BuildWithForbidden(
+    const CommPlane& plane, const std::vector<int>& forbidden) {
   ReductionSchedule schedule;
   const int n = plane.num_devices();
   schedule.n_ = n;
+
+  std::vector<bool> is_forbidden(n, false);
+  for (const int d : forbidden) {
+    GUM_CHECK(d >= 0 && d < n) << "forbidden device " << d << " out of range";
+    is_forbidden[d] = true;
+  }
+  int num_forbidden = 0;
+  for (int i = 0; i < n; ++i) num_forbidden += is_forbidden[i] ? 1 : 0;
+  GUM_CHECK(num_forbidden < n) << "at least one device must remain allowed";
 
   std::vector<int> active(n);
   for (int i = 0; i < n; ++i) active[i] = i;
 
   while (active.size() > 1) {
+    int forbidden_active = 0;
+    for (const int d : active) forbidden_active += is_forbidden[d] ? 1 : 0;
     // Choose the eviction that leaves the residual network with maximum
     // aggregate bandwidth; ties broken toward the strongest victim-receiver
     // link (cheap migration), then lowest ids (determinism).
@@ -26,22 +47,28 @@ ReductionSchedule ReductionSchedule::Build(const CommPlane& plane) {
     double best_link = -1.0;
     ReductionStep best_step;
     for (size_t vi = 0; vi < active.size(); ++vi) {
+      // Forbidden devices leave first: until they are all evicted, only
+      // they are eligible victims.
+      if (forbidden_active > 0 && !is_forbidden[active[vi]]) continue;
       std::vector<int> residual;
       residual.reserve(active.size() - 1);
       for (size_t k = 0; k < active.size(); ++k) {
         if (k != vi) residual.push_back(active[k]);
       }
       const double residual_bw = plane.AggregateBandwidth(residual);
-      // Receiver: best-connected remaining peer of the victim.
-      int receiver = residual[0];
-      double link = plane.PathBandwidth(active[vi], receiver);
+      // Receiver: the victim's best-connected allowed peer (fragment
+      // chains must terminate at a survivor).
+      int receiver = -1;
+      double link = -1.0;
       for (int r : residual) {
+        if (is_forbidden[r]) continue;
         const double bw = plane.PathBandwidth(active[vi], r);
-        if (bw > link || (bw == link && r < receiver)) {
+        if (receiver < 0 || bw > link || (bw == link && r < receiver)) {
           receiver = r;
           link = bw;
         }
       }
+      GUM_CHECK(receiver >= 0);
       const bool better =
           residual_bw > best_residual ||
           (residual_bw == best_residual && link > best_link) ||

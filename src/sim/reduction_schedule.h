@@ -31,6 +31,20 @@ class ReductionSchedule {
   // Convenience: a point-to-point plane over `topo`.
   static ReductionSchedule Build(const Topology& topo);
 
+  // Elimination order that evicts the `forbidden` devices first — the
+  // recovery path after a fail-stop (fault/recovery.h): the dead devices
+  // must leave the group before any voluntary shrink, and receivers are
+  // always chosen among allowed devices so every fragment chain terminates
+  // at a survivor. Within each phase the max-residual-bandwidth rule and
+  // tie-breaks of Build apply unchanged; with `forbidden` empty the result
+  // equals Build. At least one device must remain allowed. The forbidden
+  // set may be an arbitrary subset — ActiveFor(m) for any
+  // m <= n - |forbidden| never contains a forbidden device.
+  static ReductionSchedule BuildWithForbidden(const CommPlane& plane,
+                                              const std::vector<int>& forbidden);
+  static ReductionSchedule BuildWithForbidden(const Topology& topo,
+                                              const std::vector<int>& forbidden);
+
   int num_devices() const { return n_; }
 
   // Steps in order; step k shrinks the active set from n-k to n-k-1 devices.

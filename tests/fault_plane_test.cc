@@ -1,0 +1,254 @@
+#include "fault/fault_plane.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/checkpoint.h"
+#include "graph/csr.h"
+#include "sim/comm_plane.h"
+#include "sim/topology.h"
+
+namespace gum::fault {
+namespace {
+
+FaultPlane MustCreate(const std::string& spec, int num_devices,
+                      uint64_t seed = 1) {
+  auto plan = FaultPlan::Parse(spec);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  auto plane = FaultPlane::Create(*plan, num_devices, seed);
+  EXPECT_TRUE(plane.ok()) << plane.status().ToString();
+  return std::move(plane).value();
+}
+
+TEST(FaultPlanTest, NoneAndEmptyAreEmptyPlans) {
+  for (const char* spec : {"", "none"}) {
+    auto plan = FaultPlan::Parse(spec);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_TRUE(plan->empty());
+    auto plane = FaultPlane::Create(*plan, 8);
+    ASSERT_TRUE(plane.ok());
+    EXPECT_FALSE(plane->active());
+    EXPECT_FALSE(plane->AnyFailStop());
+  }
+}
+
+TEST(FaultPlanTest, ParsesEveryEventKind) {
+  auto plan = FaultPlan::Parse(
+      "failstop:3@2;straggler:1@0-4x2.5;degrade:0-1@1-3x0.25;"
+      "linkdown:2-6@2-5;flap:4-5@0-9/2");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->events().size(), 5u);
+  const auto& ev = plan->events();
+  EXPECT_EQ(ev[0].kind, FaultKind::kFailStop);
+  EXPECT_EQ(ev[0].device, 3);
+  EXPECT_EQ(ev[0].begin, 2);
+  EXPECT_EQ(ev[1].kind, FaultKind::kStraggler);
+  EXPECT_DOUBLE_EQ(ev[1].factor, 2.5);
+  EXPECT_EQ(ev[1].end, 4);
+  EXPECT_EQ(ev[2].kind, FaultKind::kLinkDegrade);
+  EXPECT_EQ(ev[2].link_a, 0);
+  EXPECT_EQ(ev[2].link_b, 1);
+  EXPECT_DOUBLE_EQ(ev[2].factor, 0.25);
+  EXPECT_EQ(ev[3].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(ev[4].kind, FaultKind::kLinkFlap);
+  EXPECT_EQ(ev[4].period, 2);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  // Unknown kind, malformed numbers, and out-of-domain factors all fail
+  // loudly — never a silent fallback.
+  for (const char* bad : {
+           "meteor:1@2",             // unknown kind
+           "failstop:x@2",           // non-numeric device
+           "failstop:1",             // missing @iter
+           "straggler:1@2-4x0.5",    // slowdown must be >= 1
+           "degrade:0-1@2-4x1.5",    // scale must be in [0, 1)
+           "degrade:0-1@2-4",        // missing scale
+           "linkdown:0-1@5-2",       // end before begin
+           "flap:0-1@2-4/0",         // period must be >= 1
+           "failstop:1@-3",          // negative iteration
+       }) {
+    EXPECT_FALSE(FaultPlan::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(FaultPlanTest, UnknownKindErrorNamesTheAllowedSet) {
+  auto plan = FaultPlan::Parse("meteor:1@2");
+  ASSERT_FALSE(plan.ok());
+  const std::string msg = plan.status().ToString();
+  EXPECT_NE(msg.find("meteor"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("failstop"), std::string::npos) << msg;
+}
+
+TEST(FaultPlaneTest, CreateValidatesAgainstDeviceCount) {
+  auto plan = FaultPlan::Parse("failstop:9@1");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(FaultPlane::Create(*plan, 8).ok());
+  EXPECT_TRUE(FaultPlane::Create(*plan, 16).ok());
+
+  auto self_link = FaultPlan::Parse("degrade:2-2@1-3x0.5");
+  ASSERT_TRUE(self_link.ok());
+  EXPECT_FALSE(FaultPlane::Create(*self_link, 8).ok());
+}
+
+TEST(FaultPlaneTest, RejectsPlansThatFailStopEveryDevice) {
+  auto plan = FaultPlan::Parse("failstop:0@1;failstop:1@3");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(FaultPlane::Create(*plan, 2).ok());
+  EXPECT_TRUE(FaultPlane::Create(*plan, 4).ok());
+}
+
+TEST(FaultPlaneTest, DescribeRoundTripsThroughParse) {
+  const FaultPlane plane = MustCreate(
+      "failstop:3@2;straggler:1@0-4x2.5;degrade:0-1@1-3x0.25;"
+      "linkdown:2-6@2-5;flap:4-5@0-9/2",
+      8);
+  const FaultPlane reparsed = MustCreate(plane.Describe(), 8);
+  EXPECT_EQ(plane.Describe(), reparsed.Describe());
+  EXPECT_EQ(plane.events().size(), reparsed.events().size());
+}
+
+TEST(FaultPlaneTest, ChaosExpansionIsSeedDeterministic) {
+  const FaultPlane a = MustCreate("chaos", 8, /*seed=*/7);
+  const FaultPlane b = MustCreate("chaos", 8, /*seed=*/7);
+  EXPECT_TRUE(a.active());
+  EXPECT_TRUE(a.AnyFailStop());
+  EXPECT_EQ(a.Describe(), b.Describe());
+  // A chaos plan must always leave at least one survivor.
+  const FaultPlane single = MustCreate("chaos", 1, /*seed=*/7);
+  EXPECT_FALSE(single.AnyFailStop());
+}
+
+TEST(FaultPlaneTest, FailuresFireExactlyAtTheirIteration) {
+  const FaultPlane plane = MustCreate("failstop:5@3;failstop:2@3", 8);
+  EXPECT_TRUE(plane.FailuresAt(2).empty());
+  EXPECT_EQ(plane.FailuresAt(3), (std::vector<int>{2, 5}));
+  EXPECT_TRUE(plane.FailuresAt(4).empty());
+}
+
+TEST(FaultPlaneTest, StragglerWindowIsInclusiveAndCompounds) {
+  const FaultPlane plane =
+      MustCreate("straggler:2@3-5x2;straggler:2@5-6x3", 8);
+  EXPECT_DOUBLE_EQ(plane.ComputeSlowdown(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(plane.ComputeSlowdown(2, 3), 2.0);
+  EXPECT_DOUBLE_EQ(plane.ComputeSlowdown(2, 5), 6.0);  // overlap compounds
+  EXPECT_DOUBLE_EQ(plane.ComputeSlowdown(2, 6), 3.0);
+  EXPECT_DOUBLE_EQ(plane.ComputeSlowdown(2, 7), 1.0);
+  EXPECT_DOUBLE_EQ(plane.ComputeSlowdown(1, 4), 1.0);  // other device
+}
+
+TEST(FaultPlaneTest, LinkScaleWindowsDownAndFlap) {
+  const FaultPlane plane = MustCreate(
+      "degrade:0-1@2-4x0.5;linkdown:2-3@3-3;flap:4-5@4-9/2", 8);
+  EXPECT_DOUBLE_EQ(plane.LinkScale(0, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(plane.LinkScale(1, 0, 3), 0.5);  // symmetric
+  EXPECT_DOUBLE_EQ(plane.LinkScale(0, 1, 5), 1.0);
+  EXPECT_DOUBLE_EQ(plane.LinkScale(2, 3, 3), 0.0);
+  // Flap with period 2 from iteration 4: down, down, up, up, down, down.
+  EXPECT_DOUBLE_EQ(plane.LinkScale(4, 5, 4), 0.0);
+  EXPECT_DOUBLE_EQ(plane.LinkScale(4, 5, 5), 0.0);
+  EXPECT_DOUBLE_EQ(plane.LinkScale(4, 5, 6), 1.0);
+  EXPECT_DOUBLE_EQ(plane.LinkScale(4, 5, 7), 1.0);
+  EXPECT_DOUBLE_EQ(plane.LinkScale(4, 5, 8), 0.0);
+
+  const auto at3 = plane.LinkFaultsAt(3);
+  ASSERT_EQ(at3.size(), 2u);
+  EXPECT_EQ(at3[0].a, 0);
+  EXPECT_EQ(at3[0].b, 1);
+  EXPECT_DOUBLE_EQ(at3[0].scale, 0.5);
+  EXPECT_EQ(at3[1].a, 2);
+  EXPECT_EQ(at3[1].b, 3);
+  EXPECT_DOUBLE_EQ(at3[1].scale, 0.0);
+  EXPECT_TRUE(plane.LinkFaultsAt(0).empty());
+}
+
+TEST(CheckpointTest, FragmentStateBytesArithmetic) {
+  // values + frontier ids, nothing else.
+  EXPECT_DOUBLE_EQ(FragmentStateBytes(100, 10, sizeof(double)),
+                   100 * sizeof(double) + 10 * sizeof(graph::VertexId));
+  EXPECT_DOUBLE_EQ(FragmentStateBytes(0, 0, 4), 0.0);
+}
+
+TEST(CheckpointTest, TransferChargedOverPcie) {
+  const double bytes = 1e9;
+  EXPECT_DOUBLE_EQ(CheckpointTransferMs(bytes),
+                   bytes / sim::Topology::kPcieGBps / 1e6);
+  EXPECT_DOUBLE_EQ(CheckpointTransferMs(0.0), 0.0);
+}
+
+// --- CommPlane fault overlay ---
+
+TEST(CommPlaneFaultTest, DownedLinkReroutesAndRestores) {
+  sim::CommPlane plane(sim::Topology::HybridCubeMesh8());
+  const sim::CommPlane nominal(sim::Topology::HybridCubeMesh8());
+
+  const sim::CommRoute before = plane.Route(0, 1);
+  ASSERT_EQ(before.transit, -1);
+  ASSERT_FALSE(before.via_pcie);
+  const double nominal_bw = plane.PathBandwidth(0, 1);
+
+  plane.SetLinkScale(0, 1, 0.0);
+  EXPECT_TRUE(plane.HasLinkFaults());
+  const sim::CommRoute after = plane.Route(0, 1);
+  // The direct lane is gone: either a 2-hop transit or the PCIe fallback.
+  EXPECT_TRUE(after.transit >= 0 || after.via_pcie);
+  EXPECT_LT(plane.PathBandwidth(0, 1), nominal_bw);
+  EXPECT_GT(plane.PathBandwidth(0, 1), 0.0);
+
+  plane.ClearLinkFaults();
+  EXPECT_FALSE(plane.HasLinkFaults());
+  for (int s = 0; s < 8; ++s) {
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_DOUBLE_EQ(plane.PathBandwidth(s, d), nominal.PathBandwidth(s, d))
+          << s << "->" << d;
+      const auto got = plane.Route(s, d);
+      const auto want = nominal.Route(s, d);
+      EXPECT_EQ(got.transit, want.transit);
+      EXPECT_EQ(got.via_pcie, want.via_pcie);
+      EXPECT_DOUBLE_EQ(got.point_to_point_gbps, want.point_to_point_gbps);
+    }
+  }
+}
+
+TEST(CommPlaneFaultTest, DegradeScalesAndComposes) {
+  sim::CommPlane plane(sim::Topology::HybridCubeMesh8());
+  const double nominal_bw = plane.PathBandwidth(0, 1);
+  plane.SetLinkScale(0, 1, 0.5);
+  const double once = plane.PathBandwidth(0, 1);
+  EXPECT_LT(once, nominal_bw);
+  plane.SetLinkScale(0, 1, 0.5);  // composes multiplicatively
+  EXPECT_LE(plane.PathBandwidth(0, 1), once);
+  // An untouched, unrelated pair only improves relative to the faulted one.
+  EXPECT_GT(plane.PathBandwidth(2, 3), 0.0);
+}
+
+TEST(CommPlaneFaultTest, DownedLinkChargesTheDetour) {
+  sim::CommPlane plane(sim::Topology::HybridCubeMesh8());
+  sim::TransferBatch batch;
+  batch.Add(0, 1, 1 << 20, /*tag=*/0);
+  const auto healthy = plane.Settle(batch);
+  plane.SetLinkScale(0, 1, 0.0);
+  const auto faulted = plane.Settle(batch);
+  EXPECT_GT(faulted.tag_comm_ns[0], healthy.tag_comm_ns[0]);
+}
+
+TEST(CommPlaneFaultTest, TelemetrySnapshotRoundTrips) {
+  sim::CommPlane plane(sim::Topology::HybridCubeMesh8());
+  sim::TransferBatch batch;
+  batch.Add(0, 1, 4096, /*tag=*/0);
+  batch.Add(2, 5, 8192, /*tag=*/2);
+  plane.Settle(batch);
+  const auto snap = plane.SnapshotTelemetry();
+  plane.Settle(batch);
+  plane.Settle(batch);
+  EXPECT_NE(plane.link_bytes(), snap.link_bytes);
+  plane.RestoreTelemetry(snap);
+  EXPECT_EQ(plane.link_bytes(), snap.link_bytes);
+  EXPECT_EQ(plane.payload_bytes(), snap.payload_bytes);
+  EXPECT_EQ(plane.link_busy_ms(), snap.link_busy_ms);
+  // Re-accumulation after a restore behaves exactly like the first pass.
+  plane.Settle(batch);
+  EXPECT_DOUBLE_EQ(plane.payload_bytes()[0][1], 2 * 4096.0);
+}
+
+}  // namespace
+}  // namespace gum::fault

@@ -1,0 +1,274 @@
+// End-to-end fault-plane tests (DESIGN.md §11): a run that loses a device
+// mid-flight must converge to byte-identical algorithm output vs the
+// fault-free run, deterministically across host thread counts and
+// checkpoint cadences, with the detection / restore / migration time
+// charged into the analytic model.
+
+#include <gtest/gtest.h>
+
+#include "algos/apps.h"
+#include "core/engine.h"
+#include "fault/fault_plane.h"
+#include "tests/test_util.h"
+
+namespace gum::core {
+namespace {
+
+using algos::BfsApp;
+using algos::PageRankApp;
+using algos::SsspApp;
+using algos::WccApp;
+using graph::VertexId;
+using test::MakePartition;
+using test::RoadGraph;
+using test::SocialGraph;
+using test::SocialGraphSym;
+using test::TestEngineOptions;
+using test::Topo;
+
+fault::FaultPlane MustPlane(const std::string& spec, int num_devices,
+                            uint64_t seed = 1) {
+  auto plan = fault::FaultPlan::Parse(spec);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  auto plane = fault::FaultPlane::Create(*plan, num_devices, seed);
+  EXPECT_TRUE(plane.ok()) << plane.status().ToString();
+  return std::move(plane).value();
+}
+
+template <typename App>
+struct RunOut {
+  std::vector<typename App::Value> values;
+  RunResult result;
+};
+
+template <typename App>
+RunOut<App> RunEngine(const graph::CsrGraph& g, const graph::Partition& part,
+                      App app, const fault::FaultPlane* plane, int ckpt_every,
+                      int threads = 1, bool osteal = true) {
+  EngineOptions opt = TestEngineOptions();
+  opt.enable_osteal = osteal;
+  opt.num_host_threads = threads;
+  opt.fault_plane = plane;
+  opt.checkpoint.every = ckpt_every;
+  GumEngine<App> engine(&g, part, Topo(part.num_parts), opt);
+  RunOut<App> out;
+  out.result = engine.Run(app, &out.values);
+  return out;
+}
+
+TEST(FaultRecoveryTest, BfsByteIdenticalAfterFailStop) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 4);
+  BfsApp app;
+  app.source = 1;
+  const auto clean = RunEngine(g, part, app, nullptr, 0);
+  ASSERT_GT(clean.result.iterations, 2);  // the failure must fire mid-run
+
+  const auto plane = MustPlane("failstop:1@2", 4);
+  const auto faulted = RunEngine(g, part, app, &plane, /*ckpt_every=*/1);
+  EXPECT_EQ(faulted.values, clean.values);
+  EXPECT_TRUE(faulted.result.fault_plan_active);
+  EXPECT_EQ(faulted.result.devices_failed, 1);
+  EXPECT_GE(faulted.result.recovery_events, 1);
+  EXPECT_GT(faulted.result.RecoveryChargedMs(), 0.0);
+  EXPECT_GT(faulted.result.total_ms, clean.result.total_ms);
+  EXPECT_FALSE(clean.result.fault_plan_active);
+}
+
+TEST(FaultRecoveryTest, SsspByteIdenticalAfterFailStop) {
+  const auto g = RoadGraph();
+  const auto part = MakePartition(g, 4);
+  SsspApp app;
+  app.source = 0;
+  const auto clean = RunEngine(g, part, app, nullptr, 0);
+  ASSERT_GT(clean.result.iterations, 3);
+
+  const auto plane = MustPlane("failstop:2@3", 4);
+  const auto faulted = RunEngine(g, part, app, &plane, /*ckpt_every=*/2);
+  EXPECT_EQ(faulted.values, clean.values);
+  EXPECT_EQ(faulted.result.devices_failed, 1);
+  EXPECT_GT(faulted.result.RecoveryChargedMs(), 0.0);
+}
+
+TEST(FaultRecoveryTest, PageRankByteIdenticalAfterFailStop) {
+  const auto g = SocialGraph(9, 5);
+  const auto part = MakePartition(g, 4);
+  PageRankApp app;
+  app.num_vertices = g.num_vertices();
+  app.rounds = 10;
+  const auto clean = RunEngine(g, part, app, nullptr, 0);
+
+  const auto plane = MustPlane("failstop:3@4", 4);
+  const auto faulted = RunEngine(g, part, app, &plane, /*ckpt_every=*/3);
+  EXPECT_EQ(faulted.values, clean.values);  // bit-exact doubles
+  EXPECT_EQ(faulted.result.iterations, clean.result.iterations);
+  EXPECT_EQ(faulted.result.devices_failed, 1);
+}
+
+TEST(FaultRecoveryTest, WccByteIdenticalAfterFailStop) {
+  const auto g = SocialGraphSym();
+  const auto part = MakePartition(g, 4);
+  WccApp app;
+  const auto clean = RunEngine(g, part, app, nullptr, 0);
+  ASSERT_GT(clean.result.iterations, 2);
+
+  const auto plane = MustPlane("failstop:0@2", 4);
+  const auto faulted = RunEngine(g, part, app, &plane, /*ckpt_every=*/1);
+  EXPECT_EQ(faulted.values, clean.values);
+  EXPECT_EQ(faulted.result.devices_failed, 1);
+}
+
+TEST(FaultRecoveryTest, DeterministicAcrossThreadsAndCadences) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 8);
+  BfsApp app;
+  app.source = 1;
+  const auto clean = RunEngine(g, part, app, nullptr, 0);
+  const auto plane = MustPlane("failstop:5@2", 8);
+
+  for (const int ckpt : {1, 3}) {
+    const auto reference = RunEngine(g, part, app, &plane, ckpt, /*threads=*/1);
+    EXPECT_EQ(reference.values, clean.values) << "ckpt_every=" << ckpt;
+    for (const int threads : {2, 4, 8}) {
+      const auto run = RunEngine(g, part, app, &plane, ckpt, threads);
+      EXPECT_EQ(run.values, clean.values)
+          << "threads=" << threads << " ckpt_every=" << ckpt;
+      // The whole faulted run — time, counters, iteration count — is as
+      // deterministic as a fault-free one.
+      EXPECT_DOUBLE_EQ(run.result.total_ms, reference.result.total_ms)
+          << "threads=" << threads << " ckpt_every=" << ckpt;
+      EXPECT_EQ(run.result.iterations, reference.result.iterations);
+      EXPECT_EQ(run.result.recovery_events, reference.result.recovery_events);
+      EXPECT_DOUBLE_EQ(run.result.RecoveryChargedMs(),
+                       reference.result.RecoveryChargedMs());
+    }
+  }
+}
+
+TEST(FaultRecoveryTest, ZeroCadenceRestartsFromIterationZero) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 4);
+  BfsApp app;
+  app.source = 1;
+  const auto clean = RunEngine(g, part, app, nullptr, 0);
+  const auto plane = MustPlane("failstop:1@2", 4);
+  // No periodic checkpoints: recovery falls back to the implicit
+  // iteration-0 snapshot and replays everything; the discarded work is
+  // charged as lost time.
+  const auto faulted = RunEngine(g, part, app, &plane, /*ckpt_every=*/0);
+  EXPECT_EQ(faulted.values, clean.values);
+  EXPECT_EQ(faulted.result.checkpoints_taken, 0);
+  EXPECT_EQ(faulted.result.devices_failed, 1);
+  if (faulted.result.lost_work_ms > 0) {
+    EXPECT_GT(faulted.result.RecoveryChargedMs(),
+              faulted.result.recovery_detect_ms);
+  }
+}
+
+TEST(FaultRecoveryTest, TwoFailuresBothRecovered) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 8);
+  BfsApp app;
+  app.source = 1;
+  const auto clean = RunEngine(g, part, app, nullptr, 0);
+  const auto plane = MustPlane("failstop:2@1;failstop:6@2", 8);
+  const auto faulted = RunEngine(g, part, app, &plane, /*ckpt_every=*/1);
+  EXPECT_EQ(faulted.values, clean.values);
+  EXPECT_EQ(faulted.result.devices_failed, 2);
+  EXPECT_GE(faulted.result.recovery_events, 2);
+}
+
+TEST(FaultRecoveryTest, RecoveryWorksWithOStealDisabled) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 4);
+  BfsApp app;
+  app.source = 1;
+  const auto clean = RunEngine(g, part, app, nullptr, 0, 1, /*osteal=*/false);
+  const auto plane = MustPlane("failstop:1@2", 4);
+  const auto faulted =
+      RunEngine(g, part, app, &plane, /*ckpt_every=*/1, 1, /*osteal=*/false);
+  EXPECT_EQ(faulted.values, clean.values);
+  EXPECT_EQ(faulted.result.devices_failed, 1);
+}
+
+TEST(FaultRecoveryTest, StragglerChangesTimeNeverValues) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 4);
+  BfsApp app;
+  app.source = 1;
+  const auto clean = RunEngine(g, part, app, nullptr, 0);
+  // Straggle every device with a factor large enough that whoever ends up
+  // owning the compute becomes the iteration bottleneck and visibly
+  // stretches the wall, not just its own busy time.
+  const auto plane = MustPlane(
+      "straggler:0@0-50x1000;straggler:1@0-50x1000;"
+      "straggler:2@0-50x1000;straggler:3@0-50x1000",
+      4);
+  const auto slow = RunEngine(g, part, app, &plane, 0);
+  EXPECT_EQ(slow.values, clean.values);
+  EXPECT_GT(slow.result.straggler_ms, 0.0);
+  EXPECT_GT(slow.result.total_ms, clean.result.total_ms);
+  EXPECT_EQ(slow.result.devices_failed, 0);
+}
+
+TEST(FaultRecoveryTest, LinkFaultsRerouteNeverChangeValues) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 8);
+  BfsApp app;
+  app.source = 1;
+  const auto clean = RunEngine(g, part, app, nullptr, 0);
+  const auto plane =
+      MustPlane("linkdown:0-1@0-50;degrade:2-3@1-4x0.25;flap:4-5@0-50/1", 8);
+  const auto faulted = RunEngine(g, part, app, &plane, 0);
+  EXPECT_EQ(faulted.values, clean.values);
+  EXPECT_GT(faulted.result.link_fault_iterations, 0);
+  EXPECT_EQ(faulted.result.devices_failed, 0);
+}
+
+TEST(FaultRecoveryTest, CheckpointsAloneChargeTimeNeverValues) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 4);
+  BfsApp app;
+  app.source = 1;
+  const auto clean = RunEngine(g, part, app, nullptr, 0);
+  const auto ckpt = RunEngine(g, part, app, nullptr, /*ckpt_every=*/2);
+  EXPECT_EQ(ckpt.values, clean.values);
+  EXPECT_GT(ckpt.result.checkpoints_taken, 0);
+  EXPECT_GT(ckpt.result.checkpoint_ms_total, 0.0);
+  EXPECT_GT(ckpt.result.total_ms, clean.result.total_ms);
+  EXPECT_FALSE(ckpt.result.fault_plan_active);
+}
+
+TEST(FaultRecoveryTest, FailureAfterConvergenceIsInvisible) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 4);
+  BfsApp app;
+  app.source = 1;
+  const auto clean = RunEngine(g, part, app, nullptr, 0);
+  const auto plane = MustPlane("failstop:1@500", 4);
+  const auto faulted = RunEngine(g, part, app, &plane, 0);
+  EXPECT_EQ(faulted.values, clean.values);
+  EXPECT_EQ(faulted.result.devices_failed, 0);
+  EXPECT_EQ(faulted.result.recovery_events, 0);
+  // The plan is active but nothing fired: identical charged time.
+  EXPECT_DOUBLE_EQ(faulted.result.total_ms, clean.result.total_ms);
+  EXPECT_TRUE(faulted.result.fault_plan_active);
+}
+
+TEST(FaultRecoveryTest, ChaosPlanConvergesByteIdentical) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 8);
+  PageRankApp app;
+  app.num_vertices = g.num_vertices();
+  app.rounds = 8;
+  const auto clean = RunEngine(g, part, app, nullptr, 0);
+  for (const uint64_t seed : {1ull, 7ull, 42ull}) {
+    const auto plane = MustPlane("chaos", 8, seed);
+    const auto faulted = RunEngine(g, part, app, &plane, /*ckpt_every=*/2);
+    EXPECT_EQ(faulted.values, clean.values) << "seed=" << seed;
+    EXPECT_EQ(faulted.result.devices_failed, 1) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gum::core

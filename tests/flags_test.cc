@@ -72,6 +72,39 @@ TEST(FlagsTest, KnownFlagsOnlyValidation) {
   EXPECT_NE(s.message().find("--bad"), std::string::npos);
 }
 
+TEST(FlagsTest, GetEnumAcceptsAllowedValues) {
+  const auto flags = Parse({"--algo=sssp"});
+  const auto v = flags.GetEnum("algo", "bfs", {"bfs", "sssp", "wcc"});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "sssp");
+}
+
+TEST(FlagsTest, GetEnumDefaultsWhenAbsent) {
+  const auto flags = Parse({});
+  const auto v = flags.GetEnum("algo", "bfs", {"bfs", "sssp"});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "bfs");
+}
+
+TEST(FlagsTest, GetEnumRejectsUnknownValueLoudly) {
+  // The CLI's silent-fallback bug: "--algo=bsf" must fail, naming the
+  // flag, the offending value, and the allowed set.
+  const auto flags = Parse({"--algo=bsf"});
+  const auto v = flags.GetEnum("algo", "bfs", {"bfs", "sssp", "wcc"});
+  ASSERT_FALSE(v.ok());
+  const std::string msg = v.status().ToString();
+  EXPECT_NE(msg.find("bsf"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("--algo"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bfs|sssp|wcc"), std::string::npos) << msg;
+}
+
+TEST(FlagsTest, GetEnumRejectsEmptyBareFlag) {
+  // A bare "--contention" parses as the empty string, which is not an
+  // allowed value either.
+  const auto flags = Parse({"--contention"});
+  EXPECT_FALSE(flags.GetEnum("contention", "off", {"off", "fair"}).ok());
+}
+
 TEST(FlagsTest, SeparatedNegativeNumberValue) {
   // "--x -5": -5 does not start with "--", so it is consumed as the value.
   const auto flags = Parse({"--x", "-5"});

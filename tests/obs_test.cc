@@ -401,6 +401,83 @@ TEST(RunReportTest, SchemaRoundTrip) {
   EXPECT_EQ(doc->at("metrics").at("counters").array().size(), 1u);
 }
 
+bool HasKey(const JsonValue& obj, const std::string& key) {
+  for (const auto& [k, v] : obj.members()) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+TEST(RunReportTest, SchemaV2OmitsFaultsSectionWhenInactive) {
+  // A faults-off run must not even mention the fault plane: the report
+  // stays byte-comparable with pre-fault-plane artifacts.
+  core::RunResult result;
+  RunReportMeta meta;
+  std::ostringstream os;
+  WriteRunReport(os, meta, result, nullptr);
+  EXPECT_EQ(kRunReportSchemaVersion, 2);
+  EXPECT_EQ(os.str().find("faults"), std::string::npos);
+  const auto doc = ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_FALSE(HasKey(*doc, "faults"));
+}
+
+TEST(RunReportTest, FaultsSectionRoundTrips) {
+  core::RunResult result;
+  result.fault_plan_active = true;
+  result.checkpoints_taken = 3;
+  result.checkpoint_bytes_total = 4096.0;
+  result.checkpoint_ms_total = 0.5;
+  result.devices_failed = 1;
+  result.recovery_events = 2;
+  result.fragments_migrated = 5;
+  result.recovery_detect_ms = 0.25;
+  result.recovery_restore_ms = 1.5;
+  result.recovery_migrate_ms = 0.75;
+  result.lost_work_ms = 2.0;
+  result.straggler_ms = 0.125;
+  result.link_fault_iterations = 4;
+
+  RunReportMeta meta;
+  std::ostringstream os;
+  WriteRunReport(os, meta, result, nullptr);
+  const auto doc = ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(HasKey(*doc, "faults"));
+  const JsonValue& f = doc->at("faults");
+  EXPECT_TRUE(f.at("plan_active").bool_value());
+  EXPECT_EQ(f.at("checkpoints_taken").int_value(), 3);
+  EXPECT_DOUBLE_EQ(f.at("checkpoint_bytes_total").number(), 4096.0);
+  EXPECT_DOUBLE_EQ(f.at("checkpoint_ms_total").number(), 0.5);
+  EXPECT_EQ(f.at("devices_failed").int_value(), 1);
+  EXPECT_EQ(f.at("recovery_events").int_value(), 2);
+  EXPECT_EQ(f.at("fragments_migrated").int_value(), 5);
+  EXPECT_DOUBLE_EQ(f.at("recovery_detect_ms").number(), 0.25);
+  EXPECT_DOUBLE_EQ(f.at("recovery_restore_ms").number(), 1.5);
+  EXPECT_DOUBLE_EQ(f.at("recovery_migrate_ms").number(), 0.75);
+  // recovery_charged_ms = detect + restore + migrate + lost work.
+  EXPECT_DOUBLE_EQ(f.at("recovery_charged_ms").number(), 4.5);
+  EXPECT_DOUBLE_EQ(f.at("lost_work_ms").number(), 2.0);
+  EXPECT_DOUBLE_EQ(f.at("straggler_ms").number(), 0.125);
+  EXPECT_EQ(f.at("link_fault_iterations").int_value(), 4);
+}
+
+TEST(RunReportTest, CheckpointOnlyRunStillEmitsFaultsSection) {
+  // ckpt_every > 0 without a fault plan charges real time; the report must
+  // say where it went even though plan_active is false.
+  core::RunResult result;
+  result.checkpoints_taken = 2;
+  result.checkpoint_ms_total = 0.25;
+  RunReportMeta meta;
+  std::ostringstream os;
+  WriteRunReport(os, meta, result, nullptr);
+  const auto doc = ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(HasKey(*doc, "faults"));
+  EXPECT_FALSE(doc->at("faults").at("plan_active").bool_value());
+  EXPECT_EQ(doc->at("faults").at("checkpoints_taken").int_value(), 2);
+}
+
 TEST(RunReportTest, NullMetricsYieldsEmptyObject) {
   core::RunResult result;
   RunReportMeta meta;

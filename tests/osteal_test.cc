@@ -103,5 +103,105 @@ TEST(OStealTest, PredictedCostMatchesEquationFour) {
               (dec.active[0] == 0 ? 200.0 : 300.0) + p, 1e-6);
 }
 
+TEST(OStealTest, MaxGroupSizeCapsEnumeration) {
+  const auto schedule =
+      sim::ReductionSchedule::Build(sim::Topology::HybridCubeMesh8());
+  const auto cost = UniformCost(8, 1.0, 1.2);
+  std::vector<double> loads(8, 5e7);  // heavy: uncapped picks all 8
+  const auto uncapped =
+      DecideOSteal(cost, loads, schedule, 100000.0, {});
+  ASSERT_EQ(uncapped.group_size, 8);
+  const auto capped = DecideOSteal(cost, loads, schedule, 100000.0, {},
+                                   /*max_group_size=*/5);
+  EXPECT_LE(capped.group_size, 5);
+  ASSERT_EQ(static_cast<int>(capped.active.size()), capped.group_size);
+  // Zero (the default) means "no cap" and must match the legacy signature.
+  const auto zero = DecideOSteal(cost, loads, schedule, 100000.0, {},
+                                 /*max_group_size=*/0);
+  EXPECT_EQ(zero.group_size, uncapped.group_size);
+  EXPECT_EQ(zero.owner, uncapped.owner);
+}
+
+// --- BuildWithForbidden: ownership inheritance over arbitrary survivor
+// subsets (the recovery path when failed devices are mid-range, not a
+// prefix). ---
+
+void ExpectForbiddenNeverOwn(const sim::ReductionSchedule& schedule,
+                             const std::vector<int>& forbidden) {
+  const int n = schedule.num_devices();
+  const int max_m = n - static_cast<int>(forbidden.size());
+  for (int m = 1; m <= max_m; ++m) {
+    const auto active = schedule.ActiveFor(m);
+    ASSERT_EQ(static_cast<int>(active.size()), m);
+    for (int dead : forbidden) {
+      EXPECT_EQ(std::find(active.begin(), active.end(), dead), active.end())
+          << "m=" << m << " dead=" << dead;
+    }
+    const auto owner = schedule.OwnerVectorFor(m);
+    for (int frag = 0; frag < n; ++frag) {
+      EXPECT_NE(
+          std::find(active.begin(), active.end(), owner[frag]), active.end())
+          << "m=" << m << " fragment " << frag << " owned by " << owner[frag];
+    }
+  }
+}
+
+TEST(ReductionScheduleForbiddenTest, MidRangeSubsetNeverOwnsFragments) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  // Arbitrary mid-range / scattered subsets, not prefixes.
+  for (const auto& forbidden : std::vector<std::vector<int>>{
+           {3}, {2, 5}, {1, 4, 6}, {0, 3, 7}, {2, 3, 4, 5}}) {
+    const auto schedule =
+        sim::ReductionSchedule::BuildWithForbidden(topo, forbidden);
+    ExpectForbiddenNeverOwn(schedule, forbidden);
+  }
+}
+
+TEST(ReductionScheduleForbiddenTest, ForbiddenDevicesAreEvictedFirst) {
+  const std::vector<int> forbidden = {2, 5, 6};
+  const auto schedule = sim::ReductionSchedule::BuildWithForbidden(
+      sim::Topology::HybridCubeMesh8(), forbidden);
+  const auto& steps = schedule.steps();
+  ASSERT_EQ(steps.size(), 7u);
+  // The first |forbidden| victims are exactly the forbidden set, and their
+  // receivers are always allowed devices.
+  std::vector<int> first_victims;
+  for (size_t k = 0; k < forbidden.size(); ++k) {
+    first_victims.push_back(steps[k].victim);
+    EXPECT_EQ(std::find(forbidden.begin(), forbidden.end(),
+                        steps[k].receiver),
+              forbidden.end())
+        << "step " << k << " receiver " << steps[k].receiver;
+  }
+  std::sort(first_victims.begin(), first_victims.end());
+  EXPECT_EQ(first_victims, forbidden);
+}
+
+TEST(ReductionScheduleForbiddenTest, EmptyForbiddenEqualsBuild) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  const auto plain = sim::ReductionSchedule::Build(topo);
+  const auto empty = sim::ReductionSchedule::BuildWithForbidden(topo, {});
+  ASSERT_EQ(plain.steps().size(), empty.steps().size());
+  for (size_t k = 0; k < plain.steps().size(); ++k) {
+    EXPECT_EQ(plain.steps()[k].victim, empty.steps()[k].victim) << k;
+    EXPECT_EQ(plain.steps()[k].receiver, empty.steps()[k].receiver) << k;
+  }
+}
+
+TEST(ReductionScheduleForbiddenTest, DecisionOverSurvivorsAvoidsTheDead) {
+  // The recovery flow: forbid the dead device, cap the group at the
+  // survivor count, and check no fragment lands on the dead device.
+  const std::vector<int> forbidden = {4};
+  const auto schedule = sim::ReductionSchedule::BuildWithForbidden(
+      sim::Topology::HybridCubeMesh8(), forbidden);
+  const auto cost = UniformCost(8, 1.0, 1.5);
+  std::vector<double> loads(8, 2e5);
+  const auto dec = DecideOSteal(cost, loads, schedule, 100000.0, {},
+                                /*max_group_size=*/7);
+  EXPECT_LE(dec.group_size, 7);
+  for (int frag = 0; frag < 8; ++frag) EXPECT_NE(dec.owner[frag], 4);
+  for (int d : dec.active) EXPECT_NE(d, 4);
+}
+
 }  // namespace
 }  // namespace gum::core

@@ -36,11 +36,20 @@
 //   --metrics=PATH               metrics registry snapshot as JSON
 //   --report=PATH                schema-versioned JSON run report
 //
+// Fault plane (src/fault/, DESIGN.md §11; gum engine only):
+//   --fault-plan=SPEC            "none" (default), "chaos", or ';'-joined
+//                                events: failstop:D@K, straggler:D@A-BxF,
+//                                degrade:A-B@F-LxS, linkdown:A-B@F-L,
+//                                flap:A-B@F-L/P
+//   --fault-seed=S               chaos expansion seed (default 1)
+//   --ckpt-every=N               checkpoint cadence in iterations (0 = off)
+//
 // Example:
 //   gum_cli --gen=road --rows=128 --cols=128 --algo=sssp --devices=8
 
 #include <fstream>
 #include <iostream>
+#include <utility>
 
 #include "algos/apps.h"
 #include "obs/metrics.h"
@@ -52,6 +61,7 @@
 #include "common/flags.h"
 #include "core/engine.h"
 #include "core/fast_wcc.h"
+#include "fault/fault_plane.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/partition.h"
@@ -70,6 +80,7 @@ constexpr const char* kKnownFlags[] = {
     "no-fsteal", "no-osteal",  "timeline",  "save-values", "help",
     "timeline-csv", "host-threads", "contention", "show-links",
     "msg-shards", "trace", "metrics", "report",
+    "fault-plan", "fault-seed", "ckpt-every",
 };
 
 void PrintUsage() {
@@ -83,7 +94,9 @@ void PrintUsage() {
       "               [--msg-shards=N]\n"
       "               [--contention=off|fair] [--timeline] [--show-links]\n"
       "               [--save-values=PATH]\n"
-      "               [--trace=PATH] [--metrics=PATH] [--report=PATH]\n";
+      "               [--trace=PATH] [--metrics=PATH] [--report=PATH]\n"
+      "               [--fault-plan=SPEC] [--fault-seed=S] "
+      "[--ckpt-every=N]\n";
 }
 
 Result<graph::EdgeList> LoadOrGenerate(const FlagParser& flags) {
@@ -130,7 +143,13 @@ template <typename App, typename Value = typename App::Value>
 int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
                  const graph::Partition& partition,
                  const sim::Topology& topology, App app) {
-  const std::string engine_name = flags.GetString("engine", "gum");
+  const auto engine_or =
+      flags.GetEnum("engine", "gum", {"gum", "gunrock", "groute"});
+  if (!engine_or.ok()) {
+    std::cerr << engine_or.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string engine_name = *engine_or;
   core::RunResult result;
   std::vector<Value> values;
 
@@ -150,6 +169,32 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
     std::cerr << contention.status().ToString() << "\n";
     return 1;
   }
+
+  // Parse + bind the fault plan before engine dispatch so an invalid spec
+  // fails loudly without running anything.
+  const std::string fault_spec = flags.GetString("fault-plan", "none");
+  const int ckpt_every = static_cast<int>(flags.GetInt("ckpt-every", 0));
+  fault::FaultPlane fault_plane;
+  {
+    auto plan = fault::FaultPlan::Parse(fault_spec);
+    if (!plan.ok()) {
+      std::cerr << plan.status().ToString() << "\n";
+      return 1;
+    }
+    auto plane = fault::FaultPlane::Create(
+        *plan, partition.num_parts,
+        static_cast<uint64_t>(flags.GetInt("fault-seed", 1)));
+    if (!plane.ok()) {
+      std::cerr << plane.status().ToString() << "\n";
+      return 1;
+    }
+    fault_plane = std::move(*plane);
+  }
+  if ((fault_plane.active() || ckpt_every > 0) && engine_name != "gum") {
+    std::cerr << "--fault-plan/--ckpt-every require --engine=gum\n";
+    return 1;
+  }
+
   if (engine_name == "gum") {
     core::EngineOptions options;
     options.enable_fsteal = !flags.GetBool("no-fsteal", false);
@@ -157,6 +202,8 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
     options.num_host_threads = host_threads;
     options.num_msg_shards = msg_shards;
     options.contention = *contention;
+    options.fault_plane = &fault_plane;
+    options.checkpoint.every = ckpt_every;
     core::GumEngine<App> engine(&g, partition, topology, options);
     result = engine.Run(app, &values);
   } else if (engine_name == "gunrock") {
@@ -207,6 +254,16 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
         {"fsteal", flags.GetBool("no-fsteal", false) ? "off" : "on"},
         {"osteal", flags.GetBool("no-osteal", false) ? "off" : "on"},
     };
+    // Only a fault-plane run records fault keys; faults-off reports stay
+    // byte-identical to the pre-fault-plane schema (modulo schema_version).
+    if (fault_plane.active() || ckpt_every > 0) {
+      meta.config.emplace_back("fault_plan", fault_plane.active()
+                                                 ? fault_plane.Describe()
+                                                 : "none");
+      meta.config.emplace_back("fault_seed",
+                               std::to_string(flags.GetInt("fault-seed", 1)));
+      meta.config.emplace_back("ckpt_every", std::to_string(ckpt_every));
+    }
     std::ofstream out(flags.GetString("report", ""));
     obs::WriteRunReport(out, meta, result,
                         &obs::MetricsRegistry::Global());
@@ -220,6 +277,17 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
   if (engine_name == "gum") {
     std::cout << "edges stolen:    " << result.stolen_edges_total << "\n"
               << "group shrinks:   " << result.osteal_shrink_events << "\n";
+  }
+  if (result.fault_plan_active) {
+    std::cout << "faults:          devices failed " << result.devices_failed
+              << ", recoveries " << result.recovery_events
+              << ", fragments migrated " << result.fragments_migrated
+              << ", recovery charged " << result.RecoveryChargedMs()
+              << " ms\n";
+  }
+  if (result.checkpoints_taken > 0) {
+    std::cout << "checkpoints:     " << result.checkpoints_taken << " ("
+              << result.checkpoint_ms_total << " ms charged)\n";
   }
   std::cout << "breakdown (ms):  compute " << result.ComputeMs()
             << ", comm " << result.CommunicationMs() << ", serialization "
@@ -275,7 +343,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::string algo = flags.GetString("algo", "bfs");
+  const auto algo_or =
+      flags.GetEnum("algo", "bfs", {"bfs", "sssp", "wcc", "pr", "dpr"});
+  if (!algo_or.ok()) {
+    std::cerr << algo_or.status().ToString() << "\n";
+    PrintUsage();
+    return 1;
+  }
+  const std::string algo = *algo_or;
   graph::CsrBuildOptions build;
   build.symmetrize = algo == "wcc";
   auto g = graph::CsrGraph::FromEdgeList(*edges, build);
@@ -288,7 +363,13 @@ int main(int argc, char** argv) {
 
   const int devices = static_cast<int>(flags.GetInt("devices", 8));
   graph::PartitionOptions popt;
-  const std::string pname = flags.GetString("partitioner", "random");
+  const auto pname_or =
+      flags.GetEnum("partitioner", "random", {"random", "seg", "metis"});
+  if (!pname_or.ok()) {
+    std::cerr << pname_or.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string pname = *pname_or;
   popt.kind = pname == "seg"     ? graph::PartitionerKind::kSegment
               : pname == "metis" ? graph::PartitionerKind::kMetisLike
                                  : graph::PartitionerKind::kRandom;
