@@ -26,10 +26,13 @@
 #include "common/thread_pool.h"
 #include "core/edge_cost_model.h"
 #include "core/engine.h"
+#include "core/expand/frontier_scatter.h"
+#include "core/expand/spmv.h"
 #include "core/fsteal.h"
 #include "core/message_store.h"
 #include "core/osteal.h"
 #include "core/superstep.h"
+#include "core/vertex_state.h"
 #include "graph/csr.h"
 #include "graph/frontier_features.h"
 #include "graph/generators.h"
@@ -188,7 +191,7 @@ BENCHMARK(BM_CostModelInference);
 struct SuperstepFixture {
   const graph::CsrGraph& g = BenchGraph();
   graph::Partition partition;
-  std::vector<std::vector<graph::VertexId>> frontier;
+  core::FrontierSoA frontier;
   core::FStealDecision fs;
   std::vector<int> owner;
   std::vector<core::WorkUnit> units;
@@ -199,10 +202,12 @@ struct SuperstepFixture {
     partition =
         std::move(graph::PartitionGraph(g, n, graph::PartitionOptions{}))
             .value();
-    frontier = partition.part_vertices;
+    frontier.Assign(partition.part_vertices);
     std::vector<double> loads(n, 0.0);
     for (int i = 0; i < n; ++i) {
-      for (const graph::VertexId v : frontier[i]) loads[i] += g.OutDegree(v);
+      for (const graph::VertexId v : frontier.Fragment(i)) {
+        loads[i] += g.OutDegree(v);
+      }
     }
     fs.applied = true;
     fs.assignment.assign(n, std::vector<double>(n));
@@ -391,6 +396,91 @@ void BM_SuperstepMergeApplyPr8Dev(benchmark::State& state) {
 BENCHMARK(BM_SuperstepMergeApplyPr8Dev)
     ->ArgNames({"threads", "shards"})
     ->Args({1, 1})->Args({2, 2})->Args({4, 4})->Args({8, 8})->Args({8, 32})
+    ->UseRealTime();
+
+// --- pluggable expand backends (core/expand/, DESIGN.md §12) ---
+//
+// One full expand (payloads + traversal + message deposit) of an all-active
+// PageRank iteration on the rmat fixture — the dense shape where the pull
+// SpMV gather should beat frontier scatter (no per-unit staging, no sharded
+// merge, one combined deposit per destination). All three backends run the
+// identity plan on the same workload, so BENCH_superstep.json carries a
+// direct scatter-vs-spmv trajectory per thread count.
+
+void BM_ExpandScatterPr8Dev(benchmark::State& state) {
+  PrPhaseFixture& pf = GetPrPhaseFixture();
+  const SuperstepFixture& fx = pf.fx;
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(threads);
+  const core::ShardMap shards(fx.g.num_vertices(), threads);
+  std::vector<double> values = pf.values;
+  core::FrontierScatterBackend<algos::PageRankApp> backend;
+  core::ExpandCounters counters;
+  core::MessageStore<double> store(fx.g.num_vertices());
+  const core::FStealDecision no_steal;
+  const std::vector<double> no_loads(8, 0.0);
+  for (auto _ : state) {
+    backend.Expand(&pool, fx.g, fx.partition, nullptr, fx.owner,
+                   /*active=*/{}, no_steal, no_loads, pf.app, values,
+                   fx.frontier, shards, store, &counters);
+    benchmark::DoNotOptimize(store.PendingCount());
+    store.EndSuperstep();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.g.num_edges()));
+}
+BENCHMARK(BM_ExpandScatterPr8Dev)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_ExpandSpmvPushPr8Dev(benchmark::State& state) {
+  PrPhaseFixture& pf = GetPrPhaseFixture();
+  const SuperstepFixture& fx = pf.fx;
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(threads);
+  const core::ShardMap shards(fx.g.num_vertices(), threads);
+  std::vector<double> values = pf.values;
+  core::SpmvBackend<algos::PageRankApp> backend;
+  core::ExpandCounters counters;
+  core::MessageStore<double> store(fx.g.num_vertices());
+  for (auto _ : state) {
+    backend.ExpandPush(&pool, fx.g, fx.partition, fx.owner, pf.app, values,
+                       fx.frontier, shards, store, &counters);
+    benchmark::DoNotOptimize(store.PendingCount());
+    store.EndSuperstep();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.g.num_edges()));
+}
+BENCHMARK(BM_ExpandSpmvPushPr8Dev)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_ExpandSpmvPullPr8Dev(benchmark::State& state) {
+  PrPhaseFixture& pf = GetPrPhaseFixture();
+  const SuperstepFixture& fx = pf.fx;
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(threads);
+  const core::ShardMap shards(fx.g.num_vertices(), threads);
+  std::vector<double> values = pf.values;
+  core::SpmvBackend<algos::PageRankApp> backend;
+  core::ExpandCounters counters;
+  core::MessageStore<double> store(fx.g.num_vertices());
+  // Warm-up run so the one-time PullEdges build is not timed.
+  backend.ExpandPull(&pool, fx.g, fx.partition, fx.owner, pf.app, values,
+                     fx.frontier, shards, store, &counters);
+  store.EndSuperstep();
+  for (auto _ : state) {
+    backend.ExpandPull(&pool, fx.g, fx.partition, fx.owner, pf.app, values,
+                       fx.frontier, shards, store, &counters);
+    benchmark::DoNotOptimize(store.PendingCount());
+    store.EndSuperstep();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.g.num_edges()));
+}
+BENCHMARK(BM_ExpandSpmvPullPr8Dev)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime();
 
 // Whole-engine host wall-clock on 8 vGPUs (census + stealing decisions +

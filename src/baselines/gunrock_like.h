@@ -15,10 +15,13 @@
 //     optimized BFS, near-far SSSP) modeled as a compute-rate boost that is
 //     most effective on a single GPU (paper Exp-2 discussion).
 //
-// The Scatter/Combine/Apply plumbing is the shared superstep runtime
-// (core/superstep.h + core/message_store.h) with the identity plan — one
-// work unit per non-empty fragment, executed by its owner. Only the timing
-// model above is Gunrock-specific.
+// The Scatter/Combine/Apply plumbing is the shared frontier-scatter
+// backend (core/expand/frontier_scatter.h + core/message_store.h) with the
+// identity plan — one work unit per non-empty fragment, executed by its
+// owner. Only the timing model above is Gunrock-specific: it is
+// reconstructed per fragment from the backend's counter matrices (one unit
+// per non-empty fragment under the identity plan, so the per-fragment
+// cells equal the old per-unit counters bit for bit).
 
 #ifndef GUM_BASELINES_GUNROCK_LIKE_H_
 #define GUM_BASELINES_GUNROCK_LIKE_H_
@@ -31,9 +34,12 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
+#include "core/expand/expand_backend.h"
+#include "core/expand/frontier_scatter.h"
 #include "core/message_store.h"
 #include "core/run_result.h"
 #include "core/superstep.h"
+#include "core/vertex_state.h"
 #include "graph/csr.h"
 #include "graph/frontier_features.h"
 #include "graph/partition.h"
@@ -102,20 +108,23 @@ class GunrockLikeEngine {
     sim::CommPlane plane(topology_, options_.contention,
                          sim::RoutePolicy::kDirectOnly);
 
-    std::vector<Value> values(num_v);
+    core::VertexState<Value> state;
+    auto& values = state.values;
+    auto& frontier = state.frontier;
+    values.resize(num_v);
     for (VertexId v = 0; v < num_v; ++v) values[v] = app.InitValue(v);
-    std::vector<std::vector<VertexId>> frontier(n);
-    for (VertexId v = 0; v < num_v; ++v) {
-      if (app.IsInitiallyActive(v)) frontier[partition_.owner[v]].push_back(v);
-    }
+    frontier.BuildByOwner(num_v, partition_.owner, n, [&app](VertexId v) {
+      return app.IsInitiallyActive(v);
+    });
     core::MessageStore<Message> store(num_v);
     const core::ShardMap shard_map(num_v, options_.num_msg_shards > 0
                                               ? options_.num_msg_shards
                                               : host_threads_);
-    std::vector<core::MessageStaging<Message>> staged;
-    std::vector<core::UnitCounters> unit_counters;
+    core::FrontierScatterBackend<App> backend;
+    core::ExpandCounters expand_counters;
     core::ApplyScratch apply_scratch;
-    std::vector<std::vector<VertexId>> next_frontier(n);
+    core::FrontierSoA next_frontier;
+    next_frontier.Reset(n);
 
     // Identity plan: fragment i is always expanded by device i.
     const core::FStealDecision no_steal;
@@ -124,53 +133,46 @@ class GunrockLikeEngine {
     for (int i = 0; i < n; ++i) owner_of_fragment[i] = i;
 
     const int fixed_rounds = app.fixed_rounds();
-    const auto combine = [&app](const Message& a, const Message& b) {
-      return app.Combine(a, b);
-    };
 
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
       if (fixed_rounds >= 0) {
         if (iter >= fixed_rounds) break;
-        for (int i = 0; i < n; ++i) frontier[i] = partition_.part_vertices[i];
+        frontier.Assign(partition_.part_vertices);
       }
-      size_t total_frontier = 0;
-      for (int i = 0; i < n; ++i) total_frontier += frontier[i].size();
-      if (fixed_rounds < 0 && total_frontier == 0) break;
+      if (fixed_rounds < 0 && frontier.TotalSize() == 0) break;
 
-      const std::vector<core::WorkUnit> units =
-          core::BuildWorkUnits(*g_, frontier, no_steal, no_loads,
-                               owner_of_fragment, /*active=*/{});
       {
         GUM_TRACE_SCOPE("gunrock.expand");
-        core::ExpandSuperstep(pool_.get(), *g_, partition_,
-                              /*hub_cache=*/nullptr, owner_of_fragment, app,
-                              values, frontier, units, shard_map, &staged,
-                              &unit_counters);
+        backend.Expand(pool_.get(), *g_, partition_, /*hub_cache=*/nullptr,
+                       owner_of_fragment, /*active=*/{}, no_steal, no_loads,
+                       app, values, frontier, shard_map, store,
+                       &expand_counters);
       }
+      result.edges_processed += expand_counters.edges_processed;
 
-      // Gunrock-specific timing per (fragment == executor) unit, then the
-      // deterministic sharded merge. Pass 1 charges compute/serial/
-      // overhead and enqueues the unit's transfers (local fetch, then one
-      // bin per peer — the topology-oblivious direct/PCIe path); Settle
-      // prices them jointly; pass 2 posts the buckets.
+      // Gunrock-specific timing per fragment (identity plan: one unit per
+      // non-empty fragment, fragments ascending, so the counter matrices'
+      // diagonal cells equal the old per-unit counters). Pass 1 charges
+      // compute/serial/overhead and enqueues each fragment's transfers
+      // (local fetch, then one bin per peer — the topology-oblivious
+      // direct/PCIe path); Settle prices them jointly; pass 2 posts the
+      // buckets.
       sim::TransferBatch batch;
-      std::vector<double> unit_compute_ns(units.size(), 0.0);
-      std::vector<double> unit_serial_ns(units.size(), 0.0);
-      for (size_t idx = 0; idx < units.size(); ++idx) {
-        const int i = units[idx].fragment;
-        const core::UnitCounters& c = unit_counters[idx];
+      std::vector<double> frag_compute_ns(n, 0.0);
+      std::vector<double> frag_serial_ns(n, 0.0);
+      for (int i = 0; i < n; ++i) {
+        if (frontier.FragmentSize(i) == 0) continue;
         const auto features =
-            graph::ExtractFrontierFeatures(*g_, frontier[i]);
+            graph::ExtractFrontierFeatures(*g_, frontier.Fragment(i));
         const double edge_cost_ns =
             sim::TrueEdgeCostNs(features, dev) * compute_factor;
-        const double edges = c.edges;
-        result.edges_processed += c.edges_processed;
+        const double edges = expand_counters.edges_done[i][i];
 
-        unit_compute_ns[idx] = edges * edge_cost_ns;
+        frag_compute_ns[i] = edges * edge_cost_ns;
         batch.Add(i, i, edges * dev.bytes_per_remote_edge, i);
         double serial_ns = 0;
         for (int f = 0; f < n; ++f) {
-          const double count = c.raw_msgs[f];
+          const double count = expand_counters.raw_msgs[i][f];
           result.messages_sent += static_cast<uint64_t>(count);
           if (count <= 0) continue;
           const double bytes = count * dev.bytes_per_message;
@@ -179,29 +181,24 @@ class GunrockLikeEngine {
         }
         // The separate kernel always runs with one bin per peer.
         serial_ns += 3000.0 * std::max(1, n - 1);
-        unit_serial_ns[idx] = serial_ns;
-      }
-      {
-        GUM_TRACE_SCOPE("gunrock.merge");
-        store.MergeSharded(pool_.get(), shard_map, staged, units.size(),
-                           combine, [](int, size_t, VertexId) {});
+        frag_serial_ns[i] = serial_ns;
       }
       const sim::SettleResult comm = plane.Settle(batch);
       const double overhead_ns = 5 * dev.kernel_launch_us * 1000.0 + p_ns * n;
-      for (size_t idx = 0; idx < units.size(); ++idx) {
-        const int i = units[idx].fragment;
+      for (int i = 0; i < n; ++i) {
+        if (frontier.FragmentSize(i) == 0) continue;
         result.timeline.Add(iter, i, sim::TimeCategory::kCompute,
-                            unit_compute_ns[idx] / 1e6);
+                            frag_compute_ns[i] / 1e6);
         result.timeline.Add(iter, i, sim::TimeCategory::kCommunication,
                             comm.tag_comm_ns[i] / 1e6);
         result.timeline.Add(iter, i, sim::TimeCategory::kSerialization,
-                            unit_serial_ns[idx] / 1e6);
+                            frag_serial_ns[i] / 1e6);
         result.timeline.Add(iter, i, sim::TimeCategory::kOverhead,
                             overhead_ns / 1e6);
       }
       // Idle devices still participate in the barrier.
       for (int i = 0; i < n; ++i) {
-        if (frontier[i].empty() && n > 1) {
+        if (frontier.FragmentSize(i) == 0 && n > 1) {
           result.timeline.Add(iter, i, sim::TimeCategory::kOverhead,
                               p_ns * n / 1e6);
         }
@@ -217,7 +214,7 @@ class GunrockLikeEngine {
           core::ApplySuperstep(pool_.get(), shard_map, partition_, app,
                                store, values, /*fixed_rounds=*/false,
                                &apply_scratch, &next_frontier, nullptr);
-          frontier.swap(next_frontier);
+          std::swap(frontier, next_frontier);
         }
       }
 

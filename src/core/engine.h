@@ -45,7 +45,14 @@
 //     Message Combine(const Message& a, const Message& b) const;  // assoc.
 //     // Applies the combined message; true activates dst next iteration.
 //     bool Apply(VertexId v, Value& val, const Message& msg) const;
+//     // Optional (SpMV pull fusion, core/expand/expand_backend.h):
+//     // Message CombineAll(const Message& acc, const Message& payload,
+//     //                    float weight) const;
 //   };
+//
+// Step 4 runs on one of the pluggable expand backends (core/expand/,
+// selected by EngineOptions::expand_backend + the per-iteration density
+// heuristic). Vertex values are byte-identical across backends.
 
 #ifndef GUM_CORE_ENGINE_H_
 #define GUM_CORE_ENGINE_H_
@@ -62,11 +69,15 @@
 #include "obs/trace.h"
 #include "core/edge_cost_model.h"
 #include "core/engine_options.h"
+#include "core/expand/expand_backend.h"
+#include "core/expand/frontier_scatter.h"
+#include "core/expand/spmv.h"
 #include "core/hub_cache.h"
 #include "core/message_store.h"
 #include "core/run_result.h"
 #include "core/superstep.h"
 #include "core/time_accounting.h"
+#include "core/vertex_state.h"
 #include "fault/checkpoint.h"
 #include "fault/fault_plane.h"
 #include "fault/recovery.h"
@@ -130,14 +141,16 @@ class GumEngine {
     // its telemetry is exported into the result after the last iteration.
     sim::CommPlane plane(topology_, options_.contention);
 
-    std::vector<Value> values(num_v);
+    // SoA vertex state: dense value array + fragment-major frontier arena
+    // (core/vertex_state.h), ascending within each fragment.
+    VertexState<Value> state;
+    auto& values = state.values;
+    auto& frontier = state.frontier;
+    values.resize(num_v);
     for (VertexId v = 0; v < num_v; ++v) values[v] = app.InitValue(v);
-
-    // Frontiers per fragment, sorted ascending.
-    std::vector<std::vector<VertexId>> frontier(n);
-    for (VertexId v = 0; v < num_v; ++v) {
-      if (app.IsInitiallyActive(v)) frontier[partition_.owner[v]].push_back(v);
-    }
+    frontier.BuildByOwner(num_v, partition_.owner, n, [&app](VertexId v) {
+      return app.IsInitiallyActive(v);
+    });
 
     MessageStore<Message> store(num_v);
     // Destination shards: the parallel axis of the merge and apply phases.
@@ -159,21 +172,16 @@ class GumEngine {
                                ? options_.sync_prior_us * 1000.0
                                : p_ns;
 
-    // Scratch reused across iterations.
-    std::vector<std::vector<double>> edges_done(n, std::vector<double>(n));
-    std::vector<std::vector<double>> hub_edges(n, std::vector<double>(n));
-    std::vector<std::vector<double>> agg_msgs(n, std::vector<double>(n));
-    std::vector<std::vector<double>> raw_msgs(n, std::vector<double>(n));
+    // Expand backends and scratch reused across iterations. The SpMV
+    // backend's heavy structures (pull-edge CSR, payload arena) are built
+    // lazily on first use, so scatter-only runs never pay for them.
+    FrontierScatterBackend<App> scatter_backend;
+    SpmvBackend<App> spmv_backend;
+    ExpandCounters expand_counters;
     std::vector<double> apply_msgs(n);
-    std::vector<MessageStaging<Message>> staged;
-    std::vector<UnitCounters> unit_counters;
-    // Per-shard first-writer attribution ([shard][executor][owner]) and the
-    // sharded apply's segment buffers, both reused across iterations.
-    std::vector<std::vector<std::vector<double>>> shard_agg(
-        shard_map.num_shards(),
-        std::vector<std::vector<double>>(n, std::vector<double>(n)));
     ApplyScratch apply_scratch;
-    std::vector<std::vector<VertexId>> next_frontier(n);
+    FrontierSoA next_frontier;
+    next_frontier.Reset(n);
 
     // --- fault plane state (DESIGN.md §11) ---
     // With no plane (or an empty plan) every guard below is dead and the
@@ -214,15 +222,15 @@ class GumEngine {
     } facct;
     const auto fragment_state_bytes = [&](int i) {
       return fault::FragmentStateBytes(partition_.part_vertices[i].size(),
-                                       frontier[i].size(), sizeof(Value));
+                                       frontier.FragmentSize(i),
+                                       sizeof(Value));
     };
     // Snapshots everything the loop needs to re-enter at `next_iter`. The
     // initial snapshot is free (state is still host-resident); periodic
     // ones charge their owners a PCIe read-back before being taken.
     const auto take_checkpoint = [&](int next_iter) {
       ckpt.iteration = next_iter;
-      ckpt.values = values;
-      ckpt.frontier = frontier;
+      ckpt.state = state;
       ckpt.owner_of_fragment = owner_of_fragment;
       ckpt.active = active;
       ckpt.group_size = group_size;
@@ -272,8 +280,7 @@ class GumEngine {
             // (including the lost iterations' walls) becomes lost work,
             // re-charged at the restore barrier below.
             pending_lost_ms = result.total_ms - ckpt.result.total_ms;
-            values = ckpt.values;
-            frontier = ckpt.frontier;
+            state = ckpt.state;
             owner_of_fragment = ckpt.owner_of_fragment;
             active = ckpt.active;
             group_size = ckpt.group_size;
@@ -307,7 +314,7 @@ class GumEngine {
       if (fixed_rounds >= 0) {
         if (iter >= fixed_rounds) break;
         // Stationary workload: every inner vertex is active each round.
-        for (int i = 0; i < n; ++i) frontier[i] = partition_.part_vertices[i];
+        frontier.Assign(partition_.part_vertices);
       }
 
       // --- Step 1: workload census ---
@@ -320,13 +327,13 @@ class GumEngine {
       GUM_TRACE_SCOPE("gum.census");
       for (int i = 0; i < n; ++i) {
         double hub_load = 0.0;
-        for (VertexId v : frontier[i]) {
+        for (VertexId v : frontier.Fragment(i)) {
           loads[i] += g_->OutDegree(v);
           if (hub_cache_.IsHub(v)) hub_load += g_->OutDegree(v);
         }
         total_load += loads[i];
-        total_frontier += frontier[i].size();
-        features[i] = graph::ExtractFrontierFeatures(*g_, frontier[i]);
+        total_frontier += frontier.FragmentSize(i);
+        features[i] = graph::ExtractFrontierFeatures(*g_, frontier.Fragment(i));
         if (loads[i] > 0) remote_discount[i] = 1.0 - hub_load / loads[i];
       }
       }
@@ -335,6 +342,13 @@ class GumEngine {
       IterationStats stats;
       stats.iteration = iter;
       stats.fragment_load = loads;
+
+      // Per-iteration expand-mode decision (DESIGN.md §12): depends only
+      // on the census loads and the constant edge count, so it is
+      // deterministic for every thread and shard count.
+      const ExpandMode expand_mode = SelectExpandMode(
+          options_.expand_backend, total_load,
+          static_cast<double>(g_->num_edges()), options_.spmv);
 
       // --- fault recovery: rebuild ownership over the survivors ---
       // Runs at the first barrier after a rollback: drive the OSteal
@@ -415,9 +429,9 @@ class GumEngine {
           // Migrate residual frontier status from re-owned fragments.
           for (int i = 0; i < n; ++i) {
             if (dec.owner[i] != owner_of_fragment[i] &&
-                !frontier[i].empty()) {
+                frontier.FragmentSize(i) > 0) {
               const double bytes =
-                  static_cast<double>(frontier[i].size()) *
+                  static_cast<double>(frontier.FragmentSize(i)) *
                   dev.bytes_per_message;
               const double ns = plane.PointToPointNs(
                   owner_of_fragment[i], dec.owner[i], bytes);
@@ -443,11 +457,15 @@ class GumEngine {
       stats.group_size = group_size;
 
       // --- Step 3: frontier stealing ---
-      const auto cost = BuildCostMatrix(features, remote_discount,
-                                        cost_model_, plane, active);
+      // Non-scatter modes take the identity plan: the linear-algebra
+      // backend has no per-executor frontier ranges to steal (push runs
+      // the identity plan, pull parallelizes over destinations).
       FStealDecision fs;
-      if (options_.enable_fsteal && group_size > 1) {
+      if (expand_mode == ExpandMode::kScatter && options_.enable_fsteal &&
+          group_size > 1) {
         GUM_TRACE_SCOPE("gum.fsteal");
+        const auto cost = BuildCostMatrix(features, remote_discount,
+                                          cost_model_, plane, active);
         fs = DecideFSteal(cost, loads, owner_of_fragment, active,
                           options_.fsteal);
       } else {
@@ -465,64 +483,41 @@ class GumEngine {
       result.fsteal_plan_cells_total += fs.plan_cells;
       if (fs.applied) ++result.fsteal_applied_iterations;
 
-      // --- Step 4: process the frontiers (superstep runtime) ---
-      for (auto& row : edges_done) std::fill(row.begin(), row.end(), 0.0);
-      for (auto& row : hub_edges) std::fill(row.begin(), row.end(), 0.0);
-      for (auto& row : agg_msgs) std::fill(row.begin(), row.end(), 0.0);
-      for (auto& row : raw_msgs) std::fill(row.begin(), row.end(), 0.0);
+      // --- Step 4: process the frontiers (pluggable expand backend) ---
       std::fill(apply_msgs.begin(), apply_msgs.end(), 0.0);
-
-      const std::vector<WorkUnit> units = BuildWorkUnits(
-          *g_, frontier, fs, loads, owner_of_fragment, active);
       {
         GUM_TRACE_SCOPE("gum.expand");
-        ExpandSuperstep(pool_.get(), *g_, partition_, &hub_cache_,
-                        owner_of_fragment, app, values, frontier, units,
-                        shard_map, &staged, &unit_counters);
-      }
-
-      // Aggregate per-unit counters serially (cheap, integer-exact sums).
-      double stolen_edges_this_iter = 0.0;
-      for (size_t idx = 0; idx < units.size(); ++idx) {
-        const WorkUnit& unit = units[idx];
-        const UnitCounters& c = unit_counters[idx];
-        edges_done[unit.fragment][unit.executor] += c.edges;
-        hub_edges[unit.fragment][unit.executor] += c.hub_edges;
-        for (int f = 0; f < n; ++f) {
-          raw_msgs[unit.executor][f] += c.raw_msgs[f];
+        switch (expand_mode) {
+          case ExpandMode::kScatter:
+            scatter_backend.Expand(pool_.get(), *g_, partition_, &hub_cache_,
+                                   owner_of_fragment, active, fs, loads, app,
+                                   values, frontier, shard_map, store,
+                                   &expand_counters);
+            break;
+          case ExpandMode::kSpmvPush:
+            spmv_backend.ExpandPush(pool_.get(), *g_, partition_,
+                                    owner_of_fragment, app, values, frontier,
+                                    shard_map, store, &expand_counters);
+            break;
+          case ExpandMode::kSpmvPull:
+            spmv_backend.ExpandPull(pool_.get(), *g_, partition_,
+                                    owner_of_fragment, app, values, frontier,
+                                    shard_map, store, &expand_counters);
+            break;
         }
-        stolen_edges_this_iter += c.stolen_edges;
-        result.edges_processed += c.edges_processed;
       }
+      const std::vector<std::vector<double>>& edges_done =
+          expand_counters.edges_done;
+      const std::vector<std::vector<double>>& hub_edges =
+          expand_counters.hub_edges;
+      const std::vector<std::vector<double>>& agg_msgs =
+          expand_counters.agg_msgs;
+      const std::vector<std::vector<double>>& raw_msgs =
+          expand_counters.raw_msgs;
+      const double stolen_edges_this_iter = expand_counters.stolen_edges;
+      result.edges_processed += expand_counters.edges_processed;
       result.stolen_edges_total += stolen_edges_this_iter;
       stats.stolen_edges = stolen_edges_this_iter;
-
-      // Sharded merge: every shard replays its bins in canonical unit order
-      // (the serial engine's loop nest restricted to the shard's vertices)
-      // — combine chains and first-writer attribution stay bit-identical
-      // for any shard x thread count.
-      const auto combine = [&app](const Message& a, const Message& b) {
-        return app.Combine(a, b);
-      };
-      for (auto& per_exec : shard_agg) {
-        for (auto& row : per_exec) std::fill(row.begin(), row.end(), 0.0);
-      }
-      {
-      GUM_TRACE_SCOPE("gum.merge");
-      store.MergeSharded(
-          pool_.get(), shard_map, staged, units.size(), combine,
-          [&](int shard, size_t unit_idx, VertexId v) {
-            // First writer pays the transfer; attributed per shard, reduced
-            // below (integer-valued doubles, exact in any order).
-            shard_agg[shard][units[unit_idx].executor]
-                     [partition_.owner[v]] += 1.0;
-          });
-      for (const auto& per_exec : shard_agg) {
-        for (int e = 0; e < n; ++e) {
-          for (int f = 0; f < n; ++f) agg_msgs[e][f] += per_exec[e][f];
-        }
-      }
-      }
 
       // --- apply phase (end of superstep; next frontier) ---
       {
@@ -537,7 +532,7 @@ class GumEngine {
           ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
                          values, /*fixed_rounds=*/false, &apply_scratch,
                          &next_frontier, &apply_msgs);
-          frontier.swap(next_frontier);
+          std::swap(frontier, next_frontier);
         }
       }
 
@@ -634,6 +629,10 @@ class GumEngine {
         reg.GetHistogram("gum_iteration_frontier_vertices")
             .Observe(static_cast<uint64_t>(total_frontier));
         reg.GetGauge("gum_group_size").Set(group_size);
+        reg.GetGauge("gum_expand_backend").Set(static_cast<int>(expand_mode));
+        reg.GetCounter("gum_expand_iterations_total",
+                       {{"backend", ExpandModeName(expand_mode)}})
+            .Increment();
       }
       prev_wall_ms = wall;
       result.iterations = iter + 1;

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "core/expand/expand_backend.h"
 #include "core/fsteal.h"
 #include "core/osteal.h"
 #include "fault/checkpoint.h"
@@ -48,6 +49,16 @@ struct EngineOptions {
   // across the transfers occupying it. Results (values, messages) are
   // identical either way — only time and link telemetry differ.
   sim::ContentionModel contention = sim::ContentionModel::kOff;
+
+  // --- expand backend (core/expand/, DESIGN.md §12) ---
+  // kScatter reproduces the pre-backend engine bit for bit (stdout and
+  // values). kSpmv / kAuto change accounted time and message telemetry but
+  // never values: every backend is byte-identical on values for every
+  // thread and shard count. Iterations that run a non-scatter mode skip
+  // the frontier-steal solve (the linear-algebra backend does not
+  // frontier-steal); ownership stealing stays active.
+  ExpandBackendKind expand_backend = ExpandBackendKind::kScatter;
+  SpmvConfig spmv;
 
   // --- host execution ---
   // Host threads expanding the per-executor work units of Step 4

@@ -1,0 +1,31 @@
+#include "core/expand/frontier_scatter.h"
+
+namespace gum::core {
+
+std::vector<WorkUnit> BuildWorkUnits(const graph::CsrGraph& g,
+                                     const FrontierSoA& frontier,
+                                     const FStealDecision& fs,
+                                     const std::vector<double>& loads,
+                                     const std::vector<int>& owner_of_fragment,
+                                     const std::vector<int>& active) {
+  const int n = frontier.num_fragments();
+  std::vector<WorkUnit> units;
+  for (int i = 0; i < n; ++i) {
+    const size_t frontier_size = frontier.FragmentSize(i);
+    if (frontier_size == 0) continue;
+    if (fs.applied && loads[i] > 0) {
+      const auto ranges = SelectStolenRanges(g, frontier.Fragment(i),
+                                             fs.assignment[i], active);
+      for (size_t w = 0; w < active.size(); ++w) {
+        if (ranges[w].first < ranges[w].second) {
+          units.push_back({i, active[w], ranges[w].first, ranges[w].second});
+        }
+      }
+    } else {
+      units.push_back({i, owner_of_fragment[i], 0, frontier_size});
+    }
+  }
+  return units;
+}
+
+}  // namespace gum::core

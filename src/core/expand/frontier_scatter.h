@@ -1,0 +1,255 @@
+// Frontier-scatter expand backend (paper §V, Example 4, Step 4; extracted
+// from core/superstep.h — see DESIGN.md §12).
+//
+// One iteration's expansion work is decomposed into work *units* — each a
+// (fragment, executor, contiguous vertex range) triple. Units are mutually
+// independent:
+//   * they read the shared graph/partition/hub-cache (immutable);
+//   * they mutate only the values of their own frontier vertices, and the
+//     per-fragment ranges are disjoint (SelectStolenRanges partitions each
+//     frontier; distinct fragments never share vertices);
+//   * messages go into a private MessageStaging buffer and counters into a
+//     private UnitCounters record.
+// They may therefore run on any number of host threads in any order;
+// determinism is restored by merging staging buffers into the MessageStore
+// in canonical unit order — exactly the serial engine's loop nest. The
+// merge parallelizes over destination shards (disjoint contiguous vertex
+// ranges, core/message_store.h), which leaves every per-vertex combine
+// chain untouched (see DESIGN.md, "Determinism contract" and "Sharded
+// message plane").
+//
+// Thread-safety requirement on App: OnFrontier may mutate the vertex value
+// it is handed but must not mutate App member state; Scatter and Combine
+// must be pure. Every bundled app satisfies this.
+
+#ifndef GUM_CORE_EXPAND_FRONTIER_SCATTER_H_
+#define GUM_CORE_EXPAND_FRONTIER_SCATTER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+#include "core/expand/expand_backend.h"
+#include "core/fsteal.h"
+#include "core/hub_cache.h"
+#include "core/message_store.h"
+#include "core/vertex_state.h"
+#include "graph/csr.h"
+#include "graph/partition.h"
+
+namespace gum::core {
+
+// One executor's share of one fragment's frontier.
+struct WorkUnit {
+  int fragment = 0;
+  int executor = 0;
+  size_t begin = 0;  // [begin, end) into the fragment's frontier
+  size_t end = 0;
+};
+
+// Per-unit counters; cell (fragment, executor) of the engine's per-
+// iteration matrices. All fields are sums of integer quantities, so
+// aggregating them in any order is exact.
+struct UnitCounters {
+  double edges = 0.0;         // out-edges expanded by this unit
+  double hub_edges = 0.0;     // of those, hub-cached remote expansions
+  double stolen_edges = 0.0;  // expanded away from the fragment's owner
+  uint64_t edges_processed = 0;
+  std::vector<double> raw_msgs;  // emitted messages per destination fragment
+
+  void Reset(int num_fragments) {
+    edges = 0.0;
+    hub_edges = 0.0;
+    stolen_edges = 0.0;
+    edges_processed = 0;
+    raw_msgs.assign(static_cast<size_t>(num_fragments), 0.0);
+  }
+};
+
+// Builds the iteration's units in canonical order: fragments ascending;
+// within a stolen fragment, the plan's active-worker order (the row order
+// of SelectStolenRanges). Empty ranges produce no unit. This order defines
+// the deterministic merge sequence.
+std::vector<WorkUnit> BuildWorkUnits(const graph::CsrGraph& g,
+                                     const FrontierSoA& frontier,
+                                     const FStealDecision& fs,
+                                     const std::vector<double>& loads,
+                                     const std::vector<int>& owner_of_fragment,
+                                     const std::vector<int>& active);
+
+// Expands one unit: OnFrontier/Scatter over the unit's vertex range,
+// staging every emitted message and recording the unit's counters.
+// hub_cache may be null (baselines without the Example-6 optimization).
+// The weighted/unweighted branch is selected once per unit, not re-tested
+// on every edge, by instantiating the scatter loop per weight accessor;
+// the unit-invariant executor/owner flags and the integer counter sums are
+// likewise hoisted out of the scatter loop into locals, written back once.
+template <typename App>
+void ExpandUnit(const graph::CsrGraph& g, const graph::Partition& partition,
+                const HubCache* hub_cache, int fragment_owner, App& app,
+                std::vector<typename App::Value>& values,
+                std::span<const graph::VertexId> frontier,
+                const WorkUnit& unit,
+                MessageStaging<typename App::Message>* staged,
+                UnitCounters* counters) {
+  using Message = typename App::Message;
+  const bool count_hub =
+      unit.executor != unit.fragment && hub_cache != nullptr;
+  const bool stolen = unit.executor != fragment_owner;
+  uint64_t edges_sum = 0;
+  uint64_t hub_sum = 0;
+  const auto expand = [&](auto&& weight_of) {
+    for (size_t k = unit.begin; k < unit.end; ++k) {
+      const graph::VertexId u = frontier[k];
+      const uint32_t deg = g.OutDegree(u);
+      const Message payload = app.OnFrontier(u, values[u], deg);
+      const auto neighbors = g.OutNeighbors(u);
+      const auto weights = g.OutWeights(u);
+      for (size_t e = 0; e < neighbors.size(); ++e) {
+        const graph::VertexId v = neighbors[e];
+        std::optional<Message> msg =
+            app.Scatter(payload, v, weight_of(weights, e));
+        if (!msg.has_value()) continue;
+        counters->raw_msgs[partition.owner[v]] += 1.0;
+        staged->Emit(v, *msg);
+      }
+      edges_sum += deg;
+      if (count_hub && hub_cache->IsHub(u)) hub_sum += deg;
+    }
+  };
+  if (g.has_weights()) {
+    expand([](std::span<const float> w, size_t e) { return w[e]; });
+  } else {
+    expand([](std::span<const float>, size_t) { return 1.0f; });
+  }
+  // Integer-valued sums: identical to per-vertex accumulation.
+  counters->edges += static_cast<double>(edges_sum);
+  counters->hub_edges += static_cast<double>(hub_sum);
+  if (stolen) counters->stolen_edges += static_cast<double>(edges_sum);
+  counters->edges_processed += edges_sum;
+}
+
+// Expands every unit — serially when pool is null or single-threaded,
+// otherwise on the pool. Each unit's staging buffer bins messages by the
+// destination shards of `shards` (the merge's parallel axis). staged/
+// counters are indexed by unit and reused across iterations (grown on
+// demand, buffers cleared in place).
+template <typename App>
+void ExpandSuperstep(ThreadPool* pool, const graph::CsrGraph& g,
+                     const graph::Partition& partition,
+                     const HubCache* hub_cache,
+                     const std::vector<int>& owner_of_fragment, App& app,
+                     std::vector<typename App::Value>& values,
+                     const FrontierSoA& frontier,
+                     const std::vector<WorkUnit>& units,
+                     const ShardMap& shards,
+                     std::vector<MessageStaging<typename App::Message>>* staged,
+                     std::vector<UnitCounters>* counters) {
+  if (staged->size() < units.size()) staged->resize(units.size());
+  if (counters->size() < units.size()) counters->resize(units.size());
+  const auto expand_one = [&](size_t idx) {
+    GUM_TRACE_SCOPE("expand.unit");
+    const WorkUnit& unit = units[idx];
+    (*staged)[idx].Configure(shards);
+    (*staged)[idx].Clear();
+    (*counters)[idx].Reset(partition.num_parts);
+    ExpandUnit(g, partition, hub_cache, owner_of_fragment[unit.fragment],
+               app, values, frontier.Fragment(unit.fragment), unit,
+               &(*staged)[idx], &(*counters)[idx]);
+  };
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (size_t idx = 0; idx < units.size(); ++idx) expand_one(idx);
+  } else {
+    pool->ParallelFor(units.size(), expand_one);
+  }
+}
+
+// The scatter backend: canonical unit decomposition, parallel expand into
+// per-unit staging, deterministic sharded merge with first-writer
+// attribution, counter aggregation into ExpandCounters. Owns the staging
+// buffers and per-shard attribution scratch, reused across iterations.
+template <typename App>
+class FrontierScatterBackend {
+ public:
+  using Value = typename App::Value;
+  using Message = typename App::Message;
+
+  // Runs one iteration's full expand + merge. `fs`/`loads`/`active` carry
+  // the frontier-steal plan (identity when !fs.applied); `hub_cache` may be
+  // null. Fills `out` (Reset inside).
+  void Expand(ThreadPool* pool, const graph::CsrGraph& g,
+              const graph::Partition& partition, const HubCache* hub_cache,
+              const std::vector<int>& owner_of_fragment,
+              const std::vector<int>& active, const FStealDecision& fs,
+              const std::vector<double>& loads, App& app,
+              std::vector<Value>& values, const FrontierSoA& frontier,
+              const ShardMap& shards, MessageStore<Message>& store,
+              ExpandCounters* out) {
+    const int n = partition.num_parts;
+    out->Reset(n);
+    GUM_TRACE_SCOPE("expand.scatter");
+    const std::vector<WorkUnit> units =
+        BuildWorkUnits(g, frontier, fs, loads, owner_of_fragment, active);
+    ExpandSuperstep(pool, g, partition, hub_cache, owner_of_fragment, app,
+                    values, frontier, units, shards, &staged_, &counters_);
+
+    // Aggregate per-unit counters serially (cheap, integer-exact sums).
+    for (size_t idx = 0; idx < units.size(); ++idx) {
+      const WorkUnit& unit = units[idx];
+      const UnitCounters& c = counters_[idx];
+      out->edges_done[unit.fragment][unit.executor] += c.edges;
+      out->hub_edges[unit.fragment][unit.executor] += c.hub_edges;
+      for (int f = 0; f < n; ++f) {
+        out->raw_msgs[unit.executor][f] += c.raw_msgs[f];
+      }
+      out->stolen_edges += c.stolen_edges;
+      out->edges_processed += c.edges_processed;
+    }
+
+    // Sharded merge: every shard replays its bins in canonical unit order
+    // (the serial engine's loop nest restricted to the shard's vertices)
+    // — combine chains and first-writer attribution stay bit-identical
+    // for any shard x thread count.
+    const auto combine = [&app](const Message& a, const Message& b) {
+      return app.Combine(a, b);
+    };
+    const int s_count = shards.num_shards();
+    if (static_cast<int>(shard_agg_.size()) < s_count) {
+      shard_agg_.resize(s_count);
+    }
+    for (auto& per_exec : shard_agg_) {
+      if (static_cast<int>(per_exec.size()) != n) {
+        per_exec.assign(n, std::vector<double>(n, 0.0));
+      } else {
+        for (auto& row : per_exec) std::fill(row.begin(), row.end(), 0.0);
+      }
+    }
+    store.MergeSharded(
+        pool, shards, staged_, units.size(), combine,
+        [&](int shard, size_t unit_idx, graph::VertexId v) {
+          // First writer pays the transfer; attributed per shard, reduced
+          // below (integer-valued doubles, exact in any order).
+          shard_agg_[shard][units[unit_idx].executor][partition.owner[v]] +=
+              1.0;
+        });
+    for (const auto& per_exec : shard_agg_) {
+      for (int e = 0; e < n; ++e) {
+        for (int f = 0; f < n; ++f) out->agg_msgs[e][f] += per_exec[e][f];
+      }
+    }
+  }
+
+ private:
+  std::vector<MessageStaging<Message>> staged_;
+  std::vector<UnitCounters> counters_;
+  // Per-shard first-writer attribution ([shard][executor][owner]).
+  std::vector<std::vector<std::vector<double>>> shard_agg_;
+};
+
+}  // namespace gum::core
+
+#endif  // GUM_CORE_EXPAND_FRONTIER_SCATTER_H_

@@ -123,7 +123,7 @@ FStealDecision DecideFSteal(const std::vector<std::vector<double>>& cost,
 }
 
 std::vector<std::pair<size_t, size_t>> SelectStolenRanges(
-    const graph::CsrGraph& g, const std::vector<graph::VertexId>& frontier,
+    const graph::CsrGraph& g, std::span<const graph::VertexId> frontier,
     const std::vector<double>& quota_row, const std::vector<int>& workers) {
   // D = exclusive prefix sum of frontier out-degrees (Algorithm 1 line 13).
   std::vector<uint64_t> degrees(frontier.size());

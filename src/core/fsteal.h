@@ -10,6 +10,7 @@
 #ifndef GUM_CORE_FSTEAL_H_
 #define GUM_CORE_FSTEAL_H_
 
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -73,7 +74,7 @@ FStealDecision DecideFSteal(const std::vector<std::vector<double>>& cost,
 // associated with required number of edges"). Returns [begin, end) index
 // pairs into `frontier`, one per entry of `workers`.
 std::vector<std::pair<size_t, size_t>> SelectStolenRanges(
-    const graph::CsrGraph& g, const std::vector<graph::VertexId>& frontier,
+    const graph::CsrGraph& g, std::span<const graph::VertexId> frontier,
     const std::vector<double>& quota_row, const std::vector<int>& workers);
 
 }  // namespace gum::core

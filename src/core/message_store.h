@@ -151,6 +151,15 @@ class MessageStore : public MessageStoreBase {
     return false;
   }
 
+  // Stores a pre-combined message, overwriting any pending one. The SpMV
+  // pull backend computes each destination's full combine chain itself and
+  // deposits exactly once per destination. Safe to call concurrently for
+  // vertices of different shards (shards never share a Bitmap word).
+  void Put(graph::VertexId v, const Message& m) {
+    set_.Set(v);
+    inbox_[v] = m;
+  }
+
   // Replays one staging buffer, bins in shard order; `first_writer(v)`
   // fires for each deposit that claimed a fresh slot. Per-vertex combine
   // chains match generation order exactly (a vertex maps to one bin).

@@ -1,183 +1,27 @@
-// Superstep runtime: the per-executor frontier-expansion layer shared by
-// the GUM engine and the Gunrock-like baseline (paper §V, Example 4,
-// Step 4: "every worker expands the vertices assigned to it").
+// Superstep runtime: the apply phase shared by the GUM engine and the
+// baseline engines. The expand phase lives in the pluggable backends under
+// core/expand/ (frontier_scatter.h re-exported here — it carries the
+// WorkUnit decomposition both engines build on; see DESIGN.md §12).
 //
-// One iteration's expansion work is decomposed into work *units* — each a
-// (fragment, executor, contiguous vertex range) triple. Units are mutually
-// independent:
-//   * they read the shared graph/partition/hub-cache (immutable);
-//   * they mutate only the values of their own frontier vertices, and the
-//     per-fragment ranges are disjoint (SelectStolenRanges partitions each
-//     frontier; distinct fragments never share vertices);
-//   * messages go into a private MessageStaging buffer and counters into a
-//     private UnitCounters record.
-// They may therefore run on any number of host threads in any order;
-// determinism is restored by merging staging buffers into the MessageStore
-// in canonical unit order — exactly the serial engine's loop nest. The
-// merge and apply phases themselves parallelize over destination shards
-// (disjoint contiguous vertex ranges, core/message_store.h), which leaves
-// every per-vertex combine chain untouched (see DESIGN.md, "Determinism
-// contract" and "Sharded message plane").
-//
-// Thread-safety requirement on App: OnFrontier and Apply may mutate the
-// vertex value they are handed but must not mutate App member state;
-// Scatter and Combine must be pure. Every bundled app satisfies this.
-// (Apply runs concurrently across destination shards — disjoint vertex
-// ranges — in the sharded apply phase below.)
+// Thread-safety requirement on App: Apply may mutate the vertex value it
+// is handed but must not mutate App member state (Apply runs concurrently
+// across destination shards — disjoint vertex ranges).
 
 #ifndef GUM_CORE_SUPERSTEP_H_
 #define GUM_CORE_SUPERSTEP_H_
 
 #include <algorithm>
 #include <cstdint>
-#include <optional>
-#include <span>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "obs/trace.h"
-#include "core/fsteal.h"
-#include "core/hub_cache.h"
+#include "core/expand/frontier_scatter.h"
 #include "core/message_store.h"
-#include "graph/csr.h"
+#include "core/vertex_state.h"
 #include "graph/partition.h"
 
 namespace gum::core {
-
-// One executor's share of one fragment's frontier.
-struct WorkUnit {
-  int fragment = 0;
-  int executor = 0;
-  size_t begin = 0;  // [begin, end) into the fragment's frontier
-  size_t end = 0;
-};
-
-// Per-unit counters; cell (fragment, executor) of the engine's per-
-// iteration matrices. All fields are sums of integer quantities, so
-// aggregating them in any order is exact.
-struct UnitCounters {
-  double edges = 0.0;         // out-edges expanded by this unit
-  double hub_edges = 0.0;     // of those, hub-cached remote expansions
-  double stolen_edges = 0.0;  // expanded away from the fragment's owner
-  uint64_t edges_processed = 0;
-  std::vector<double> raw_msgs;  // emitted messages per destination fragment
-
-  void Reset(int num_fragments) {
-    edges = 0.0;
-    hub_edges = 0.0;
-    stolen_edges = 0.0;
-    edges_processed = 0;
-    raw_msgs.assign(static_cast<size_t>(num_fragments), 0.0);
-  }
-};
-
-// Builds the iteration's units in canonical order: fragments ascending;
-// within a stolen fragment, the plan's active-worker order (the row order
-// of SelectStolenRanges). Empty ranges produce no unit. This order defines
-// the deterministic merge sequence.
-inline std::vector<WorkUnit> BuildWorkUnits(
-    const graph::CsrGraph& g,
-    const std::vector<std::vector<graph::VertexId>>& frontier,
-    const FStealDecision& fs, const std::vector<double>& loads,
-    const std::vector<int>& owner_of_fragment,
-    const std::vector<int>& active) {
-  const int n = static_cast<int>(frontier.size());
-  std::vector<WorkUnit> units;
-  for (int i = 0; i < n; ++i) {
-    if (frontier[i].empty()) continue;
-    if (fs.applied && loads[i] > 0) {
-      const auto ranges =
-          SelectStolenRanges(g, frontier[i], fs.assignment[i], active);
-      for (size_t w = 0; w < active.size(); ++w) {
-        if (ranges[w].first < ranges[w].second) {
-          units.push_back(
-              {i, active[w], ranges[w].first, ranges[w].second});
-        }
-      }
-    } else {
-      units.push_back({i, owner_of_fragment[i], 0, frontier[i].size()});
-    }
-  }
-  return units;
-}
-
-// Expands one unit: OnFrontier/Scatter over the unit's vertex range,
-// staging every emitted message and recording the unit's counters.
-// hub_cache may be null (baselines without the Example-6 optimization).
-// The weighted/unweighted branch is selected once per unit, not re-tested
-// on every edge, by instantiating the scatter loop per weight accessor.
-template <typename App>
-void ExpandUnit(const graph::CsrGraph& g, const graph::Partition& partition,
-                const HubCache* hub_cache, int fragment_owner, App& app,
-                std::vector<typename App::Value>& values,
-                const std::vector<graph::VertexId>& frontier,
-                const WorkUnit& unit,
-                MessageStaging<typename App::Message>* staged,
-                UnitCounters* counters) {
-  using Message = typename App::Message;
-  const auto expand = [&](auto&& weight_of) {
-    for (size_t k = unit.begin; k < unit.end; ++k) {
-      const graph::VertexId u = frontier[k];
-      const uint32_t deg = g.OutDegree(u);
-      const Message payload = app.OnFrontier(u, values[u], deg);
-      const auto neighbors = g.OutNeighbors(u);
-      const auto weights = g.OutWeights(u);
-      for (size_t e = 0; e < neighbors.size(); ++e) {
-        const graph::VertexId v = neighbors[e];
-        std::optional<Message> msg = app.Scatter(payload, v, weight_of(weights, e));
-        if (!msg.has_value()) continue;
-        counters->raw_msgs[partition.owner[v]] += 1.0;
-        staged->Emit(v, *msg);
-      }
-      counters->edges += deg;
-      if (unit.executor != unit.fragment && hub_cache != nullptr &&
-          hub_cache->IsHub(u)) {
-        counters->hub_edges += deg;
-      }
-      if (unit.executor != fragment_owner) counters->stolen_edges += deg;
-      counters->edges_processed += deg;
-    }
-  };
-  if (g.has_weights()) {
-    expand([](std::span<const float> w, size_t e) { return w[e]; });
-  } else {
-    expand([](std::span<const float>, size_t) { return 1.0f; });
-  }
-}
-
-// Expands every unit — serially when pool is null or single-threaded,
-// otherwise on the pool. Each unit's staging buffer bins messages by the
-// destination shards of `shards` (the merge's parallel axis). staged/
-// counters are indexed by unit and reused across iterations (grown on
-// demand, buffers cleared in place).
-template <typename App>
-void ExpandSuperstep(
-    ThreadPool* pool, const graph::CsrGraph& g,
-    const graph::Partition& partition, const HubCache* hub_cache,
-    const std::vector<int>& owner_of_fragment, App& app,
-    std::vector<typename App::Value>& values,
-    const std::vector<std::vector<graph::VertexId>>& frontier,
-    const std::vector<WorkUnit>& units, const ShardMap& shards,
-    std::vector<MessageStaging<typename App::Message>>* staged,
-    std::vector<UnitCounters>* counters) {
-  if (staged->size() < units.size()) staged->resize(units.size());
-  if (counters->size() < units.size()) counters->resize(units.size());
-  const auto expand_one = [&](size_t idx) {
-    GUM_TRACE_SCOPE("expand.unit");
-    const WorkUnit& unit = units[idx];
-    (*staged)[idx].Configure(shards);
-    (*staged)[idx].Clear();
-    (*counters)[idx].Reset(partition.num_parts);
-    ExpandUnit(g, partition, hub_cache, owner_of_fragment[unit.fragment],
-               app, values, frontier[unit.fragment], unit, &(*staged)[idx],
-               &(*counters)[idx]);
-  };
-  if (pool == nullptr || pool->num_threads() <= 1) {
-    for (size_t idx = 0; idx < units.size(); ++idx) expand_one(idx);
-  } else {
-    pool->ParallelFor(units.size(), expand_one);
-  }
-}
 
 // Scratch reused across iterations by the sharded apply phase. Buffers are
 // cleared in place, so steady-state supersteps keep their capacity instead
@@ -197,7 +41,7 @@ struct ApplyScratch {
 // frontier comes out ascending, identical to the serial drain. In
 // fixed-round mode every vertex is applied, absent inboxes with the app's
 // Combine identity. next_frontier, when non-null, receives the rebuilt
-// frontier (cleared first; capacity reused). apply_counts, when non-null,
+// frontier (arena reused across iterations). apply_counts, when non-null,
 // accumulates per-fragment applied-message counts. Clears the store.
 template <typename App>
 void ApplySuperstep(ThreadPool* pool, const ShardMap& shards,
@@ -205,7 +49,7 @@ void ApplySuperstep(ThreadPool* pool, const ShardMap& shards,
                     MessageStore<typename App::Message>& store,
                     std::vector<typename App::Value>& values,
                     bool fixed_rounds, ApplyScratch* scratch,
-                    std::vector<std::vector<graph::VertexId>>* next_frontier,
+                    FrontierSoA* next_frontier,
                     std::vector<double>* apply_counts) {
   using Message = typename App::Message;
   const int s_count = shards.num_shards();
@@ -256,14 +100,8 @@ void ApplySuperstep(ThreadPool* pool, const ShardMap& shards,
   }
 
   if (want_frontier) {
-    for (auto& f : *next_frontier) f.clear();
-    for (int s = 0; s < s_count; ++s) {
-      const auto& segs = scratch->segments[s];
-      for (size_t i = 0; i < segs.size(); ++i) {
-        (*next_frontier)[i].insert((*next_frontier)[i].end(),
-                                   segs[i].begin(), segs[i].end());
-      }
-    }
+    next_frontier->AssignFromShardSegments(scratch->segments, s_count,
+                                           static_cast<int>(n));
   }
   if (want_counts) {
     // Integer-valued doubles: exact under any summation order; shard order

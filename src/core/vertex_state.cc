@@ -1,0 +1,63 @@
+#include "core/vertex_state.h"
+
+#include <algorithm>
+
+namespace gum::core {
+
+void FrontierSoA::Reset(int num_fragments) {
+  offsets_.assign(static_cast<size_t>(num_fragments) + 1, 0);
+  verts_.clear();
+}
+
+void FrontierSoA::Assign(
+    const std::vector<std::vector<graph::VertexId>>& per_fragment) {
+  const size_t n = per_fragment.size();
+  offsets_.resize(n + 1);
+  offsets_[0] = 0;
+  for (size_t i = 0; i < n; ++i) {
+    offsets_[i + 1] = offsets_[i] + per_fragment[i].size();
+  }
+  verts_.resize(offsets_.back());
+  for (size_t i = 0; i < n; ++i) {
+    std::copy(per_fragment[i].begin(), per_fragment[i].end(),
+              verts_.begin() + static_cast<ptrdiff_t>(offsets_[i]));
+  }
+}
+
+void FrontierSoA::AssignFromShardSegments(
+    const std::vector<std::vector<std::vector<graph::VertexId>>>& segments,
+    int num_shards, int num_fragments) {
+  const size_t n = static_cast<size_t>(num_fragments);
+  offsets_.resize(n + 1);
+  offsets_[0] = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t count = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      const auto& segs = segments[s];
+      if (i < segs.size()) count += segs[i].size();
+    }
+    offsets_[i + 1] = offsets_[i] + count;
+  }
+  verts_.resize(offsets_.back());
+  for (size_t i = 0; i < n; ++i) {
+    size_t cursor = offsets_[i];
+    for (int s = 0; s < num_shards; ++s) {
+      const auto& segs = segments[s];
+      if (i >= segs.size()) continue;
+      std::copy(segs[i].begin(), segs[i].end(),
+                verts_.begin() + static_cast<ptrdiff_t>(cursor));
+      cursor += segs[i].size();
+    }
+  }
+}
+
+std::vector<std::vector<graph::VertexId>> FrontierSoA::ToVectors() const {
+  std::vector<std::vector<graph::VertexId>> out(num_fragments());
+  for (int i = 0; i < num_fragments(); ++i) {
+    const auto frag = Fragment(i);
+    out[i].assign(frag.begin(), frag.end());
+  }
+  return out;
+}
+
+}  // namespace gum::core

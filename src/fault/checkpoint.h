@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/run_result.h"
+#include "core/vertex_state.h"
 #include "graph/types.h"
 #include "sim/comm_plane.h"
 
@@ -47,8 +48,8 @@ double CheckpointTransferMs(double bytes);
 template <typename Value>
 struct Checkpoint {
   int iteration = 0;
-  std::vector<Value> values;
-  std::vector<std::vector<graph::VertexId>> frontier;
+  // SoA vertex state (values + frontier arena) — two flat copies.
+  core::VertexState<Value> state;
   std::vector<int> owner_of_fragment;
   std::vector<int> active;
   int group_size = 0;

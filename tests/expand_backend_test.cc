@@ -1,0 +1,259 @@
+// Pluggable expand backends (core/expand/, DESIGN.md §12): every backend —
+// frontier scatter, SpMV push/pull, and the auto density heuristic — must
+// produce byte-identical vertex values for every host-thread and message-
+// shard count, on every bundled algorithm. The suite lives in the parallel
+// test binary so the TSan CI job watches the pull gather's shard
+// parallelism and the payload pre-pass for races.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algos/apps.h"
+#include "core/engine.h"
+#include "core/expand/expand_backend.h"
+#include "core/vertex_state.h"
+#include "tests/test_util.h"
+
+namespace gum::core {
+namespace {
+
+using algos::BfsApp;
+using algos::DeltaPageRankApp;
+using algos::PageRankApp;
+using algos::SsspApp;
+using algos::WccApp;
+using graph::VertexId;
+using test::MakePartition;
+using test::MaxDegreeSource;
+using test::RoadGraph;
+using test::SocialGraph;
+using test::SocialGraphSym;
+using test::TestEngineOptions;
+using test::Topo;
+
+template <typename App>
+std::vector<typename App::Value> RunValues(const graph::CsrGraph& g,
+                                           const graph::Partition& part,
+                                           App app, ExpandBackendKind backend,
+                                           int threads, int shards,
+                                           RunResult* result_out = nullptr) {
+  EngineOptions opt = TestEngineOptions();
+  opt.expand_backend = backend;
+  opt.num_host_threads = threads;
+  opt.num_msg_shards = shards;
+  GumEngine<App> engine(&g, part, Topo(part.num_parts), opt);
+  std::vector<typename App::Value> values;
+  RunResult result = engine.Run(app, &values);
+  if (result_out != nullptr) *result_out = result;
+  return values;
+}
+
+// Scatter at {threads=1, shards=1} is the reference: every backend at every
+// point of the {1,2,4,8} threads x {1,4} shards matrix must match it bit
+// for bit.
+template <typename App>
+void ExpectBackendMatrixIdentical(const graph::CsrGraph& g,
+                                  const graph::Partition& part, App app) {
+  const auto reference =
+      RunValues(g, part, app, ExpandBackendKind::kScatter, 1, 1);
+  for (const auto backend : {ExpandBackendKind::kScatter,
+                             ExpandBackendKind::kSpmv,
+                             ExpandBackendKind::kAuto}) {
+    for (const int threads : {1, 2, 4, 8}) {
+      for (const int shards : {1, 4}) {
+        const auto values = RunValues(g, part, app, backend, threads, shards);
+        EXPECT_EQ(values, reference)
+            << "backend=" << ExpandBackendKindName(backend)
+            << " threads=" << threads << " shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(ExpandBackendTest, BfsByteIdenticalAcrossBackends) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 4);
+  BfsApp app;
+  app.source = MaxDegreeSource(g);
+  ExpectBackendMatrixIdentical(g, part, app);
+}
+
+TEST(ExpandBackendTest, SsspByteIdenticalAcrossBackends) {
+  const auto g = RoadGraph();
+  const auto part = MakePartition(g, 4);
+  SsspApp app;
+  app.source = 0;
+  ExpectBackendMatrixIdentical(g, part, app);
+}
+
+TEST(ExpandBackendTest, PageRankByteIdenticalAcrossBackends) {
+  // Dense, every vertex active, non-associative double sums: the case the
+  // canonical pull order (owner fragment asc, source vertex asc) exists
+  // for. Bit-exact or nothing.
+  const auto g = SocialGraph(9, 5);
+  const auto part = MakePartition(g, 4);
+  PageRankApp app;
+  app.num_vertices = g.num_vertices();
+  app.rounds = 10;
+  ExpectBackendMatrixIdentical(g, part, app);
+}
+
+TEST(ExpandBackendTest, WccByteIdenticalAcrossBackends) {
+  const auto g = SocialGraphSym();
+  const auto part = MakePartition(g, 4);
+  WccApp app;
+  ExpectBackendMatrixIdentical(g, part, app);
+}
+
+TEST(ExpandBackendTest, DeltaPageRankUsesScatterFallbackPath) {
+  // DeltaPageRank has no CombineAll hook (its Scatter suppresses small
+  // residuals), so the pull gather runs the optional Scatter/Combine
+  // fallback — still byte-identical.
+  const auto g = SocialGraph(9, 5);
+  const auto part = MakePartition(g, 4);
+  DeltaPageRankApp app;
+  app.num_vertices = g.num_vertices();
+  const auto reference =
+      RunValues(g, part, app, ExpandBackendKind::kScatter, 1, 1);
+  for (const int threads : {1, 4}) {
+    const auto values =
+        RunValues(g, part, app, ExpandBackendKind::kSpmv, threads, 4);
+    ASSERT_EQ(values.size(), reference.size());
+    for (size_t v = 0; v < values.size(); ++v) {
+      EXPECT_EQ(values[v].rank, reference[v].rank)
+          << "threads=" << threads << " v=" << v;
+      EXPECT_EQ(values[v].residual, reference[v].residual)
+          << "threads=" << threads << " v=" << v;
+    }
+  }
+}
+
+TEST(ExpandBackendTest, EightDeviceMatrixWithStealingActive) {
+  // 8 fragments on the full hybrid cube mesh: scatter iterations steal,
+  // spmv iterations run the identity plan — values must agree anyway.
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 8);
+  BfsApp app;
+  app.source = MaxDegreeSource(g);
+  ExpectBackendMatrixIdentical(g, part, app);
+}
+
+// --- mode selection (the auto heuristic) ---
+
+TEST(ExpandBackendTest, SelectExpandModeThresholds) {
+  SpmvConfig cfg;  // density_threshold = 0.05
+  // Scatter kind never switches.
+  EXPECT_EQ(SelectExpandMode(ExpandBackendKind::kScatter, 1e9, 1e9, cfg),
+            ExpandMode::kScatter);
+  // Spmv kind: dense -> pull, sparse -> push.
+  EXPECT_EQ(SelectExpandMode(ExpandBackendKind::kSpmv, 50.0, 1000.0, cfg),
+            ExpandMode::kSpmvPull);
+  EXPECT_EQ(SelectExpandMode(ExpandBackendKind::kSpmv, 49.0, 1000.0, cfg),
+            ExpandMode::kSpmvPush);
+  // Auto: dense -> pull, sparse -> scatter (keeps frontier stealing).
+  EXPECT_EQ(SelectExpandMode(ExpandBackendKind::kAuto, 50.0, 1000.0, cfg),
+            ExpandMode::kSpmvPull);
+  EXPECT_EQ(SelectExpandMode(ExpandBackendKind::kAuto, 49.0, 1000.0, cfg),
+            ExpandMode::kScatter);
+  // The switch point moves with the threshold.
+  cfg.density_threshold = 0.5;
+  EXPECT_EQ(SelectExpandMode(ExpandBackendKind::kSpmv, 499.0, 1000.0, cfg),
+            ExpandMode::kSpmvPush);
+  EXPECT_EQ(SelectExpandMode(ExpandBackendKind::kAuto, 500.0, 1000.0, cfg),
+            ExpandMode::kSpmvPull);
+}
+
+TEST(ExpandBackendTest, AutoSwitchPointIsDeterministicAcrossThreads) {
+  // The heuristic's inputs (census loads, total edges) are thread-
+  // independent, so auto runs pick the same mode sequence — observable as
+  // identical iteration counts, simulated time, and values.
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 4);
+  BfsApp app;
+  app.source = MaxDegreeSource(g);
+  RunResult reference_result;
+  const auto reference = RunValues(g, part, app, ExpandBackendKind::kAuto, 1,
+                                   1, &reference_result);
+  for (const int threads : {2, 4, 8}) {
+    RunResult result;
+    const auto values = RunValues(g, part, app, ExpandBackendKind::kAuto,
+                                  threads, 4, &result);
+    EXPECT_EQ(values, reference) << "threads=" << threads;
+    EXPECT_EQ(result.iterations, reference_result.iterations);
+    EXPECT_DOUBLE_EQ(result.total_ms, reference_result.total_ms);
+    EXPECT_EQ(result.edges_processed, reference_result.edges_processed);
+    EXPECT_EQ(result.messages_sent, reference_result.messages_sent);
+  }
+}
+
+TEST(ExpandBackendTest, ParseExpandBackendKind) {
+  ExpandBackendKind kind = ExpandBackendKind::kAuto;
+  EXPECT_TRUE(ParseExpandBackendKind("scatter", &kind));
+  EXPECT_EQ(kind, ExpandBackendKind::kScatter);
+  EXPECT_TRUE(ParseExpandBackendKind("spmv", &kind));
+  EXPECT_EQ(kind, ExpandBackendKind::kSpmv);
+  EXPECT_TRUE(ParseExpandBackendKind("auto", &kind));
+  EXPECT_EQ(kind, ExpandBackendKind::kAuto);
+  EXPECT_FALSE(ParseExpandBackendKind("pull", &kind));
+  EXPECT_EQ(kind, ExpandBackendKind::kAuto);  // untouched on failure
+}
+
+// --- SoA frontier storage ---
+
+TEST(ExpandBackendTest, FrontierSoARoundTripsOldLayout) {
+  const std::vector<std::vector<VertexId>> old_layout = {
+      {0, 3, 7}, {}, {1, 2, 9}, {5}};
+  FrontierSoA soa;
+  soa.Assign(old_layout);
+  EXPECT_EQ(soa.num_fragments(), 4);
+  EXPECT_EQ(soa.TotalSize(), 7u);
+  EXPECT_EQ(soa.FragmentSize(0), 3u);
+  EXPECT_EQ(soa.FragmentSize(1), 0u);
+  ASSERT_EQ(soa.Fragment(2).size(), 3u);
+  EXPECT_EQ(soa.Fragment(2)[1], 2u);
+  EXPECT_EQ(soa.ToVectors(), old_layout);
+  // Flat() is the fragment-major concatenation.
+  const std::vector<VertexId> flat(soa.Flat().begin(), soa.Flat().end());
+  EXPECT_EQ(flat, (std::vector<VertexId>{0, 3, 7, 1, 2, 9, 5}));
+}
+
+TEST(ExpandBackendTest, FrontierSoAResetKeepsCapacityDropsContents) {
+  FrontierSoA soa;
+  soa.Assign({{1, 2, 3}, {4, 5}});
+  soa.Reset(3);
+  EXPECT_EQ(soa.num_fragments(), 3);
+  EXPECT_EQ(soa.TotalSize(), 0u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(soa.FragmentSize(i), 0u);
+}
+
+TEST(ExpandBackendTest, FrontierSoABuildByOwnerMatchesPredicate) {
+  const auto g = SocialGraph(8);
+  const auto part = MakePartition(g, 4);
+  FrontierSoA soa;
+  soa.BuildByOwner(g.num_vertices(), part.owner, 4,
+                   [](VertexId v) { return v % 3 == 0; });
+  std::vector<std::vector<VertexId>> expected(4);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v % 3 == 0) expected[part.owner[v]].push_back(v);
+  }
+  EXPECT_EQ(soa.ToVectors(), expected);  // ascending per fragment
+}
+
+TEST(ExpandBackendTest, FrontierSoAAssignFromShardSegments) {
+  // segments[shard][fragment]; shards are ascending vertex ranges, so
+  // concatenating a fragment's segments in shard order stays ascending.
+  const std::vector<std::vector<std::vector<VertexId>>> segments = {
+      {{0, 2}, {1}},
+      {{4}, {5, 7}},
+      {{}, {9}},
+  };
+  FrontierSoA soa;
+  soa.AssignFromShardSegments(segments, 3, 2);
+  EXPECT_EQ(soa.ToVectors(), (std::vector<std::vector<VertexId>>{
+                                 {0, 2, 4}, {1, 5, 7, 9}}));
+}
+
+}  // namespace
+}  // namespace gum::core

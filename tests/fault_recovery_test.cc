@@ -255,6 +255,58 @@ TEST(FaultRecoveryTest, FailureAfterConvergenceIsInvisible) {
   EXPECT_TRUE(faulted.result.fault_plan_active);
 }
 
+// Checkpoints snapshot the SoA VertexState (values + frontier arena), so
+// recovery must be exact under every expand backend — including iterations
+// where the auto heuristic picked a pull gather and the frontier was
+// rebuilt through the SpMV path.
+template <typename App>
+void ExpectRecoveryExactUnderBackend(const graph::CsrGraph& g,
+                                     const graph::Partition& part, App app,
+                                     ExpandBackendKind backend) {
+  EngineOptions opt = TestEngineOptions();
+  opt.expand_backend = backend;
+  std::vector<typename App::Value> clean;
+  {
+    GumEngine<App> engine(&g, part, Topo(part.num_parts), opt);
+    (void)engine.Run(app, &clean);
+  }
+  const auto plane = MustPlane("failstop:1@2", part.num_parts);
+  opt.fault_plane = &plane;
+  opt.checkpoint.every = 2;
+  GumEngine<App> engine(&g, part, Topo(part.num_parts), opt);
+  std::vector<typename App::Value> faulted;
+  const RunResult result = engine.Run(app, &faulted);
+  EXPECT_EQ(faulted, clean)
+      << "backend=" << ExpandBackendKindName(backend);
+  EXPECT_EQ(result.devices_failed, 1);
+  EXPECT_GE(result.recovery_events, 1);
+}
+
+TEST(FaultRecoveryTest, ScatterBackendRecoversExactly) {
+  const auto g = SocialGraph();
+  BfsApp app;
+  app.source = 1;
+  ExpectRecoveryExactUnderBackend(g, MakePartition(g, 4), app,
+                                  ExpandBackendKind::kScatter);
+}
+
+TEST(FaultRecoveryTest, SpmvBackendRecoversExactly) {
+  const auto g = SocialGraph(9, 5);
+  PageRankApp app;
+  app.num_vertices = g.num_vertices();
+  app.rounds = 10;
+  ExpectRecoveryExactUnderBackend(g, MakePartition(g, 4), app,
+                                  ExpandBackendKind::kSpmv);
+}
+
+TEST(FaultRecoveryTest, AutoBackendRecoversExactly) {
+  const auto g = SocialGraph();
+  BfsApp app;
+  app.source = 1;
+  ExpectRecoveryExactUnderBackend(g, MakePartition(g, 4), app,
+                                  ExpandBackendKind::kAuto);
+}
+
 TEST(FaultRecoveryTest, ChaosPlanConvergesByteIdentical) {
   const auto g = SocialGraph();
   const auto part = MakePartition(g, 8);

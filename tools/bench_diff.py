@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over micro_bench --bench-json artifacts.
+
+Compares two BENCH_*.json files (the shape bench/micro_bench.cc's
+--bench-json reporter writes: {"benchmarks": [{"name", "run_type",
+"real_time", ...}, ...]}) and fails when any benchmark present in both
+regressed by more than --threshold (relative real_time increase).
+
+Robustness rules, in order:
+  * aggregate rows ("median" preferred, else "mean") win over raw
+    iteration rows — repetition runs gate on the aggregate, not the noise;
+  * duplicate names keep the minimum real_time (best observed run);
+  * benchmarks present on only one side are reported but never gate —
+    adding or retiring a benchmark must not break CI.
+
+--expect-faster FAST SLOW additionally asserts that every current-file
+benchmark whose name starts with FAST is faster than the SLOW row with the
+same argument suffix — the scatter-vs-spmv ordering check on the dense
+PageRank expand shape.
+
+Exit status: 0 clean, 1 regression (or expectation failure), 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """name -> gating real_time, per the robustness rules above."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc.get("benchmarks")
+    if not isinstance(rows, list):
+        print(f"bench_diff: {path} has no 'benchmarks' array", file=sys.stderr)
+        sys.exit(2)
+
+    # rank: median aggregate > mean aggregate > raw iteration row.
+    rank = {}
+    times = {}
+    for row in rows:
+        name = row.get("name")
+        time = row.get("real_time")
+        if not isinstance(name, str) or not isinstance(time, (int, float)):
+            continue
+        if row.get("run_type") == "aggregate":
+            agg = row.get("aggregate_name", "")
+            if agg not in ("median", "mean"):
+                continue  # stddev/cv rows never gate
+            r = 2 if agg == "median" else 1
+            base = name.rsplit("_", 1)[0]  # strip the _median/_mean suffix
+        else:
+            r = 0
+            base = name
+        if r > rank.get(base, -1):
+            rank[base] = r
+            times[base] = float(time)
+        elif r == rank.get(base) and float(time) < times[base]:
+            times[base] = float(time)
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="previous BENCH_*.json")
+    parser.add_argument("current", help="this run's BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max allowed relative real_time increase "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--expect-faster", nargs=2, metavar=("FAST", "SLOW"),
+                        action="append", default=[],
+                        help="assert current[FAST+args] < current[SLOW+args] "
+                             "for every shared argument suffix")
+    args = parser.parse_args()
+
+    old = load_times(args.baseline)
+    new = load_times(args.current)
+
+    shared = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    regressions = []
+
+    width = max((len(n) for n in shared), default=4)
+    print(f"{'benchmark':<{width}}  {'old (ns)':>14}  {'new (ns)':>14}  delta")
+    for name in shared:
+        delta = (new[name] - old[name]) / old[name] if old[name] > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {old[name]:>14.1f}  {new[name]:>14.1f}  "
+              f"{delta:+7.1%}{flag}")
+    for name in only_old:
+        print(f"{name}: retired (baseline only) — not gated")
+    for name in only_new:
+        print(f"{name}: new (current only) — not gated")
+
+    failed = False
+    for fast_prefix, slow_prefix in args.expect_faster:
+        pairs = 0
+        for name, fast_time in new.items():
+            if not name.startswith(fast_prefix):
+                continue
+            suffix = name[len(fast_prefix):]
+            slow_name = slow_prefix + suffix
+            if slow_name not in new:
+                continue
+            pairs += 1
+            if fast_time >= new[slow_name]:
+                print(f"EXPECTATION FAILED: {name} ({fast_time:.1f} ns) is "
+                      f"not faster than {slow_name} "
+                      f"({new[slow_name]:.1f} ns)")
+                failed = True
+        if pairs == 0:
+            print(f"EXPECTATION FAILED: no benchmark pairs matched "
+                  f"({fast_prefix}, {slow_prefix})")
+            failed = True
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%}:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        failed = True
+    elif shared:
+        print(f"\nno regression beyond {args.threshold:.0%} "
+              f"across {len(shared)} shared benchmark(s)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,7 +80,7 @@ constexpr const char* kKnownFlags[] = {
     "no-fsteal", "no-osteal",  "timeline",  "save-values", "help",
     "timeline-csv", "host-threads", "contention", "show-links",
     "msg-shards", "trace", "metrics", "report",
-    "fault-plan", "fault-seed", "ckpt-every",
+    "fault-plan", "fault-seed", "ckpt-every", "expand",
 };
 
 void PrintUsage() {
@@ -91,7 +91,7 @@ void PrintUsage() {
       "               [--devices=N] [--partitioner=random|seg|metis]\n"
       "               [--source=V] [--pr-rounds=N] [--epsilon=E]\n"
       "               [--no-fsteal] [--no-osteal] [--host-threads=N]\n"
-      "               [--msg-shards=N]\n"
+      "               [--msg-shards=N] [--expand=scatter|spmv|auto]\n"
       "               [--contention=off|fair] [--timeline] [--show-links]\n"
       "               [--save-values=PATH]\n"
       "               [--trace=PATH] [--metrics=PATH] [--report=PATH]\n"
@@ -195,6 +195,20 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
     return 1;
   }
 
+  const auto expand_or =
+      flags.GetEnum("expand", "scatter", {"scatter", "spmv", "auto"});
+  if (!expand_or.ok()) {
+    std::cerr << expand_or.status().ToString() << "\n";
+    return 1;
+  }
+  core::ExpandBackendKind expand_backend = core::ExpandBackendKind::kScatter;
+  core::ParseExpandBackendKind(*expand_or, &expand_backend);
+  if (expand_backend != core::ExpandBackendKind::kScatter &&
+      engine_name != "gum") {
+    std::cerr << "--expand=spmv|auto requires --engine=gum\n";
+    return 1;
+  }
+
   if (engine_name == "gum") {
     core::EngineOptions options;
     options.enable_fsteal = !flags.GetBool("no-fsteal", false);
@@ -202,6 +216,7 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
     options.num_host_threads = host_threads;
     options.num_msg_shards = msg_shards;
     options.contention = *contention;
+    options.expand_backend = expand_backend;
     options.fault_plane = &fault_plane;
     options.checkpoint.every = ckpt_every;
     core::GumEngine<App> engine(&g, partition, topology, options);
@@ -253,6 +268,7 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
         {"msg_shards", std::to_string(msg_shards)},
         {"fsteal", flags.GetBool("no-fsteal", false) ? "off" : "on"},
         {"osteal", flags.GetBool("no-osteal", false) ? "off" : "on"},
+        {"expand", core::ExpandBackendKindName(expand_backend)},
     };
     // Only a fault-plane run records fault keys; faults-off reports stay
     // byte-identical to the pre-fault-plane schema (modulo schema_version).
