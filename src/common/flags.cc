@@ -90,6 +90,32 @@ Result<std::string> FlagParser::GetEnum(
                                  expected + ")");
 }
 
+Result<std::vector<int64_t>> FlagParser::GetIntList(
+    const std::string& name, std::vector<int64_t> default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  const std::string& raw = it->second;
+  const auto bad = [&](const std::string& token) {
+    return Status::InvalidArgument("bad integer '" + token + "' in --" +
+                                   name + "=" + raw +
+                                   " (expected comma-separated integers)");
+  };
+  std::vector<int64_t> values;
+  size_t start = 0;
+  // A trailing comma yields a final empty token, rejected like any other.
+  while (start <= raw.size()) {
+    size_t comma = raw.find(',', start);
+    if (comma == std::string::npos) comma = raw.size();
+    const std::string token = raw.substr(start, comma - start);
+    char* end = nullptr;
+    const long long value = std::strtoll(token.c_str(), &end, 10);
+    if (token.empty() || end == nullptr || *end != '\0') return bad(token);
+    values.push_back(value);
+    start = comma + 1;
+  }
+  return values;
+}
+
 Status FlagParser::KnownFlagsOnly(
     const std::vector<std::string>& known) const {
   std::string unknown;

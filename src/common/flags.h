@@ -35,6 +35,12 @@ class FlagParser {
   Result<std::string> GetEnum(const std::string& name,
                               const std::string& default_value,
                               const std::vector<std::string>& allowed) const;
+  // Comma-separated integer list: the default when absent; InvalidArgument
+  // naming the flag and the offending token on any malformed element
+  // (empty token, trailing comma, non-integer) — same strictness
+  // convention as GetEnum, so "--sources=3,x,7" fails loudly.
+  Result<std::vector<int64_t>> GetIntList(
+      const std::string& name, std::vector<int64_t> default_value) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -15,6 +15,11 @@
 //
 // GumEngine is a thin orchestrator over layered components (see
 // docs/architecture.md):
+//   core/graph_context.h   — the immutable per-graph substrate (partition,
+//                            topology geometry, cost model, hub cache,
+//                            shard map, thread pool, shared PullEdges)
+//   core/run_context.h     — the per-query mutable state (values, frontier,
+//                            message store, backend staging arenas)
 //   core/superstep.h       — Step-4 decomposition into per-executor work
 //                            units, expanded on a host ThreadPool
 //   core/message_store.h   — deterministic inbox + per-worker staging,
@@ -22,6 +27,11 @@
 //   core/time_accounting.h — the analytic device-time model
 // Results are bit-identical for every num_host_threads and num_msg_shards
 // setting; see DESIGN.md, "Determinism contract".
+//
+// Serving mode (DESIGN.md §13): build one GraphContext, then run many
+// queries against it — GumEngine(&context) plus a reused RunContext keeps
+// every high-water arena warm between runs. The legacy constructor builds
+// and owns a context internally, so existing call sites are unchanged.
 //
 // Algorithm semantics are exact; device time is accounted by the analytic
 // substrate model (see DESIGN.md §1). The App concept:
@@ -72,8 +82,10 @@
 #include "core/expand/expand_backend.h"
 #include "core/expand/frontier_scatter.h"
 #include "core/expand/spmv.h"
+#include "core/graph_context.h"
 #include "core/hub_cache.h"
 #include "core/message_store.h"
+#include "core/run_context.h"
 #include "core/run_result.h"
 #include "core/superstep.h"
 #include "core/time_accounting.h"
@@ -101,62 +113,75 @@ class GumEngine {
   using Value = typename App::Value;
   using Message = typename App::Message;
 
-  // `g` and `cost_model` (if non-null) must outlive the engine. A null
-  // cost_model forces the exact oracle regardless of options.
+  // Legacy constructor: builds and owns the immutable context. `g` and
+  // `cost_model` (if non-null) must outlive the engine. A null cost_model
+  // forces the exact oracle regardless of options.
   GumEngine(const graph::CsrGraph* g, graph::Partition partition,
             sim::Topology topology, EngineOptions options,
             const ml::RegressionModel* cost_model = nullptr)
-      : g_(g),
-        partition_(std::move(partition)),
-        topology_(std::move(topology)),
-        options_(options),
-        schedule_(sim::ReductionSchedule::Build(topology_)),
-        cost_model_(cost_model != nullptr && !options.exact_cost_oracle
-                        ? EdgeCostModel::Learned(cost_model, options.device)
-                        : EdgeCostModel::ExactOracle(options.device)) {
-    GUM_CHECK(partition_.num_parts == topology_.num_devices())
-        << "partition parts must match device count";
-    if (options_.enable_hub_cache) {
-      hub_cache_ = HubCache(*g_, options_.t4_hub_in_degree);
-    }
-    host_threads_ = options_.num_host_threads <= 0
-                        ? ThreadPool::HardwareThreads()
-                        : options_.num_host_threads;
-    if (host_threads_ > 1) {
-      pool_ = std::make_unique<ThreadPool>(host_threads_);
-    }
+      : owned_ctx_(std::make_unique<GraphContext>(g, std::move(partition),
+                                                  std::move(topology), options,
+                                                  cost_model)),
+        ctx_(owned_ctx_.get()) {}
+
+  // Serving constructor: runs against an externally owned context (which
+  // must outlive the engine). Many engines — including engines of
+  // different App types — may share one context.
+  explicit GumEngine(const GraphContext* ctx) : ctx_(ctx) {
+    GUM_CHECK(ctx_ != nullptr) << "GumEngine needs a GraphContext";
   }
 
+  const GraphContext& context() const { return *ctx_; }
+
   // Runs the app to convergence; returns timing statistics and, optionally,
-  // the final vertex values.
+  // the final vertex values. Allocates a fresh RunContext — byte-identical
+  // to the pre-context-split engine.
   RunResult Run(App& app, std::vector<Value>* values_out = nullptr) {
-    const int n = partition_.num_parts;
-    const VertexId num_v = g_->num_vertices();
-    const sim::DeviceParams& dev = options_.device;
+    RunContext<App> rc;
+    return Run(app, rc, values_out);
+  }
+
+  // Runs the app against a caller-owned RunContext (reusable across runs —
+  // the serving fast path; results are identical to a fresh context).
+  // `run_options`, when non-null, overrides the context's options for this
+  // run only. It may change run-scoped knobs (fault plane, checkpoint and
+  // recovery configs, steal switches, max_iterations, expand backend,
+  // record_iteration_stats) but must keep the geometry-defining fields the
+  // context was built from (device, threads, shards, hub cache, topology).
+  RunResult Run(App& app, RunContext<App>& rc,
+                std::vector<Value>* values_out = nullptr,
+                const EngineOptions* run_options = nullptr) {
+    const graph::CsrGraph& g = ctx_->graph();
+    const graph::Partition& partition = ctx_->partition();
+    const EngineOptions& options =
+        run_options != nullptr ? *run_options : ctx_->options();
+    ThreadPool* pool = ctx_->pool();
+    const int n = partition.num_parts;
+    const VertexId num_v = g.num_vertices();
+    const sim::DeviceParams& dev = options.device;
     const double p_ns = dev.sync_per_peer_us * 1000.0;
 
     RunResult result;
     result.timeline = sim::Timeline(n);
     // Every transfer of the run is charged and recorded through this plane;
     // its telemetry is exported into the result after the last iteration.
-    sim::CommPlane plane(topology_, options_.contention);
+    sim::CommPlane plane(ctx_->topology(), options.contention);
 
     // SoA vertex state: dense value array + fragment-major frontier arena
     // (core/vertex_state.h), ascending within each fragment.
-    VertexState<Value> state;
+    VertexState<Value>& state = rc.state;
     auto& values = state.values;
     auto& frontier = state.frontier;
     values.resize(num_v);
     for (VertexId v = 0; v < num_v; ++v) values[v] = app.InitValue(v);
-    frontier.BuildByOwner(num_v, partition_.owner, n, [&app](VertexId v) {
+    frontier.BuildByOwner(num_v, partition.owner, n, [&app](VertexId v) {
       return app.IsInitiallyActive(v);
     });
 
-    MessageStore<Message> store(num_v);
+    MessageStore<Message>& store = rc.store;
+    store.Reset(num_v);
     // Destination shards: the parallel axis of the merge and apply phases.
-    const ShardMap shard_map(
-        num_v,
-        options_.num_msg_shards > 0 ? options_.num_msg_shards : host_threads_);
+    const ShardMap& shard_map = ctx_->shard_map();
 
     std::vector<int> owner_of_fragment(n);
     for (int i = 0; i < n; ++i) owner_of_fragment[i] = i;
@@ -168,37 +193,40 @@ class GumEngine {
     double prev_wall_ms = 1e18;  // first iteration never triggers OSteal
     // Eq. (4)'s p, estimated online from observed iterations (paper §IV-A:
     // "a parameter that can be estimated during previous iterations").
-    double p_estimate_ns = options_.estimate_sync_online
-                               ? options_.sync_prior_us * 1000.0
+    double p_estimate_ns = options.estimate_sync_online
+                               ? options.sync_prior_us * 1000.0
                                : p_ns;
 
-    // Expand backends and scratch reused across iterations. The SpMV
-    // backend's heavy structures (pull-edge CSR, payload arena) are built
-    // lazily on first use, so scatter-only runs never pay for them.
-    FrontierScatterBackend<App> scatter_backend;
-    SpmvBackend<App> spmv_backend;
-    ExpandCounters expand_counters;
-    std::vector<double> apply_msgs(n);
-    ApplyScratch apply_scratch;
-    FrontierSoA next_frontier;
+    // Expand backends and scratch live in the RunContext, reused across
+    // iterations (and across runs in serving mode). The SpMV backend's
+    // heavy structures are built lazily on first use — and the pull
+    // gather's in-edge CSR comes from the shared GraphContext build — so
+    // scatter-only runs never pay for them.
+    FrontierScatterBackend<App>& scatter_backend = rc.scatter_backend;
+    SpmvBackend<App>& spmv_backend = rc.spmv_backend;
+    ExpandCounters& expand_counters = rc.expand_counters;
+    std::vector<double>& apply_msgs = rc.apply_msgs;
+    apply_msgs.assign(n, 0.0);
+    ApplyScratch& apply_scratch = rc.apply_scratch;
+    FrontierSoA& next_frontier = rc.next_frontier;
     next_frontier.Reset(n);
 
     // --- fault plane state (DESIGN.md §11) ---
     // With no plane (or an empty plan) every guard below is dead and the
     // run is bit-identical to a fault-free build.
     const fault::FaultPlane* faults =
-        options_.fault_plane != nullptr && options_.fault_plane->active()
-            ? options_.fault_plane
+        options.fault_plane != nullptr && options.fault_plane->active()
+            ? options.fault_plane
             : nullptr;
     if (faults != nullptr) {
       GUM_CHECK(faults->num_devices() == n)
           << "fault plane bound to " << faults->num_devices()
           << " devices, engine has " << n;
     }
-    const int ckpt_every = options_.checkpoint.every;
+    const int ckpt_every = options.checkpoint.every;
     std::vector<bool> failed(n, false);
     std::vector<int> survivors = AllDevices(n);
-    sim::ReductionSchedule survivor_schedule = schedule_;
+    sim::ReductionSchedule survivor_schedule = ctx_->schedule();
     fault::Checkpoint<Value> ckpt;
     bool recovery_pending = false;
     double pending_lost_ms = 0.0;
@@ -221,7 +249,7 @@ class GumEngine {
       int link_fault_iterations = 0;
     } facct;
     const auto fragment_state_bytes = [&](int i) {
-      return fault::FragmentStateBytes(partition_.part_vertices[i].size(),
+      return fault::FragmentStateBytes(partition.part_vertices[i].size(),
                                        frontier.FragmentSize(i),
                                        sizeof(Value));
     };
@@ -241,7 +269,7 @@ class GumEngine {
     };
     if (faults != nullptr) take_checkpoint(0);
 
-    for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
       // --- fail-stop detection at the superstep barrier ---
       if (faults != nullptr) {
         std::vector<int> newly;
@@ -260,7 +288,7 @@ class GumEngine {
           }
           GUM_CHECK(!survivors.empty()) << "fault plan killed every device";
           survivor_schedule =
-              sim::ReductionSchedule::BuildWithForbidden(topology_,
+              sim::ReductionSchedule::BuildWithForbidden(ctx_->topology(),
                                                          failed_list);
           // State is lost only if a dead device owned fragments or worked
           // in the group; a device OSteal already evicted takes nothing
@@ -294,7 +322,7 @@ class GumEngine {
             // Nothing rolls back: charge the barrier timeout and continue
             // with the shrunk candidate set.
             const double detect_ms =
-                options_.recovery.detect_timeout_us / 1000.0;
+                options.recovery.detect_timeout_us / 1000.0;
             for (const int d : survivors) {
               result.timeline.Add(iter, d, sim::TimeCategory::kOverhead,
                                   detect_ms);
@@ -314,7 +342,7 @@ class GumEngine {
       if (fixed_rounds >= 0) {
         if (iter >= fixed_rounds) break;
         // Stationary workload: every inner vertex is active each round.
-        frontier.Assign(partition_.part_vertices);
+        frontier.Assign(partition.part_vertices);
       }
 
       // --- Step 1: workload census ---
@@ -325,15 +353,16 @@ class GumEngine {
       size_t total_frontier = 0;
       {
       GUM_TRACE_SCOPE("gum.census");
+      const HubCache& hub_cache = ctx_->hub_cache();
       for (int i = 0; i < n; ++i) {
         double hub_load = 0.0;
         for (VertexId v : frontier.Fragment(i)) {
-          loads[i] += g_->OutDegree(v);
-          if (hub_cache_.IsHub(v)) hub_load += g_->OutDegree(v);
+          loads[i] += g.OutDegree(v);
+          if (hub_cache.IsHub(v)) hub_load += g.OutDegree(v);
         }
         total_load += loads[i];
         total_frontier += frontier.FragmentSize(i);
-        features[i] = graph::ExtractFrontierFeatures(*g_, frontier.Fragment(i));
+        features[i] = graph::ExtractFrontierFeatures(g, frontier.Fragment(i));
         if (loads[i] > 0) remote_discount[i] = 1.0 - hub_load / loads[i];
       }
       }
@@ -347,8 +376,8 @@ class GumEngine {
       // on the census loads and the constant edge count, so it is
       // deterministic for every thread and shard count.
       const ExpandMode expand_mode = SelectExpandMode(
-          options_.expand_backend, total_load,
-          static_cast<double>(g_->num_edges()), options_.spmv);
+          options.expand_backend, total_load,
+          static_cast<double>(g.num_edges()), options.spmv);
 
       // --- fault recovery: rebuild ownership over the survivors ---
       // Runs at the first barrier after a rollback: drive the OSteal
@@ -361,12 +390,12 @@ class GumEngine {
         recovered_this_iter = true;
         GUM_TRACE_SCOPE("fault.recover");
         const auto cost_surv = BuildCostMatrix(
-            features, remote_discount, cost_model_, plane, survivors);
+            features, remote_discount, ctx_->cost_model(), plane, survivors);
         OStealDecision dec = fault::RebuildOwnership(
             cost_surv, loads, survivor_schedule, p_estimate_ns,
-            options_.osteal, static_cast<int>(survivors.size()),
-            options_.enable_osteal);
-        stats.osteal_evaluated = options_.enable_osteal;
+            options.osteal, static_cast<int>(survivors.size()),
+            options.enable_osteal);
+        stats.osteal_evaluated = options.enable_osteal;
         stats.osteal_decision_host_ms = dec.decision_host_ms;
         result.osteal_decision_host_ms_total += dec.decision_host_ms;
         result.osteal_lp_iterations_total += dec.lp_iterations_total;
@@ -374,7 +403,7 @@ class GumEngine {
         std::vector<double> frag_bytes(n);
         for (int i = 0; i < n; ++i) frag_bytes[i] = fragment_state_bytes(i);
         const fault::RecoveryCharge charge = fault::ComputeRecoveryCharge(
-            options_.recovery, owner_of_fragment, dec.owner, failed,
+            options.recovery, owner_of_fragment, dec.owner, failed,
             frag_bytes);
         if (dec.group_size != group_size) {
           stats.group_size_changed = true;
@@ -409,16 +438,16 @@ class GumEngine {
       // workload recovers, paper §IV-B). After a fail-stop the enumeration
       // runs over the survivor schedule, capped at the survivor count —
       // with no failures both equal the full schedule, bit for bit.
-      if (!recovered_this_iter && options_.enable_osteal && n > 1 &&
-          (prev_wall_ms < options_.osteal.t3_trigger_ms ||
+      if (!recovered_this_iter && options.enable_osteal && n > 1 &&
+          (prev_wall_ms < options.osteal.t3_trigger_ms ||
            group_size < n)) {
         GUM_TRACE_SCOPE("gum.osteal");
         const auto cost_full =
-            BuildCostMatrix(features, remote_discount, cost_model_,
+            BuildCostMatrix(features, remote_discount, ctx_->cost_model(),
                             plane, survivors);
         OStealDecision dec = DecideOSteal(cost_full, loads,
                                           survivor_schedule, p_estimate_ns,
-                                          options_.osteal,
+                                          options.osteal,
                                           static_cast<int>(survivors.size()));
         stats.osteal_evaluated = true;
         stats.osteal_decision_host_ms = dec.decision_host_ms;
@@ -461,13 +490,13 @@ class GumEngine {
       // backend has no per-executor frontier ranges to steal (push runs
       // the identity plan, pull parallelizes over destinations).
       FStealDecision fs;
-      if (expand_mode == ExpandMode::kScatter && options_.enable_fsteal &&
+      if (expand_mode == ExpandMode::kScatter && options.enable_fsteal &&
           group_size > 1) {
         GUM_TRACE_SCOPE("gum.fsteal");
         const auto cost = BuildCostMatrix(features, remote_discount,
-                                          cost_model_, plane, active);
+                                          ctx_->cost_model(), plane, active);
         fs = DecideFSteal(cost, loads, owner_of_fragment, active,
-                          options_.fsteal);
+                          options.fsteal);
       } else {
         fs.assignment.assign(n, std::vector<double>(n, 0.0));
         for (int i = 0; i < n; ++i) {
@@ -489,18 +518,19 @@ class GumEngine {
         GUM_TRACE_SCOPE("gum.expand");
         switch (expand_mode) {
           case ExpandMode::kScatter:
-            scatter_backend.Expand(pool_.get(), *g_, partition_, &hub_cache_,
+            scatter_backend.Expand(pool, g, partition, &ctx_->hub_cache(),
                                    owner_of_fragment, active, fs, loads, app,
                                    values, frontier, shard_map, store,
                                    &expand_counters);
             break;
           case ExpandMode::kSpmvPush:
-            spmv_backend.ExpandPush(pool_.get(), *g_, partition_,
+            spmv_backend.ExpandPush(pool, g, partition,
                                     owner_of_fragment, app, values, frontier,
                                     shard_map, store, &expand_counters);
             break;
           case ExpandMode::kSpmvPull:
-            spmv_backend.ExpandPull(pool_.get(), *g_, partition_,
+            spmv_backend.UseSharedPullEdges(&ctx_->pull_edges());
+            spmv_backend.ExpandPull(pool, g, partition,
                                     owner_of_fragment, app, values, frontier,
                                     shard_map, store, &expand_counters);
             break;
@@ -525,11 +555,11 @@ class GumEngine {
         if (fixed_rounds >= 0) {
           // Stationary workload: the frontier is rebuilt from part_vertices
           // at the top of the next round, so no next-frontier is built.
-          ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
+          ApplySuperstep(pool, shard_map, partition, app, store,
                          values, /*fixed_rounds=*/true, &apply_scratch,
                          nullptr, &apply_msgs);
         } else {
-          ApplySuperstep(pool_.get(), shard_map, partition_, app, store,
+          ApplySuperstep(pool, shard_map, partition, app, store,
                          values, /*fixed_rounds=*/false, &apply_scratch,
                          &next_frontier, &apply_msgs);
           std::swap(frontier, next_frontier);
@@ -540,7 +570,7 @@ class GumEngine {
       const TimeAccountingSummary acct = [&] {
         GUM_TRACE_SCOPE("gum.account");
         return AccountSuperstepTime(
-            iter, plane, dev, p_ns, options_.enable_message_aggregation,
+            iter, plane, dev, p_ns, options.enable_message_aggregation,
             features, edges_done, hub_edges, agg_msgs, raw_msgs, apply_msgs,
             owner_of_fragment, active, fs, stolen_edges_this_iter, &result);
       }();
@@ -568,7 +598,7 @@ class GumEngine {
       // Refresh the p estimate from this iteration's observed barrier cost:
       // average per-device overhead minus the kernel-launch time actually
       // charged by the accounting layer, divided by the group size.
-      if (options_.estimate_sync_online && !active.empty()) {
+      if (options.estimate_sync_online && !active.empty()) {
         double overhead_sum = 0;
         for (const int d : active) {
           overhead_sum +=
@@ -579,8 +609,8 @@ class GumEngine {
             active.size();
         const double observed_p =
             std::max(0.0, per_device_ns / active.size());
-        p_estimate_ns = (1.0 - options_.sync_ewma_alpha) * p_estimate_ns +
-                        options_.sync_ewma_alpha * observed_p;
+        p_estimate_ns = (1.0 - options.sync_ewma_alpha) * p_estimate_ns +
+                        options.sync_ewma_alpha * observed_p;
       }
 
       // --- fault plane: periodic checkpoint ---
@@ -614,7 +644,7 @@ class GumEngine {
       for (int d = 0; d < n; ++d) {
         stats.device_busy_ms[d] = result.timeline.DeviceIterationTotal(iter, d);
       }
-      if (options_.record_iteration_stats) {
+      if (options.record_iteration_stats) {
         result.iteration_stats.push_back(std::move(stats));
       }
       if (obs::MetricsEnabled()) {
@@ -633,6 +663,12 @@ class GumEngine {
         reg.GetCounter("gum_expand_iterations_total",
                        {{"backend", ExpandModeName(expand_mode)}})
             .Increment();
+        // Serving-mode memory residency: the high-water arenas this
+        // RunContext keeps across iterations and queries.
+        reg.GetGauge("gum_frontier_arena_bytes")
+            .Set(static_cast<double>(rc.FrontierArenaBytes()));
+        reg.GetGauge("gum_staging_bytes")
+            .Set(static_cast<double>(rc.StagingBytes()));
       }
       prev_wall_ms = wall;
       result.iterations = iter + 1;
@@ -673,15 +709,8 @@ class GumEngine {
     return all;
   }
 
-  const graph::CsrGraph* g_;
-  graph::Partition partition_;
-  sim::Topology topology_;
-  EngineOptions options_;
-  sim::ReductionSchedule schedule_;
-  EdgeCostModel cost_model_;
-  HubCache hub_cache_;
-  int host_threads_ = 1;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<GraphContext> owned_ctx_;
+  const GraphContext* ctx_;
 };
 
 }  // namespace gum::core

@@ -178,6 +178,14 @@ class FrontierScatterBackend {
   using Value = typename App::Value;
   using Message = typename App::Message;
 
+  // Resident bytes across every unit's staging bins (high-water capacity;
+  // the serving-mode memory gauge).
+  size_t StagingBytes() const {
+    size_t total = 0;
+    for (const auto& s : staged_) total += s.CapacityBytes();
+    return total;
+  }
+
   // Runs one iteration's full expand + merge. `fs`/`loads`/`active` carry
   // the frontier-steal plan (identity when !fs.applied); `hub_cache` may be
   // null. Fills `out` (Reset inside).

@@ -1,4 +1,4 @@
-#include "core/expand/spmv.h"
+#include "core/expand/pull_edges.h"
 
 namespace gum::core {
 

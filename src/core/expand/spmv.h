@@ -43,6 +43,7 @@
 #include "obs/trace.h"
 #include "core/expand/expand_backend.h"
 #include "core/expand/frontier_scatter.h"
+#include "core/expand/pull_edges.h"
 #include "core/message_store.h"
 #include "core/vertex_state.h"
 #include "graph/csr.h"
@@ -50,25 +51,24 @@
 
 namespace gum::core {
 
-// Per-destination in-edge structure for the pull gather. Unlike the CSR's
-// in-adjacency (sorted by source id, no weights), each destination's
-// sources appear in the canonical combine order — (owner fragment
-// ascending, source vertex ascending) — and carry the out-edge's weight.
-struct PullEdges {
-  std::vector<graph::EdgeId> offsets;    // num_vertices + 1
-  std::vector<graph::VertexId> sources;  // concatenated per destination
-  std::vector<float> weights;            // parallel to sources; empty when
-                                         // the graph is unweighted
-  bool built = false;
-
-  void Build(const graph::CsrGraph& g, const graph::Partition& partition);
-};
-
 template <typename App>
 class SpmvBackend {
  public:
   using Value = typename App::Value;
   using Message = typename App::Message;
+
+  // Points the pull gather at an externally owned PullEdges (the
+  // GraphContext's shared build, identical bytes to a private one); the
+  // backend's internal copy is then never built. `shared` must be built
+  // and must outlive the backend. Null reverts to the lazy internal build.
+  void UseSharedPullEdges(const PullEdges* shared) { shared_pull_ = shared; }
+
+  // Resident bytes the backend retains across runs: the push pipeline's
+  // staging bins plus the payload arena (the serving-mode memory gauge;
+  // the shared PullEdges is accounted by its owner).
+  size_t StagingBytes() const {
+    return push_.StagingBytes() + payloads_.capacity() * sizeof(Message);
+  }
 
   // Push direction: payload pre-pass, then the scatter pipeline over the
   // identity plan replaying the payloads. Values and message telemetry are
@@ -102,9 +102,13 @@ class SpmvBackend {
     const int n = partition.num_parts;
     out->Reset(n);
     GUM_TRACE_SCOPE("expand.spmv_pull");
-    if (!pull_.built) {
-      GUM_TRACE_SCOPE("expand.pull_build");
-      pull_.Build(g, partition);
+    const PullEdges* pull = shared_pull_;
+    if (pull == nullptr) {
+      if (!pull_.built) {
+        GUM_TRACE_SCOPE("expand.pull_build");
+        pull_.Build(g, partition);
+      }
+      pull = &pull_;
     }
     ComputePayloads(pool, g, app, values, frontier);
 
@@ -130,7 +134,7 @@ class SpmvBackend {
     }
     shard_edges_processed_.assign(static_cast<size_t>(s_count), 0);
 
-    const bool weighted = !pull_.weights.empty();
+    const bool weighted = !pull->weights.empty();
     const auto gather_shard = [&](size_t s) {
       GUM_TRACE_SCOPE("expand.pull_shard");
       auto& edge_matrix = shard_edges_[s];
@@ -140,18 +144,18 @@ class SpmvBackend {
                                   shards.ShardEnd(static_cast<int>(s)));
       for (size_t dst = begin; dst < end; ++dst) {
         const auto v = static_cast<graph::VertexId>(dst);
-        const graph::EdgeId eb = pull_.offsets[dst];
-        const graph::EdgeId ee = pull_.offsets[dst + 1];
+        const graph::EdgeId eb = pull->offsets[dst];
+        const graph::EdgeId ee = pull->offsets[dst + 1];
         if (eb == ee) continue;
         const int edge_row_dst = owner_of_fragment[partition.owner[v]];
         if constexpr (HasCombineAll<App>) {
           Message acc = app.InitialAccumulator();
           bool any = false;
           for (graph::EdgeId e = eb; e < ee; ++e) {
-            const graph::VertexId u = pull_.sources[e];
+            const graph::VertexId u = pull->sources[e];
             if (!in_frontier_.Test(u)) continue;
             acc = app.CombineAll(acc, payloads_[u],
-                                 weighted ? pull_.weights[e] : 1.0f);
+                                 weighted ? pull->weights[e] : 1.0f);
             edge_matrix[partition.owner[u]][edge_row_dst] += 1.0;
             ++edges_seen;
             any = true;
@@ -160,12 +164,12 @@ class SpmvBackend {
         } else {
           std::optional<Message> acc;
           for (graph::EdgeId e = eb; e < ee; ++e) {
-            const graph::VertexId u = pull_.sources[e];
+            const graph::VertexId u = pull->sources[e];
             if (!in_frontier_.Test(u)) continue;
             edge_matrix[partition.owner[u]][edge_row_dst] += 1.0;
             ++edges_seen;
             std::optional<Message> m = app.Scatter(
-                payloads_[u], v, weighted ? pull_.weights[e] : 1.0f);
+                payloads_[u], v, weighted ? pull->weights[e] : 1.0f);
             if (!m.has_value()) continue;
             acc = acc.has_value() ? app.Combine(*acc, *m) : *m;
           }
@@ -236,6 +240,7 @@ class SpmvBackend {
   }
 
   PullEdges pull_;
+  const PullEdges* shared_pull_ = nullptr;
   Bitmap in_frontier_;
   std::vector<Message> payloads_;
   FrontierScatterBackend<PayloadApp> push_;

@@ -20,4 +20,12 @@ size_t MessageStoreBase::PendingCount() const { return set_.Count(); }
 
 void MessageStoreBase::EndSuperstep() { set_.Clear(); }
 
+void MessageStoreBase::ResetMembership(size_t num_vertices) {
+  if (set_.size() == num_vertices) {
+    set_.Clear();
+  } else {
+    set_.Resize(num_vertices);
+  }
+}
+
 }  // namespace gum::core

@@ -101,6 +101,13 @@ class MessageStaging {
     for (const auto& bin : bins_) total += bin.size();
     return total;
   }
+  // Resident bytes of the bins (capacity, not size): the high-water memory
+  // a long-lived staging buffer keeps across supersteps and queries.
+  size_t CapacityBytes() const {
+    size_t total = 0;
+    for (const auto& bin : bins_) total += bin.capacity() * sizeof(Entry);
+    return total;
+  }
   int num_bins() const { return static_cast<int>(bins_.size()); }
   const std::vector<Entry>& bin(int s) const { return bins_[s]; }
 
@@ -127,6 +134,10 @@ class MessageStoreBase {
   void EndSuperstep();
 
  protected:
+  // Re-arms the membership set for a new run over num_vertices vertices.
+  void ResetMembership(size_t num_vertices);
+
+ protected:
   Bitmap set_;
 };
 
@@ -136,6 +147,15 @@ class MessageStore : public MessageStoreBase {
   MessageStore() = default;
   explicit MessageStore(size_t num_vertices)
       : MessageStoreBase(num_vertices), inbox_(num_vertices) {}
+
+  // Reinitializes for a new run over num_vertices vertices, keeping the
+  // inbox allocation when the size is unchanged (serving-mode reuse).
+  // Stale inbox bytes are never observable: Get is only reached for
+  // pending vertices, whose slots a Deposit/Put wrote first.
+  void Reset(size_t num_vertices) {
+    ResetMembership(num_vertices);
+    inbox_.resize(num_vertices);
+  }
 
   // Deposits one message: the first writer stores it, later writers fold
   // theirs in with `combine(old, incoming)`. Returns true iff v had no

@@ -76,6 +76,13 @@ class FrontierSoA {
     }
   }
 
+  // Resident bytes of the arena (capacity, not size): the high-water
+  // memory a long-lived serving RunContext keeps across queries.
+  size_t ArenaBytes() const {
+    return verts_.capacity() * sizeof(graph::VertexId) +
+           offsets_.capacity() * sizeof(size_t);
+  }
+
   // Per-fragment vectors (the pre-SoA layout); test/debug helper.
   std::vector<std::vector<graph::VertexId>> ToVectors() const;
 

@@ -160,4 +160,55 @@ void WriteRunReport(std::ostream& os, const RunReportMeta& meta,
   os << "\n";
 }
 
+void WriteServeReport(std::ostream& os, const RunReportMeta& meta,
+                      const ServeReportStats& stats,
+                      const MetricsRegistry* metrics) {
+  JsonWriter w(os, 1);
+  w.BeginObject();
+  w.Key("schema_version").Value(kServeReportSchemaVersion);
+
+  w.Key("meta").BeginObject();
+  w.Key("system").Value(meta.system);
+  w.Key("algorithm").Value(meta.algorithm);
+  w.Key("dataset").Value(meta.dataset);
+  w.Key("num_devices").Value(meta.num_devices);
+  w.Key("config").BeginObject();
+  for (const auto& [k, v] : meta.config) w.Key(k).Value(v);
+  w.EndObject();
+  w.EndObject();
+
+  w.Key("serve").BeginObject();
+  w.Key("batch_width").Value(stats.batch_width);
+  w.Key("queries").Value(stats.queries);
+  w.Key("batches").Value(stats.batches);
+  w.Key("makespan_ms").Value(stats.makespan_ms);
+  w.Key("queries_per_second").Value(stats.queries_per_second);
+  w.Key("p50_ms").Value(stats.p50_ms);
+  w.Key("p90_ms").Value(stats.p90_ms);
+  w.Key("p99_ms").Value(stats.p99_ms);
+  w.Key("recovery_ms").Value(stats.recovery_ms);
+  w.EndObject();
+
+  w.Key("queries").BeginArray();
+  for (const ServeQueryReport& q : stats.queries_detail) {
+    w.BeginObject();
+    w.Key("id").Value(q.id);
+    w.Key("batch").Value(q.batch);
+    w.Key("lane").Value(q.lane);
+    w.Key("latency_ms").Value(q.latency_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("metrics");
+  if (metrics != nullptr) {
+    metrics->AppendJson(w);
+  } else {
+    w.BeginObject().EndObject();
+  }
+
+  w.EndObject();
+  os << "\n";
+}
+
 }  // namespace gum::obs

@@ -46,6 +46,40 @@ void WriteRunReport(std::ostream& os, const RunReportMeta& meta,
                     const core::RunResult& result,
                     const MetricsRegistry* metrics);
 
+// --- serving-stream report (DESIGN.md §13) ---
+// One report = one served query stream against a loaded GraphContext.
+// Plain structs (filled by the serve layer) keep obs free of a serve
+// dependency — the dependency points serve -> obs, like the engine's.
+
+inline constexpr int kServeReportSchemaVersion = 1;
+
+struct ServeQueryReport {
+  int id = 0;
+  int batch = 0;
+  int lane = 0;
+  double latency_ms = 0.0;
+};
+
+struct ServeReportStats {
+  int batch_width = 0;
+  int queries = 0;
+  int batches = 0;
+  double makespan_ms = 0.0;
+  double queries_per_second = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double recovery_ms = 0.0;
+  std::vector<ServeQueryReport> queries_detail;
+};
+
+// Writes the serving report: schema version, run meta, the stream scalars,
+// the per-query table, and (optionally) a metrics snapshot. `metrics` may
+// be null. Byte-deterministic for a fixed input.
+void WriteServeReport(std::ostream& os, const RunReportMeta& meta,
+                      const ServeReportStats& stats,
+                      const MetricsRegistry* metrics);
+
 }  // namespace gum::obs
 
 #endif  // GUM_OBS_RUN_REPORT_H_

@@ -1,0 +1,50 @@
+// Query descriptors for the serving plane (DESIGN.md §13).
+//
+// A Query is one point lookup against a loaded GraphContext: a traversal
+// kind plus a source vertex. Queries of the same kind are batch-compatible
+// — up to algos::kMaxBatchLanes of them pack into one bit-parallel wave
+// (one lane per query). QueryResult carries the per-query outcome the
+// serving stats and report layers consume.
+
+#ifndef GUM_SERVE_QUERY_H_
+#define GUM_SERVE_QUERY_H_
+
+#include <string>
+
+#include "graph/types.h"
+
+namespace gum::serve {
+
+enum class QueryKind { kBfs, kSssp };
+
+inline const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kBfs:
+      return "bfs";
+    case QueryKind::kSssp:
+      return "sssp";
+  }
+  return "unknown";
+}
+
+struct Query {
+  int id = 0;
+  QueryKind kind = QueryKind::kBfs;
+  graph::VertexId source = 0;
+};
+
+// Per-query outcome. `latency_ms` is simulated time from stream admission
+// to the completion of the query's batch (all queries admit at t=0, so a
+// query's latency is the stream makespan through its own batch — the
+// batch-width/latency trade-off the soak benchmark sweeps).
+struct QueryResult {
+  int id = 0;
+  int batch = 0;  // index of the batch that served it
+  int lane = 0;   // bit lane within the batch (0 for single-query batches)
+  double latency_ms = 0.0;
+  int iterations = 0;  // supersteps of the serving batch
+};
+
+}  // namespace gum::serve
+
+#endif  // GUM_SERVE_QUERY_H_

@@ -1,0 +1,38 @@
+#include "serve/query_queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "algos/multi_source.h"
+
+namespace gum::serve {
+
+std::vector<Query> QueryQueue::NextBatch(int max_width) {
+  std::vector<Query> batch;
+  if (queue_.empty()) return batch;
+  const int width =
+      std::clamp(max_width, 1, algos::kMaxBatchLanes);
+  const QueryKind kind = queue_.front().kind;
+  std::deque<Query> rest;
+  while (!queue_.empty()) {
+    Query q = queue_.front();
+    queue_.pop_front();
+    if (q.kind == kind && static_cast<int>(batch.size()) < width) {
+      batch.push_back(q);
+    } else {
+      rest.push_back(q);
+    }
+    // Everything after the width is hit is incompatible-or-overflow;
+    // splice it back unchanged.
+    if (static_cast<int>(batch.size()) == width) {
+      while (!queue_.empty()) {
+        rest.push_back(queue_.front());
+        queue_.pop_front();
+      }
+    }
+  }
+  queue_ = std::move(rest);
+  return batch;
+}
+
+}  // namespace gum::serve

@@ -1,0 +1,36 @@
+// Admission queue for the serving plane (DESIGN.md §13).
+//
+// FIFO with kind-compatible batching: NextBatch takes the head query, then
+// greedily collects further queries of the same kind — preserving arrival
+// order, skipping over incompatible ones — until the batch width is hit.
+// Skipped queries keep their relative order for later batches, so no query
+// starves: every call removes at least the head.
+
+#ifndef GUM_SERVE_QUERY_QUEUE_H_
+#define GUM_SERVE_QUERY_QUEUE_H_
+
+#include <deque>
+#include <vector>
+
+#include "serve/query.h"
+
+namespace gum::serve {
+
+class QueryQueue {
+ public:
+  void Admit(Query q) { queue_.push_back(q); }
+
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  // Removes and returns the next batch: the head plus up to max_width-1
+  // same-kind queries in FIFO order. Empty when the queue is empty.
+  std::vector<Query> NextBatch(int max_width);
+
+ private:
+  std::deque<Query> queue_;
+};
+
+}  // namespace gum::serve
+
+#endif  // GUM_SERVE_QUERY_QUEUE_H_

@@ -1,0 +1,27 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gum::serve {
+
+double ServeStats::LatencyPercentile(double q) const {
+  if (query_results.empty()) return 0.0;
+  std::vector<double> lat;
+  lat.reserve(query_results.size());
+  for (const auto& r : query_results) lat.push_back(r.latency_ms);
+  std::sort(lat.begin(), lat.end());
+  // Nearest-rank: the smallest latency with at least q of the mass at or
+  // below it.
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const size_t rank = static_cast<size_t>(
+      std::ceil(clamped * static_cast<double>(lat.size())));
+  return lat[rank == 0 ? 0 : rank - 1];
+}
+
+double ServeStats::QueriesPerSecond() const {
+  if (makespan_ms <= 0.0) return 0.0;
+  return static_cast<double>(queries) / (makespan_ms / 1000.0);
+}
+
+}  // namespace gum::serve

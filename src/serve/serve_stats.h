@@ -1,0 +1,63 @@
+// Serving-stream options and statistics (DESIGN.md §13).
+
+#ifndef GUM_SERVE_SERVE_STATS_H_
+#define GUM_SERVE_SERVE_STATS_H_
+
+#include <vector>
+
+#include "fault/fault_plane.h"
+#include "serve/query.h"
+
+namespace gum::serve {
+
+struct ServeOptions {
+  // Maximum queries per wave (1..algos::kMaxBatchLanes). Width 1 is the
+  // sequential baseline the soak benchmark compares against.
+  int batch_width = 64;
+  // Fault compose: when fault_batch >= 0 and fault_plane is set, that
+  // batch (0-based index in the served stream) runs under the fault plane
+  // with checkpointing every `ckpt_every` iterations — the device loss
+  // replays only the affected batch; every other batch runs fault-free.
+  int fault_batch = -1;
+  const fault::FaultPlane* fault_plane = nullptr;
+  int ckpt_every = 0;
+  // When false, per-query value vectors are dropped after extraction
+  // (latency soaks don't pay the copies).
+  bool keep_values = true;
+};
+
+struct BatchStats {
+  int batch = 0;
+  int width = 0;
+  QueryKind kind = QueryKind::kBfs;
+  int iterations = 0;
+  double wall_ms = 0.0;      // simulated wall of this batch's run
+  double recovery_ms = 0.0;  // nonzero only for the faulted batch
+};
+
+struct ServeStats {
+  int queries = 0;
+  int batches = 0;
+  double makespan_ms = 0.0;   // simulated end-to-end stream time
+  double recovery_ms = 0.0;   // total charged recovery across the stream
+  std::vector<BatchStats> batch_stats;
+  std::vector<QueryResult> query_results;
+
+  // Nearest-rank percentile over per-query latencies, q in [0, 1].
+  double LatencyPercentile(double q) const;
+  // Stream throughput against the simulated makespan.
+  double QueriesPerSecond() const;
+};
+
+// A served stream's full outcome. `values[i]` holds query
+// `stats.query_results[i]`'s final vertex values (empty when
+// ServeOptions::keep_values is false).
+template <typename ValueT>
+struct ServeOutcome {
+  ServeStats stats;
+  std::vector<std::vector<ValueT>> values;
+};
+
+}  // namespace gum::serve
+
+#endif  // GUM_SERVE_SERVE_STATS_H_

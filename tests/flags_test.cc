@@ -111,5 +111,53 @@ TEST(FlagsTest, SeparatedNegativeNumberValue) {
   EXPECT_EQ(flags.GetInt("x", 0), -5);
 }
 
+TEST(FlagsTest, GetIntListParsesCommaSeparatedValues) {
+  const auto flags = Parse({"--sources=3,0,17,-2"});
+  const auto v = flags.GetIntList("sources", {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<int64_t>{3, 0, 17, -2}));
+}
+
+TEST(FlagsTest, GetIntListSingleValue) {
+  const auto flags = Parse({"--sources=42"});
+  const auto v = flags.GetIntList("sources", {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<int64_t>{42}));
+}
+
+TEST(FlagsTest, GetIntListDefaultsWhenAbsent) {
+  const auto flags = Parse({});
+  const auto v = flags.GetIntList("bench-widths", {1, 8, 64});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<int64_t>{1, 8, 64}));
+}
+
+TEST(FlagsTest, GetIntListRejectsMalformedTokenLoudly) {
+  // Like GetEnum: a typo must fail naming the flag and the bad token, not
+  // silently fall back.
+  const auto flags = Parse({"--sources=3,x,7"});
+  const auto v = flags.GetIntList("sources", {});
+  ASSERT_FALSE(v.ok());
+  const std::string msg = v.status().ToString();
+  EXPECT_NE(msg.find("'x'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("--sources"), std::string::npos) << msg;
+}
+
+TEST(FlagsTest, GetIntListRejectsPartialInteger) {
+  const auto flags = Parse({"--sources=1,2x3"});
+  EXPECT_FALSE(flags.GetIntList("sources", {}).ok());
+}
+
+TEST(FlagsTest, GetIntListRejectsEmptyTokens) {
+  EXPECT_FALSE(Parse({"--sources=1,,2"}).GetIntList("sources", {}).ok());
+  EXPECT_FALSE(Parse({"--sources=1,2,"}).GetIntList("sources", {}).ok());
+  EXPECT_FALSE(Parse({"--sources=,1"}).GetIntList("sources", {}).ok());
+}
+
+TEST(FlagsTest, GetIntListRejectsBareFlag) {
+  // Bare "--sources" parses as the empty string: one empty token, invalid.
+  EXPECT_FALSE(Parse({"--sources"}).GetIntList("sources", {}).ok());
+}
+
 }  // namespace
 }  // namespace gum

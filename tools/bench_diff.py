@@ -16,7 +16,13 @@ Robustness rules, in order:
 --expect-faster FAST SLOW additionally asserts that every current-file
 benchmark whose name starts with FAST is faster than the SLOW row with the
 same argument suffix — the scatter-vs-spmv ordering check on the dense
-PageRank expand shape.
+PageRank expand shape, and the batched-vs-sequential ordering check on the
+serving soak.
+
+Multiple artifacts gate in one invocation via repeated --pair BASELINE
+CURRENT (the positional pair, when given, is just the first pair).
+Regressions are judged per pair; --expect-faster is judged over the union
+of all current files (benchmark names are distinct across artifacts).
 
 Exit status: 0 clean, 1 regression (or expectation failure), 2 bad input.
 """
@@ -64,22 +70,8 @@ def load_times(path):
     return times
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="previous BENCH_*.json")
-    parser.add_argument("current", help="this run's BENCH_*.json")
-    parser.add_argument("--threshold", type=float, default=0.10,
-                        help="max allowed relative real_time increase "
-                             "(default 0.10 = 10%%)")
-    parser.add_argument("--expect-faster", nargs=2, metavar=("FAST", "SLOW"),
-                        action="append", default=[],
-                        help="assert current[FAST+args] < current[SLOW+args] "
-                             "for every shared argument suffix")
-    args = parser.parse_args()
-
-    old = load_times(args.baseline)
-    new = load_times(args.current)
-
+def diff_pair(old, new, threshold):
+    """Prints the comparison table; returns the regression list."""
     shared = sorted(set(old) & set(new))
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))
@@ -90,7 +82,7 @@ def main():
     for name in shared:
         delta = (new[name] - old[name]) / old[name] if old[name] > 0 else 0.0
         flag = ""
-        if delta > args.threshold:
+        if delta > threshold:
             regressions.append((name, delta))
             flag = "  << REGRESSION"
         print(f"{name:<{width}}  {old[name]:>14.1f}  {new[name]:>14.1f}  "
@@ -99,24 +91,68 @@ def main():
         print(f"{name}: retired (baseline only) — not gated")
     for name in only_new:
         print(f"{name}: new (current only) — not gated")
+    if not regressions and shared:
+        print(f"no regression beyond {threshold:.0%} "
+              f"across {len(shared)} shared benchmark(s)")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?", help="previous BENCH_*.json")
+    parser.add_argument("current", nargs="?", help="this run's BENCH_*.json")
+    parser.add_argument("--pair", nargs=2, metavar=("BASELINE", "CURRENT"),
+                        action="append", default=[],
+                        help="additional artifact pair to gate; repeatable")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max allowed relative real_time increase "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--expect-faster", nargs=2, metavar=("FAST", "SLOW"),
+                        action="append", default=[],
+                        help="assert current[FAST+args] < current[SLOW+args] "
+                             "for every shared argument suffix")
+    args = parser.parse_args()
+
+    pairs = []
+    if args.baseline is not None and args.current is not None:
+        pairs.append((args.baseline, args.current))
+    elif args.baseline is not None or args.current is not None:
+        print("bench_diff: positional baseline and current must come "
+              "together", file=sys.stderr)
+        return 2
+    pairs.extend(tuple(p) for p in args.pair)
+    if not pairs:
+        print("bench_diff: no artifact pairs to gate (positional pair or "
+              "--pair required)", file=sys.stderr)
+        return 2
+
+    regressions = []
+    union_new = {}
+    for base_path, cur_path in pairs:
+        if len(pairs) > 1:
+            print(f"--- {base_path} vs {cur_path} ---")
+        old = load_times(base_path)
+        new = load_times(cur_path)
+        regressions.extend(diff_pair(old, new, args.threshold))
+        union_new.update(new)
 
     failed = False
     for fast_prefix, slow_prefix in args.expect_faster:
-        pairs = 0
-        for name, fast_time in new.items():
+        matched = 0
+        for name, fast_time in union_new.items():
             if not name.startswith(fast_prefix):
                 continue
             suffix = name[len(fast_prefix):]
             slow_name = slow_prefix + suffix
-            if slow_name not in new:
+            if slow_name not in union_new:
                 continue
-            pairs += 1
-            if fast_time >= new[slow_name]:
+            matched += 1
+            if fast_time >= union_new[slow_name]:
                 print(f"EXPECTATION FAILED: {name} ({fast_time:.1f} ns) is "
                       f"not faster than {slow_name} "
-                      f"({new[slow_name]:.1f} ns)")
+                      f"({union_new[slow_name]:.1f} ns)")
                 failed = True
-        if pairs == 0:
+        if matched == 0:
             print(f"EXPECTATION FAILED: no benchmark pairs matched "
                   f"({fast_prefix}, {slow_prefix})")
             failed = True
@@ -127,9 +163,6 @@ def main():
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1%}")
         failed = True
-    elif shared:
-        print(f"\nno regression beyond {args.threshold:.0%} "
-              f"across {len(shared)} shared benchmark(s)")
 
     return 1 if failed else 0
 

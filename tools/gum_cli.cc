@@ -12,6 +12,11 @@
 //   --devices=N                  1..8 on the hybrid cube mesh (default 8)
 //   --partitioner=random|seg|metis
 //   --source=V                   traversal source (default: max out-degree)
+//   --sources=a,b,c              batched multi-source traversal: up to 64
+//                                bfs/sssp sources run in one bit-parallel
+//                                wave (gum engine; DESIGN.md §13);
+//                                --save-values then writes one depth or
+//                                distance column per source
 //   --pr-rounds=N --epsilon=E    PageRank controls
 //   --no-fsteal --no-osteal      disable GUM's stealing mechanisms
 //   --contention=off|fair        interconnect contention model (default off;
@@ -52,6 +57,7 @@
 #include <utility>
 
 #include "algos/apps.h"
+#include "algos/multi_source.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
@@ -80,7 +86,7 @@ constexpr const char* kKnownFlags[] = {
     "no-fsteal", "no-osteal",  "timeline",  "save-values", "help",
     "timeline-csv", "host-threads", "contention", "show-links",
     "msg-shards", "trace", "metrics", "report",
-    "fault-plan", "fault-seed", "ckpt-every", "expand",
+    "fault-plan", "fault-seed", "ckpt-every", "expand", "sources",
 };
 
 void PrintUsage() {
@@ -89,7 +95,8 @@ void PrintUsage() {
       "               [--engine=gum|gunrock|groute] [--algo=bfs|sssp|wcc|"
       "pr|dpr]\n"
       "               [--devices=N] [--partitioner=random|seg|metis]\n"
-      "               [--source=V] [--pr-rounds=N] [--epsilon=E]\n"
+      "               [--source=V] [--sources=a,b,c] [--pr-rounds=N] "
+      "[--epsilon=E]\n"
       "               [--no-fsteal] [--no-osteal] [--host-threads=N]\n"
       "               [--msg-shards=N] [--expand=scatter|spmv|auto]\n"
       "               [--contention=off|fair] [--timeline] [--show-links]\n"
@@ -328,6 +335,16 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
       if constexpr (std::is_same_v<Value,
                                    algos::DeltaPageRankApp::State>) {
         out << v << " " << values[v].rank << "\n";
+      } else if constexpr (std::is_same_v<
+                               Value, algos::MultiSourceBfsApp::Value>) {
+        out << v;
+        for (int l = 0; l < app.num_lanes; ++l) out << " " << values[v].depth[l];
+        out << "\n";
+      } else if constexpr (std::is_same_v<
+                               Value, algos::MultiSourceSsspApp::Value>) {
+        out << v;
+        for (int l = 0; l < app.num_lanes; ++l) out << " " << values[v].dist[l];
+        out << "\n";
       } else {
         out << v << " " << values[v] << "\n";
       }
@@ -411,6 +428,42 @@ int main(int argc, char** argv) {
     for (graph::VertexId v = 0; v < g->num_vertices(); ++v) {
       if (g->OutDegree(v) > g->OutDegree(source)) source = v;
     }
+  }
+
+  if (flags.Has("sources")) {
+    const auto sources_or = flags.GetIntList("sources", {});
+    if (!sources_or.ok()) {
+      std::cerr << sources_or.status().ToString() << "\n";
+      return 1;
+    }
+    if (sources_or->empty() ||
+        sources_or->size() > static_cast<size_t>(algos::kMaxBatchLanes)) {
+      std::cerr << "--sources takes 1.." << algos::kMaxBatchLanes
+                << " vertices\n";
+      return 1;
+    }
+    std::vector<graph::VertexId> batch_sources;
+    for (const int64_t s : *sources_or) {
+      if (s < 0 || s >= static_cast<int64_t>(g->num_vertices())) {
+        std::cerr << "--sources vertex " << s << " out of range\n";
+        return 1;
+      }
+      batch_sources.push_back(static_cast<graph::VertexId>(s));
+    }
+    if (flags.GetString("engine", "gum") != "gum") {
+      std::cerr << "--sources requires --engine=gum\n";
+      return 1;
+    }
+    if (algo == "bfs") {
+      algos::MultiSourceBfsApp app(std::move(batch_sources));
+      return RunAndReport(flags, *g, *partition, *topology, std::move(app));
+    }
+    if (algo == "sssp") {
+      algos::MultiSourceSsspApp app(std::move(batch_sources));
+      return RunAndReport(flags, *g, *partition, *topology, std::move(app));
+    }
+    std::cerr << "--sources requires --algo=bfs or --algo=sssp\n";
+    return 1;
   }
 
   if (algo == "bfs") {

@@ -1,0 +1,483 @@
+// gum_serve — serve a stream of point queries against one loaded
+// GraphContext (DESIGN.md §13).
+//
+// Builds the immutable context once (graph, partition, topology geometry,
+// expand structures), then drains a query stream through batched
+// bit-parallel multi-source waves: up to 64 same-kind BFS/SSSP sources per
+// wave, one bit lane each (algos/multi_source.h). Per-query latency is
+// simulated time from stream admission to the query's batch completion.
+//
+// Graph sources (pick one):
+//   --graph=PATH                 text edge list ("src dst [weight]")
+//   --gen=rmat|web|road|er       synthetic generator, with
+//       --scale=N --edge-factor=F [--weighted] [--seed=S]      (rmat, web, er)
+//       --rows=R --cols=C [--seed=S]                           (road)
+//
+// Query stream (pick one):
+//   --sources=a,b,c              explicit source list (<= 64 per batch;
+//                                longer streams split into batches)
+//   --queries=N --query-seed=S   N random sources (default 64 / seed 1)
+//
+// Serving:
+//   --algo=bfs|sssp              query kind (default bfs)
+//   --batch-width=N              max queries per wave, 1..64 (default 64;
+//                                1 = the sequential baseline)
+//   --devices=N --partitioner=random|seg|metis
+//   --host-threads=N --msg-shards=N --expand=scatter|spmv|auto
+//
+// Fault compose (gum fault plane, DESIGN.md §11):
+//   --fault-plan=SPEC --fault-seed=S
+//   --fault-batch=K              run batch K under the fault plane (with
+//                                --ckpt-every checkpoints); the device loss
+//                                replays only that batch, all per-query
+//                                results stay byte-identical
+//   --ckpt-every=N
+//
+// Output / observability:
+//   --save-values=PREFIX         per-query "vertex value" files
+//                                PREFIX.q<id>.txt
+//   --report=PATH                schema-versioned serve report JSON
+//   --metrics=PATH --trace=PATH  obs plane artifacts
+//
+// Soak benchmark (CI serve-smoke):
+//   --bench-json=PATH            sweep batch width x host threads over the
+//                                stream, writing Google-benchmark-shaped
+//                                JSON: BM_Serve_batched/wW/tT vs
+//                                BM_Serve_sequential/wW/tT (simulated
+//                                makespan as real_time ns, plus qps and
+//                                latency percentiles as extra fields)
+//   --bench-widths=1,8,64 --bench-threads=1,4
+//
+// Example:
+//   gum_serve --gen=rmat --scale=14 --queries=64 --batch-width=64
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algos/multi_source.h"
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/random.h"
+#include "core/graph_context.h"
+#include "fault/fault_plane.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/partition.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "serve/query_queue.h"
+#include "serve/serving.h"
+#include "sim/topology.h"
+
+using namespace gum;  // NOLINT(build/namespaces)
+
+namespace {
+
+constexpr const char* kKnownFlags[] = {
+    "graph",       "gen",         "scale",       "edge-factor", "weighted",
+    "seed",        "rows",        "cols",        "algo",        "devices",
+    "partitioner", "host-threads", "msg-shards", "expand",      "sources",
+    "queries",     "query-seed",  "batch-width", "fault-plan",  "fault-seed",
+    "fault-batch", "ckpt-every",  "save-values", "report",      "metrics",
+    "trace",       "bench-json",  "bench-widths", "bench-threads", "help",
+};
+
+void PrintUsage() {
+  std::cout <<
+      "usage: gum_serve (--graph=PATH | --gen=rmat|web|road|er [gen flags])\n"
+      "                 [--algo=bfs|sssp] [--devices=N]\n"
+      "                 [--partitioner=random|seg|metis]\n"
+      "                 [--sources=a,b,c | --queries=N --query-seed=S]\n"
+      "                 [--batch-width=N] [--host-threads=N] "
+      "[--msg-shards=N]\n"
+      "                 [--expand=scatter|spmv|auto]\n"
+      "                 [--fault-plan=SPEC] [--fault-seed=S] "
+      "[--fault-batch=K] [--ckpt-every=N]\n"
+      "                 [--save-values=PREFIX] [--report=PATH] "
+      "[--metrics=PATH] [--trace=PATH]\n"
+      "                 [--bench-json=PATH] [--bench-widths=LIST] "
+      "[--bench-threads=LIST]\n";
+}
+
+Result<graph::EdgeList> LoadOrGenerate(const FlagParser& flags) {
+  if (flags.Has("graph")) {
+    return graph::LoadEdgeListText(flags.GetString("graph", ""));
+  }
+  const std::string gen = flags.GetString("gen", "");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  if (gen == "rmat") {
+    graph::RmatOptions opt;
+    opt.scale = static_cast<int>(flags.GetInt("scale", 14));
+    opt.edge_factor = flags.GetDouble("edge-factor", 16);
+    opt.weighted = flags.GetBool("weighted", false);
+    opt.seed = seed;
+    return graph::Rmat(opt);
+  }
+  if (gen == "web") {
+    graph::WebCrawlOptions opt;
+    opt.scale = static_cast<int>(flags.GetInt("scale", 14));
+    opt.edge_factor = flags.GetDouble("edge-factor", 12);
+    opt.weighted = flags.GetBool("weighted", false);
+    opt.seed = seed;
+    return graph::WebCrawl(opt);
+  }
+  if (gen == "road") {
+    graph::RoadGridOptions opt;
+    opt.rows = static_cast<uint32_t>(flags.GetInt("rows", 128));
+    opt.cols = static_cast<uint32_t>(flags.GetInt("cols", 128));
+    opt.seed = seed;
+    return graph::RoadGrid(opt);
+  }
+  if (gen == "er") {
+    const graph::VertexId n = graph::VertexId{1}
+                              << flags.GetInt("scale", 14);
+    const graph::EdgeId m = static_cast<graph::EdgeId>(
+        flags.GetDouble("edge-factor", 16) * n);
+    return graph::ErdosRenyi(n, m, flags.GetBool("weighted", false), seed);
+  }
+  return Status::InvalidArgument(
+      "need --graph=PATH or --gen=rmat|web|road|er");
+}
+
+struct ServeConfig {
+  std::vector<graph::VertexId> sources;
+  int batch_width = 64;
+  int fault_batch = -1;
+  int ckpt_every = 0;
+  core::EngineOptions options;  // geometry the GraphContext is built from
+  const fault::FaultPlane* fault_plane = nullptr;
+};
+
+serve::QueryQueue BuildQueue(const std::vector<graph::VertexId>& sources,
+                             serve::QueryKind kind) {
+  serve::QueryQueue queue;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    queue.Admit(serve::Query{static_cast<int>(i), kind, sources[i]});
+  }
+  return queue;
+}
+
+template <typename Traits>
+serve::ServeOutcome<typename Traits::ValueType> ServeStream(
+    const core::GraphContext& ctx, const ServeConfig& cfg, int batch_width,
+    bool keep_values) {
+  serve::ServeSession<Traits> session(&ctx);
+  serve::QueryQueue queue = BuildQueue(cfg.sources, Traits::kKind);
+  serve::ServeOptions opts;
+  opts.batch_width = batch_width;
+  opts.fault_batch = cfg.fault_batch;
+  opts.fault_plane = cfg.fault_plane;
+  opts.ckpt_every = cfg.ckpt_every;
+  opts.keep_values = keep_values;
+  return session.ServeAll(queue, opts);
+}
+
+template <typename Traits>
+int RunBench(const FlagParser& flags, const graph::CsrGraph& g,
+             const graph::Partition& partition, const sim::Topology& topology,
+             const ServeConfig& cfg) {
+  const auto widths_or = flags.GetIntList("bench-widths", {1, 8, 64});
+  const auto threads_or = flags.GetIntList("bench-threads", {1, 4});
+  if (!widths_or.ok() || !threads_or.ok()) {
+    std::cerr << (!widths_or.ok() ? widths_or.status() : threads_or.status())
+                     .ToString()
+              << "\n";
+    return 1;
+  }
+
+  std::ofstream out(flags.GetString("bench-json", ""));
+  JsonWriter w(out, 1);
+  w.BeginObject();
+  w.Key("benchmarks").BeginArray();
+  const auto emit = [&w](const std::string& name, double makespan_ms,
+                         const serve::ServeStats& stats) {
+    w.BeginObject();
+    w.Key("name").Value(name);
+    w.Key("run_type").Value("iteration");
+    w.Key("real_time").Value(makespan_ms * 1e6);  // simulated ns
+    w.Key("time_unit").Value("ns");
+    w.Key("qps").Value(stats.QueriesPerSecond());
+    w.Key("p50_ms").Value(stats.LatencyPercentile(0.50));
+    w.Key("p99_ms").Value(stats.LatencyPercentile(0.99));
+    w.EndObject();
+  };
+
+  for (const int64_t t : *threads_or) {
+    core::EngineOptions options = cfg.options;
+    options.num_host_threads = static_cast<int>(t);
+    const core::GraphContext ctx(&g, partition, topology, options);
+    // One sequential (width-1) reference per thread count, re-emitted
+    // under every width suffix so --expect-faster pairs line up.
+    const auto seq = ServeStream<Traits>(ctx, cfg, 1, /*keep_values=*/false);
+    for (const int64_t width : *widths_or) {
+      const auto batched = ServeStream<Traits>(ctx, cfg,
+                                               static_cast<int>(width),
+                                               /*keep_values=*/false);
+      const std::string suffix =
+          "/w" + std::to_string(width) + "/t" + std::to_string(t);
+      emit("BM_Serve_batched" + suffix, batched.stats.makespan_ms,
+           batched.stats);
+      emit("BM_Serve_sequential" + suffix, seq.stats.makespan_ms, seq.stats);
+      std::cout << "w=" << width << " t=" << t << ": batched "
+                << batched.stats.makespan_ms << " ms, sequential "
+                << seq.stats.makespan_ms << " ms, p99 "
+                << batched.stats.LatencyPercentile(0.99) << " ms\n";
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  out << "\n";
+  return 0;
+}
+
+template <typename Traits>
+int RunServe(const FlagParser& flags, const graph::CsrGraph& g,
+             const graph::Partition& partition, const sim::Topology& topology,
+             const ServeConfig& cfg) {
+  const bool want_trace = flags.Has("trace");
+  const bool want_metrics = flags.Has("metrics");
+  const bool want_report = flags.Has("report");
+  obs::TraceSession trace;
+  if (want_trace) trace.Start();
+  if (want_metrics || want_report) obs::SetMetricsEnabled(true);
+
+  const bool keep_values = flags.Has("save-values");
+  serve::ServeOutcome<typename Traits::ValueType> outcome;
+  {
+    const core::GraphContext ctx(&g, partition, topology, cfg.options);
+    outcome = ServeStream<Traits>(ctx, cfg, cfg.batch_width, keep_values);
+  }
+  const serve::ServeStats& stats = outcome.stats;
+
+  if (want_metrics || want_report) obs::SetMetricsEnabled(false);
+  if (want_trace) {
+    trace.Stop();
+    std::ofstream out(flags.GetString("trace", ""));
+    trace.WriteChromeTrace(out);
+  }
+  if (want_metrics) {
+    std::ofstream out(flags.GetString("metrics", ""));
+    obs::MetricsRegistry::Global().WriteJson(out);
+  }
+  if (want_report) {
+    obs::RunReportMeta meta;
+    meta.system = "gum-serve";
+    meta.algorithm = flags.GetString("algo", "bfs");
+    meta.dataset = flags.Has("graph") ? flags.GetString("graph", "")
+                                      : flags.GetString("gen", "");
+    meta.num_devices = partition.num_parts;
+    meta.config = {
+        {"batch_width", std::to_string(cfg.batch_width)},
+        {"host_threads", std::to_string(cfg.options.num_host_threads)},
+        {"msg_shards", std::to_string(cfg.options.num_msg_shards)},
+        {"expand",
+         core::ExpandBackendKindName(cfg.options.expand_backend)},
+        {"queries", std::to_string(cfg.sources.size())},
+    };
+    if (cfg.fault_plane != nullptr && cfg.fault_batch >= 0) {
+      meta.config.emplace_back("fault_plan", cfg.fault_plane->Describe());
+      meta.config.emplace_back("fault_batch",
+                               std::to_string(cfg.fault_batch));
+      meta.config.emplace_back("ckpt_every",
+                               std::to_string(cfg.ckpt_every));
+    }
+    obs::ServeReportStats report;
+    report.batch_width = cfg.batch_width;
+    report.queries = stats.queries;
+    report.batches = stats.batches;
+    report.makespan_ms = stats.makespan_ms;
+    report.queries_per_second = stats.QueriesPerSecond();
+    report.p50_ms = stats.LatencyPercentile(0.50);
+    report.p90_ms = stats.LatencyPercentile(0.90);
+    report.p99_ms = stats.LatencyPercentile(0.99);
+    report.recovery_ms = stats.recovery_ms;
+    for (const serve::QueryResult& q : stats.query_results) {
+      report.queries_detail.push_back(
+          obs::ServeQueryReport{q.id, q.batch, q.lane, q.latency_ms});
+    }
+    std::ofstream out(flags.GetString("report", ""));
+    obs::WriteServeReport(out, meta, report, &obs::MetricsRegistry::Global());
+  }
+  if (keep_values) {
+    const std::string prefix = flags.GetString("save-values", "");
+    for (size_t i = 0; i < stats.query_results.size(); ++i) {
+      const serve::QueryResult& q = stats.query_results[i];
+      std::ofstream out(prefix + ".q" + std::to_string(q.id) + ".txt");
+      const auto& values = outcome.values[i];
+      for (size_t v = 0; v < values.size(); ++v) {
+        out << v << " " << values[v] << "\n";
+      }
+    }
+  }
+
+  std::cout << "queries:         " << stats.queries << "\n"
+            << "batches:         " << stats.batches << "\n"
+            << "batch width:     " << cfg.batch_width << "\n"
+            << "makespan:        " << stats.makespan_ms << " ms\n"
+            << "throughput:      " << stats.QueriesPerSecond()
+            << " queries/s\n"
+            << "latency p50:     " << stats.LatencyPercentile(0.50)
+            << " ms\n"
+            << "latency p90:     " << stats.LatencyPercentile(0.90)
+            << " ms\n"
+            << "latency p99:     " << stats.LatencyPercentile(0.99)
+            << " ms\n";
+  if (stats.recovery_ms > 0.0) {
+    std::cout << "recovery:        " << stats.recovery_ms << " ms\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    PrintUsage();
+    return 0;
+  }
+  if (Status s = flags.KnownFlagsOnly(
+          {std::begin(kKnownFlags), std::end(kKnownFlags)});
+      !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    PrintUsage();
+    return 1;
+  }
+
+  auto edges = LoadOrGenerate(flags);
+  if (!edges.ok()) {
+    std::cerr << edges.status().ToString() << "\n";
+    PrintUsage();
+    return 1;
+  }
+  const auto algo_or = flags.GetEnum("algo", "bfs", {"bfs", "sssp"});
+  if (!algo_or.ok()) {
+    std::cerr << algo_or.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string algo = *algo_or;
+  auto g = graph::CsrGraph::FromEdgeList(*edges, {});
+  if (!g.ok()) {
+    std::cerr << g.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "graph:           " << g->num_vertices() << " vertices, "
+            << g->num_edges() << " edges\n";
+
+  const int devices = static_cast<int>(flags.GetInt("devices", 8));
+  graph::PartitionOptions popt;
+  const auto pname_or =
+      flags.GetEnum("partitioner", "random", {"random", "seg", "metis"});
+  if (!pname_or.ok()) {
+    std::cerr << pname_or.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string pname = *pname_or;
+  popt.kind = pname == "seg"     ? graph::PartitionerKind::kSegment
+              : pname == "metis" ? graph::PartitionerKind::kMetisLike
+                                 : graph::PartitionerKind::kRandom;
+  auto partition = graph::PartitionGraph(*g, devices, popt);
+  if (!partition.ok()) {
+    std::cerr << partition.status().ToString() << "\n";
+    return 1;
+  }
+  auto topology = sim::Topology::HybridCubeMeshSubset(devices);
+  if (!topology.ok()) {
+    std::cerr << topology.status().ToString() << "\n";
+    return 1;
+  }
+
+  // --- query stream ---
+  ServeConfig cfg;
+  if (flags.Has("sources")) {
+    const auto sources_or = flags.GetIntList("sources", {});
+    if (!sources_or.ok()) {
+      std::cerr << sources_or.status().ToString() << "\n";
+      return 1;
+    }
+    for (const int64_t s : *sources_or) {
+      if (s < 0 || s >= static_cast<int64_t>(g->num_vertices())) {
+        std::cerr << "--sources vertex " << s << " out of range\n";
+        return 1;
+      }
+      cfg.sources.push_back(static_cast<graph::VertexId>(s));
+    }
+    if (cfg.sources.empty()) {
+      std::cerr << "--sources needs at least one vertex\n";
+      return 1;
+    }
+  } else {
+    const int num_queries = static_cast<int>(flags.GetInt("queries", 64));
+    if (num_queries <= 0) {
+      std::cerr << "--queries must be positive\n";
+      return 1;
+    }
+    Rng rng(static_cast<uint64_t>(flags.GetInt("query-seed", 1)));
+    for (int i = 0; i < num_queries; ++i) {
+      cfg.sources.push_back(static_cast<graph::VertexId>(
+          rng.NextBounded(g->num_vertices())));
+    }
+  }
+
+  cfg.batch_width = static_cast<int>(flags.GetInt("batch-width", 64));
+  if (cfg.batch_width < 1 || cfg.batch_width > algos::kMaxBatchLanes) {
+    std::cerr << "--batch-width must be 1.." << algos::kMaxBatchLanes << "\n";
+    return 1;
+  }
+
+  const auto expand_or =
+      flags.GetEnum("expand", "scatter", {"scatter", "spmv", "auto"});
+  if (!expand_or.ok()) {
+    std::cerr << expand_or.status().ToString() << "\n";
+    return 1;
+  }
+  core::ParseExpandBackendKind(*expand_or, &cfg.options.expand_backend);
+  cfg.options.num_host_threads =
+      static_cast<int>(flags.GetInt("host-threads", 0));
+  cfg.options.num_msg_shards =
+      static_cast<int>(flags.GetInt("msg-shards", 0));
+
+  // --- fault compose ---
+  cfg.fault_batch = static_cast<int>(flags.GetInt("fault-batch", -1));
+  cfg.ckpt_every = static_cast<int>(flags.GetInt("ckpt-every", 0));
+  fault::FaultPlane fault_plane;
+  {
+    auto plan = fault::FaultPlan::Parse(flags.GetString("fault-plan", "none"));
+    if (!plan.ok()) {
+      std::cerr << plan.status().ToString() << "\n";
+      return 1;
+    }
+    auto plane = fault::FaultPlane::Create(
+        *plan, partition->num_parts,
+        static_cast<uint64_t>(flags.GetInt("fault-seed", 1)));
+    if (!plane.ok()) {
+      std::cerr << plane.status().ToString() << "\n";
+      return 1;
+    }
+    fault_plane = std::move(*plane);
+  }
+  if (fault_plane.active()) {
+    if (cfg.fault_batch < 0) {
+      std::cerr << "--fault-plan needs --fault-batch=K (the batch to run "
+                   "under the plane)\n";
+      return 1;
+    }
+    if (cfg.ckpt_every <= 0) cfg.ckpt_every = 2;
+    cfg.fault_plane = &fault_plane;
+  }
+
+  if (flags.Has("bench-json")) {
+    return algo == "bfs" ? RunBench<serve::BfsServeTraits>(
+                               flags, *g, *partition, *topology, cfg)
+                         : RunBench<serve::SsspServeTraits>(
+                               flags, *g, *partition, *topology, cfg);
+  }
+  return algo == "bfs" ? RunServe<serve::BfsServeTraits>(flags, *g, *partition,
+                                                         *topology, cfg)
+                       : RunServe<serve::SsspServeTraits>(
+                             flags, *g, *partition, *topology, cfg);
+}
