@@ -42,6 +42,7 @@
 #include "sim/comm_plane.h"
 #include "sim/reduction_schedule.h"
 #include "sim/topology.h"
+#include "sim/transfer_plan.h"
 #include "solver/steal_problem.h"
 
 namespace {
@@ -550,6 +551,84 @@ void BM_CommPlaneSettleFair(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_CommPlaneSettleFair)->Arg(8)->Arg(64)->Arg(512);
+
+// --- multi-path transfer plans (sim/transfer_plan.h) ---
+
+// A migration-shaped bulk batch: every device ships one large ownership-
+// migration payload to a rebalance target, the traffic pattern OSteal and
+// fault recovery put on the wire. Sizes are staggered like CommBatch's.
+sim::TransferBatch MigrationBatch() {
+  sim::TransferBatch batch;
+  for (int src = 0; src < 8; ++src) {
+    const int dst = (src + 3) % 8;
+    const double bytes = 4e6 * (1 + src % 3);
+    batch.AddBulk(src, dst, bytes, dst);
+  }
+  return batch;
+}
+
+// Host cost of building one striping plan. Planning runs per bulk transfer
+// inside Settle, so it must stay well under the settle loop's own cost.
+void BM_TransferPlanStripe(benchmark::State& state) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  sim::CommPlane plane(topo, sim::ContentionModel::kFair);
+  plane.set_multipath(true);
+  for (auto _ : state) {
+    auto transfer_plan = plane.PlanBulkTransfer(0, 5, 4e6);
+    benchmark::DoNotOptimize(transfer_plan.paths.data());
+  }
+}
+BENCHMARK(BM_TransferPlanStripe);
+
+// Host cost of building the census reduction tree (once per iteration).
+void BM_TransferPlanReductionTree(benchmark::State& state) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  sim::CommPlane plane(topo, sim::ContentionModel::kFair);
+  std::vector<int> active(8);
+  std::iota(active.begin(), active.end(), 0);
+  for (auto _ : state) {
+    auto tree = plane.BuildCensusTree(active);
+    benchmark::DoNotOptimize(tree.parent.data());
+  }
+}
+BENCHMARK(BM_TransferPlanReductionTree);
+
+// Simulated makespan of the striped migration batch under fair sharing.
+// UseManualTime + SetIterationTime report the *simulated* seconds as the
+// benchmark's real_time, so CI's bench_diff gate can assert that the
+// multipath=on cell beats multipath=off on identical traffic.
+void BM_TransferPlanStripedMigration8DevMultipathOff(
+    benchmark::State& state) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  const auto batch = MigrationBatch();
+  sim::CommPlane plane(topo, sim::ContentionModel::kFair);
+  for (auto _ : state) {
+    auto settled = plane.Settle(batch);
+    double makespan_ns = 0.0;
+    for (const double ns : settled.completion_ns) {
+      makespan_ns = std::max(makespan_ns, ns);
+    }
+    state.SetIterationTime(makespan_ns * 1e-9);
+  }
+}
+BENCHMARK(BM_TransferPlanStripedMigration8DevMultipathOff)->UseManualTime();
+
+void BM_TransferPlanStripedMigration8DevMultipathOn(
+    benchmark::State& state) {
+  const auto topo = sim::Topology::HybridCubeMesh8();
+  const auto batch = MigrationBatch();
+  sim::CommPlane plane(topo, sim::ContentionModel::kFair);
+  plane.set_multipath(true);
+  for (auto _ : state) {
+    auto settled = plane.Settle(batch);
+    double makespan_ns = 0.0;
+    for (const double ns : settled.completion_ns) {
+      makespan_ns = std::max(makespan_ns, ns);
+    }
+    state.SetIterationTime(makespan_ns * 1e-9);
+  }
+}
+BENCHMARK(BM_TransferPlanStripedMigration8DevMultipathOn)->UseManualTime();
 
 // Whole-engine cost of the contention knob: the same 8-vGPU BFS as
 // BM_GumEngineBfs8Dev but with fair lane sharing. The host-side delta

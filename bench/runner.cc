@@ -114,6 +114,7 @@ core::RunResult RunBenchmarkImpl(const DatasetGraphs& data,
       }
       if (config.cost_model != nullptr) opt.exact_cost_oracle = false;
       opt.contention = config.contention;
+      opt.multipath = config.multipath;
       switch (config.algo) {
         case Algo::kBfs: {
           algos::BfsApp app;
@@ -300,6 +301,12 @@ core::RunResult RunBenchmark(const DatasetGraphs& data,
       {"pagerank_rounds", std::to_string(config.pagerank_rounds)},
       {"cost_model", config.cost_model != nullptr ? "learned" : "oracle"},
   };
+  // Gated like gum_cli: multipath-off cell reports stay byte-identical to
+  // the pre-multipath schema.
+  if (config.multipath == sim::MultipathMode::kOn) {
+    meta.config.emplace_back("multipath",
+                             sim::MultipathModeName(config.multipath));
+  }
 
   std::string name;
   name += meta.system;

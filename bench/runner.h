@@ -40,6 +40,9 @@ struct RunConfig {
   // Interconnect contention model, threaded into every engine's options
   // (overrides the `gum` field's setting below).
   sim::ContentionModel contention = sim::ContentionModel::kOff;
+  // Multi-path transfer plans (sim/transfer_plan.h); GUM engine only and
+  // only meaningful with contention=fair. Overrides the `gum` field.
+  sim::MultipathMode multipath = sim::MultipathMode::kOff;
   // GUM-specific toggles (ignored by the baselines).
   core::EngineOptions gum;
   // Learned cost model for the GUM stealing policies; null = exact oracle.

@@ -166,6 +166,13 @@ class GumEngine {
     // Every transfer of the run is charged and recorded through this plane;
     // its telemetry is exported into the result after the last iteration.
     sim::CommPlane plane(ctx_->topology(), options.contention);
+    // Multi-path plans only compose with the fair model: kOff is the
+    // bit-compatible legacy conversion, so striping stays disabled there
+    // and contention=off runs are byte-identical regardless of the knob.
+    const bool multipath =
+        options.multipath == sim::MultipathMode::kOn &&
+        options.contention == sim::ContentionModel::kFair;
+    plane.set_multipath(multipath);
 
     // SoA vertex state: dense value array + fragment-major frontier arena
     // (core/vertex_state.h), ascending within each fragment.
@@ -404,7 +411,7 @@ class GumEngine {
         for (int i = 0; i < n; ++i) frag_bytes[i] = fragment_state_bytes(i);
         const fault::RecoveryCharge charge = fault::ComputeRecoveryCharge(
             options.recovery, owner_of_fragment, dec.owner, failed,
-            frag_bytes);
+            frag_bytes, multipath ? &plane : nullptr);
         if (dec.group_size != group_size) {
           stats.group_size_changed = true;
           ++result.osteal_shrink_events;
@@ -456,16 +463,41 @@ class GumEngine {
         result.osteal_milp_nodes_total += dec.milp_nodes_total;
         if (dec.group_size != group_size) {
           // Migrate residual frontier status from re-owned fragments.
-          for (int i = 0; i < n; ++i) {
-            if (dec.owner[i] != owner_of_fragment[i] &&
-                frontier.FragmentSize(i) > 0) {
-              const double bytes =
-                  static_cast<double>(frontier.FragmentSize(i)) *
-                  dev.bytes_per_message;
-              const double ns = plane.PointToPointNs(
-                  owner_of_fragment[i], dec.owner[i], bytes);
-              result.timeline.Add(iter, dec.owner[i],
-                                  sim::TimeCategory::kOverhead, ns / 1e6);
+          if (multipath) {
+            // Bulk ownership migrations stripe across link-disjoint paths
+            // and contend with each other as one settled batch.
+            sim::TransferBatch migration;
+            for (int i = 0; i < n; ++i) {
+              if (dec.owner[i] != owner_of_fragment[i] &&
+                  frontier.FragmentSize(i) > 0) {
+                const double bytes =
+                    static_cast<double>(frontier.FragmentSize(i)) *
+                    dev.bytes_per_message;
+                migration.AddBulk(owner_of_fragment[i], dec.owner[i], bytes,
+                                  dec.owner[i]);
+              }
+            }
+            if (!migration.empty()) {
+              const sim::SettleResult settled = plane.Settle(migration);
+              for (int d = 0; d < n; ++d) {
+                if (settled.tag_comm_ns[d] > 0.0) {
+                  result.timeline.Add(iter, d, sim::TimeCategory::kOverhead,
+                                      settled.tag_comm_ns[d] / 1e6);
+                }
+              }
+            }
+          } else {
+            for (int i = 0; i < n; ++i) {
+              if (dec.owner[i] != owner_of_fragment[i] &&
+                  frontier.FragmentSize(i) > 0) {
+                const double bytes =
+                    static_cast<double>(frontier.FragmentSize(i)) *
+                    dev.bytes_per_message;
+                const double ns = plane.PointToPointNs(
+                    owner_of_fragment[i], dec.owner[i], bytes);
+                result.timeline.Add(iter, dec.owner[i],
+                                    sim::TimeCategory::kOverhead, ns / 1e6);
+              }
             }
           }
           group_size = dec.group_size;
@@ -567,12 +599,19 @@ class GumEngine {
       }
 
       // --- time accounting ---
+      // With multipath the census/aggregation sync follows a topology-aware
+      // reduction tree over this iteration's active group (rebuilt per
+      // iteration so link faults and group changes reshape it), and the
+      // FSteal fragment payloads are bulk-hinted for striping.
+      sim::ReductionTree census_tree;
+      if (multipath) census_tree = plane.BuildCensusTree(active);
       const TimeAccountingSummary acct = [&] {
         GUM_TRACE_SCOPE("gum.account");
         return AccountSuperstepTime(
             iter, plane, dev, p_ns, options.enable_message_aggregation,
             features, edges_done, hub_edges, agg_msgs, raw_msgs, apply_msgs,
-            owner_of_fragment, active, fs, stolen_edges_this_iter, &result);
+            owner_of_fragment, active, fs, stolen_edges_this_iter, &result,
+            multipath ? &census_tree : nullptr, multipath);
       }();
 
       // --- fault plane: straggler slowdown ---
@@ -627,7 +666,12 @@ class GumEngine {
           for (int i = 0; i < n; ++i) {
             if (owner_of_fragment[i] == d) dev_bytes += fragment_state_bytes(i);
           }
-          const double ms = fault::CheckpointTransferMs(dev_bytes);
+          // With multipath the write-back stripes across the device's own
+          // PCIe host lane plus an NVLink relay through its fastest peer.
+          const double ms =
+              multipath
+                  ? dev_bytes / plane.CheckpointWritebackGbps(d) / 1e6
+                  : fault::CheckpointTransferMs(dev_bytes);
           result.timeline.Add(iter, d, sim::TimeCategory::kOverhead, ms);
           facct.checkpoint_bytes_total += dev_bytes;
           slowest_ms = std::max(slowest_ms, ms);
@@ -697,6 +741,8 @@ class GumEngine {
     result.link_bytes = plane.link_bytes();
     result.payload_bytes = plane.payload_bytes();
     result.link_busy_ms = plane.link_busy_ms();
+    result.multipath_active = multipath;
+    result.multipath = plane.multipath_stats();
 
     if (values_out != nullptr) *values_out = std::move(values);
     return result;

@@ -49,6 +49,14 @@ struct EngineOptions {
   // across the transfers occupying it. Results (values, messages) are
   // identical either way — only time and link telemetry differ.
   sim::ContentionModel contention = sim::ContentionModel::kOff;
+  // Multi-path transfer plans + topology-aware census trees
+  // (sim/transfer_plan.h). Only meaningful under contention=fair: bulk
+  // payloads (FSteal fragments, OSteal/recovery migrations, checkpoint
+  // write-back) stripe across link-disjoint paths, and the census sync
+  // charge follows a reduction tree instead of all-to-one. Values are
+  // byte-identical either way — multipath only changes simulated time and
+  // link telemetry (DESIGN.md §7/§8).
+  sim::MultipathMode multipath = sim::MultipathMode::kOff;
 
   // --- expand backend (core/expand/, DESIGN.md §12) ---
   // kScatter reproduces the pre-backend engine bit for bit (stdout and

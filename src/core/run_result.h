@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/timeline.h"
+#include "sim/transfer_plan.h"
 
 namespace gum::core {
 
@@ -86,6 +87,12 @@ struct RunResult {
   double TotalRemoteBytes() const;
   // Off-diagonal payload (per-transfer; never double-counts transit hops).
   double TotalPayloadBytes() const;
+
+  // --- multi-path transfer plans (sim/transfer_plan.h, DESIGN.md §8) ---
+  // Active only under contention=fair with multipath=on; the obs run
+  // report emits its `comm.multipath` section only when it was.
+  bool multipath_active = false;
+  sim::MultipathStats multipath;
 
   // Bucket totals over the whole run (simulated ms).
   double ComputeMs() const {

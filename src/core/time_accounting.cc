@@ -16,7 +16,8 @@ TimeAccountingSummary AccountSuperstepTime(
     const std::vector<double>& apply_msgs,
     const std::vector<int>& owner_of_fragment,
     const std::vector<int>& active, const FStealDecision& fs,
-    double stolen_edges, RunResult* result) {
+    double stolen_edges, RunResult* result,
+    const sim::ReductionTree* census_tree, bool multipath_bulk) {
   sim::Timeline& tl = result->timeline;
   const int n = static_cast<int>(edges_done.size());
   const int m = static_cast<int>(active.size());
@@ -43,7 +44,13 @@ TimeAccountingSummary AccountSuperstepTime(
       compute_ns[j] += edges * sim::TrueEdgeCostNs(features[i], dev);
       const double remote_edges = (i == j) ? 0.0 : edges - hub_edges[i][j];
       const double local_edges = edges - remote_edges;
-      batch.Add(i, j, remote_edges * dev.bytes_per_remote_edge, j);
+      // Remote gathers are the FSteal fragment payloads — plan-eligible
+      // bulk when multipath is on; local reads never stripe.
+      if (multipath_bulk && i != j) {
+        batch.AddBulk(i, j, remote_edges * dev.bytes_per_remote_edge, j);
+      } else {
+        batch.Add(i, j, remote_edges * dev.bytes_per_remote_edge, j);
+      }
       batch.Add(j, j, local_edges * dev.bytes_per_remote_edge, j);
     }
     // Message forwarding to each destination fragment's owner.
@@ -71,7 +78,11 @@ TimeAccountingSummary AccountSuperstepTime(
     summary.kernel_launches[j] = launches;
     summary.kernel_launch_ns_total += launch_ns;
     overhead_ns[j] += launch_ns;
-    overhead_ns[j] += p_ns * m;  // barrier + buffer bookkeeping, Eq. (4)
+    // Barrier + buffer bookkeeping, Eq. (4). The legacy charge is the
+    // all-to-one group factor m; with a reduction tree each device pays
+    // only for its tree neighbors plus the barrier's critical path.
+    overhead_ns[j] +=
+        p_ns * (census_tree != nullptr ? census_tree->SyncFactor(j) : m);
     // Id conversion for outgoing messages.
     overhead_ns[j] += 0.5 * (worked > 0 ? 1.0 : 0.0) * destinations * 1000.0;
     if (fs.applied) {

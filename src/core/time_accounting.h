@@ -45,6 +45,13 @@ struct TimeAccountingSummary {
 // f's vertices. Adds to result->timeline, messages_sent and the
 // stealing-overhead totals; transfer bytes and lane busy time accumulate
 // in `plane` (the engine exports them into RunResult after the run).
+//
+// Multipath (sim/transfer_plan.h): when `multipath_bulk` is set the
+// remote-edge gathers — the FSteal fragment payloads — are enqueued as
+// bulk transfers so the plane may stripe them, and when `census_tree` is
+// non-null the per-device sync charge follows the tree's SyncFactor
+// instead of the all-to-one group factor m. Both default off and leave
+// the legacy accounting bit-identical.
 TimeAccountingSummary AccountSuperstepTime(
     int iter, sim::CommPlane& plane, const sim::DeviceParams& dev,
     double p_ns, bool aggregate_messages,
@@ -56,7 +63,9 @@ TimeAccountingSummary AccountSuperstepTime(
     const std::vector<double>& apply_msgs,
     const std::vector<int>& owner_of_fragment,
     const std::vector<int>& active, const FStealDecision& fs,
-    double stolen_edges, RunResult* result);
+    double stolen_edges, RunResult* result,
+    const sim::ReductionTree* census_tree = nullptr,
+    bool multipath_bulk = false);
 
 }  // namespace gum::core
 

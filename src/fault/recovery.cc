@@ -30,33 +30,64 @@ core::OStealDecision RebuildOwnership(
 RecoveryCharge ComputeRecoveryCharge(
     const RecoveryConfig& config, const std::vector<int>& ckpt_owner,
     const std::vector<int>& new_owner, const std::vector<bool>& failed,
-    const std::vector<double>& fragment_bytes) {
+    const std::vector<double>& fragment_bytes,
+    const sim::CommPlane* multipath_plane) {
   const size_t n = ckpt_owner.size();
   GUM_CHECK(new_owner.size() == n && failed.size() == n &&
             fragment_bytes.size() == n);
   RecoveryCharge charge;
   charge.detect_ms = config.detect_timeout_us / 1000.0;
   charge.per_device_ms.assign(n, 0.0);
-  std::vector<double> restore_bytes(n, 0.0);
-  std::vector<double> migrate_bytes(n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    const int owner = new_owner[i];
-    GUM_CHECK(owner >= 0 && owner < static_cast<int>(n) && !failed[owner])
-        << "recovery assigned fragment " << i << " to a dead device";
-    if (owner == ckpt_owner[i]) {
-      restore_bytes[owner] += fragment_bytes[i];
-    } else {
-      migrate_bytes[owner] += fragment_bytes[i];
+  // Per-device read/migration time. Legacy (null plane): every byte rides
+  // the single PCIe host lane — bytes accumulate per device and convert
+  // once, the exact pre-multipath arithmetic. Multipath: host read-backs
+  // stripe over the PCIe lane + the fastest NVLink relay, and a migrated
+  // fragment whose checkpoint owner survived skips the host entirely,
+  // moving peer-to-peer over the striped transfer plan.
+  std::vector<double> restore_ms(n, 0.0);
+  std::vector<double> migrate_ms(n, 0.0);
+  if (multipath_plane == nullptr) {
+    std::vector<double> restore_bytes(n, 0.0);
+    std::vector<double> migrate_bytes(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const int owner = new_owner[i];
+      GUM_CHECK(owner >= 0 && owner < static_cast<int>(n) && !failed[owner])
+          << "recovery assigned fragment " << i << " to a dead device";
+      if (owner == ckpt_owner[i]) {
+        restore_bytes[owner] += fragment_bytes[i];
+      } else {
+        migrate_bytes[owner] += fragment_bytes[i];
+        ++charge.fragments_migrated;
+      }
+    }
+    for (size_t d = 0; d < n; ++d) {
+      restore_ms[d] = CheckpointTransferMs(restore_bytes[d]);
+      migrate_ms[d] = CheckpointTransferMs(migrate_bytes[d]);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const int owner = new_owner[i];
+      GUM_CHECK(owner >= 0 && owner < static_cast<int>(n) && !failed[owner])
+          << "recovery assigned fragment " << i << " to a dead device";
+      const double bytes = fragment_bytes[i];
+      if (owner == ckpt_owner[i]) {
+        restore_ms[owner] +=
+            bytes / multipath_plane->CheckpointWritebackGbps(owner) / 1e6;
+        continue;
+      }
       ++charge.fragments_migrated;
+      const int src = ckpt_owner[i];
+      migrate_ms[owner] +=
+          !failed[src]
+              ? multipath_plane->StripedTransferNs(src, owner, bytes) / 1e6
+              : bytes / multipath_plane->CheckpointWritebackGbps(owner) / 1e6;
     }
   }
   for (size_t d = 0; d < n; ++d) {
     if (failed[d]) continue;
-    const double restore_ms = CheckpointTransferMs(restore_bytes[d]);
-    const double migrate_ms = CheckpointTransferMs(migrate_bytes[d]);
-    charge.restore_ms = std::max(charge.restore_ms, restore_ms);
-    charge.migrate_ms = std::max(charge.migrate_ms, migrate_ms);
-    charge.per_device_ms[d] = charge.detect_ms + restore_ms + migrate_ms;
+    charge.restore_ms = std::max(charge.restore_ms, restore_ms[d]);
+    charge.migrate_ms = std::max(charge.migrate_ms, migrate_ms[d]);
+    charge.per_device_ms[d] = charge.detect_ms + restore_ms[d] + migrate_ms[d];
   }
   return charge;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/osteal.h"
+#include "sim/comm_plane.h"
 #include "sim/reduction_schedule.h"
 
 namespace gum::fault {
@@ -55,11 +56,18 @@ core::OStealDecision RebuildOwnership(
 // host checkpoint storage; a fragment whose owner changed counts as
 // migrated (same read-back path, tracked separately because it is the
 // ownership-migration traffic a smarter protocol would optimize).
-RecoveryCharge ComputeRecoveryCharge(const RecoveryConfig& config,
-                                     const std::vector<int>& ckpt_owner,
-                                     const std::vector<int>& new_owner,
-                                     const std::vector<bool>& failed,
-                                     const std::vector<double>& fragment_bytes);
+//
+// With a `multipath_plane` (contention=fair, multipath=on) that smarter
+// protocol is in effect: a migrated fragment whose checkpoint owner
+// survived moves peer-to-peer over the plane's striped NVLink paths
+// (sim/transfer_plan.h) instead of a host PCIe round-trip, and host
+// read-backs stripe across the device's PCIe lane plus its fastest NVLink
+// relay. Null reproduces the single-path PCIe charges bit for bit.
+RecoveryCharge ComputeRecoveryCharge(
+    const RecoveryConfig& config, const std::vector<int>& ckpt_owner,
+    const std::vector<int>& new_owner, const std::vector<bool>& failed,
+    const std::vector<double>& fragment_bytes,
+    const sim::CommPlane* multipath_plane = nullptr);
 
 }  // namespace gum::fault
 

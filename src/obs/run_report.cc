@@ -147,6 +147,24 @@ void WriteRunReport(std::ostream& os, const RunReportMeta& meta,
   WriteMatrix(w, "link_bytes", result.link_bytes);
   WriteMatrix(w, "payload_bytes", result.payload_bytes);
   WriteMatrix(w, "link_busy_ms", result.link_busy_ms);
+  // Multi-path striping telemetry (sim/transfer_plan.h). Gated like the
+  // faults section: with multipath off the comm object is byte-identical
+  // to a v2 report without the feature.
+  if (result.multipath_active) {
+    const sim::MultipathStats& mp = result.multipath;
+    w.Key("multipath").BeginObject();
+    w.Key("bulk_transfers").Value(mp.bulk_transfers);
+    w.Key("striped_transfers").Value(mp.striped_transfers);
+    w.Key("paths_used").Value(mp.paths_used);
+    w.Key("paths_dropped").Value(mp.paths_dropped);
+    w.Key("direct_bytes").Value(mp.direct_bytes);
+    w.Key("transit_bytes").Value(mp.transit_bytes);
+    w.Key("pcie_bytes").Value(mp.pcie_bytes);
+    w.Key("single_path_ns").Value(mp.single_path_ns);
+    w.Key("striped_ns").Value(mp.striped_ns);
+    w.Key("stripe_efficiency").Value(mp.StripeEfficiency());
+    w.EndObject();
+  }
   w.EndObject();
 
   w.Key("metrics");

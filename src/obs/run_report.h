@@ -26,7 +26,10 @@ class MetricsRegistry;
 
 // v2 adds an optional "faults" section (fault-plane counters); it is only
 // emitted when the run had a fault plan, checkpoints, or recoveries, so
-// faults-off reports differ from v1 only in this version number.
+// faults-off reports differ from v1 only in this version number. v2 also
+// carries an optional "comm.multipath" section (striping telemetry,
+// sim/transfer_plan.h), emitted only when multipath was active — reports
+// from multipath-off runs stay byte-identical to pre-multipath v2 reports.
 inline constexpr int kRunReportSchemaVersion = 2;
 
 // Free-form identification of the run. `config` carries whatever knobs the

@@ -137,7 +137,7 @@ void CommPlane::RecomputeFaultRouting() {
 
 CommPlane::Telemetry CommPlane::SnapshotTelemetry() const {
   return Telemetry{link_bytes_, payload_bytes_, link_busy_ms_,
-                   lane_busy_until_ms_};
+                   lane_busy_until_ms_, multipath_stats_};
 }
 
 void CommPlane::RestoreTelemetry(const Telemetry& telemetry) {
@@ -145,6 +145,54 @@ void CommPlane::RestoreTelemetry(const Telemetry& telemetry) {
   payload_bytes_ = telemetry.payload_bytes;
   link_busy_ms_ = telemetry.link_busy_ms;
   lane_busy_until_ms_ = telemetry.lane_busy_until_ms;
+  multipath_stats_ = telemetry.multipath;
+}
+
+TransferPlan CommPlane::PlanBulkTransfer(int src, int dst,
+                                         double bytes) const {
+  const int n = topo_.num_devices();
+  TransferPlan plan = TransferPlanner::Build(
+      src, dst, n, bytes, [this](int i, int j) { return ScaledDirect(i, j); });
+  if (faults_active_) {
+    // How many stripes the nominal topology would have offered — the
+    // difference is what the fault overlay dropped (re-striped around).
+    const TransferPlan nominal = TransferPlanner::Build(
+        src, dst, n, bytes,
+        [this](int i, int j) { return topo_.DirectBandwidth(i, j); });
+    plan.paths_dropped =
+        std::max(0, static_cast<int>(nominal.paths.size()) -
+                        static_cast<int>(plan.paths.size()));
+  }
+  return plan;
+}
+
+double CommPlane::StripedTransferNs(int src, int dst, double bytes) const {
+  if (src == dst) return bytes / Topology::kLocalMemoryGBps;
+  const TransferPlan plan = PlanBulkTransfer(src, dst, bytes);
+  // Proportional striping finishes every path together when uncontended.
+  return bytes / plan.total_gbps;
+}
+
+ReductionTree CommPlane::BuildCensusTree(const std::vector<int>& active) const {
+  return ReductionTree::Build(
+      topo_.num_devices(), active,
+      [this](int i, int j) { return ScaledDirect(i, j); });
+}
+
+double CommPlane::CheckpointWritebackGbps(int device) const {
+  const int n = topo_.num_devices();
+  GUM_CHECK(device >= 0 && device < n);
+  // The relay leg is capped by both the NVLink hop and the peer's own PCIe
+  // host lane, at store-and-forward efficiency.
+  double relay = 0.0;
+  for (int peer = 0; peer < n; ++peer) {
+    if (peer == device) continue;
+    const double leg = ScaledDirect(device, peer);
+    if (leg <= 0.0) continue;
+    relay = std::max(relay, std::min(leg, Topology::kPcieGBps) *
+                                Topology::kTransitEfficiency);
+  }
+  return Topology::kPcieGBps + relay;
 }
 
 double CommPlane::MeanPathNs(int src, double bytes) const {
@@ -185,6 +233,7 @@ SettleResult CommPlane::Settle(const TransferBatch& batch) {
   }
   out.completion_ns.reserve(batch.transfers_.size());
   out.tag_comm_ns.assign(static_cast<size_t>(max_tag) + 1, 0.0);
+  const MultipathStats before = multipath_stats_;
   if (model_ == ContentionModel::kOff) {
     SettleOff(batch.transfers_, &out);
   } else {
@@ -198,6 +247,17 @@ SettleResult CommPlane::Settle(const TransferBatch& batch) {
     auto& bytes_hist = reg.GetHistogram("gum_comm_transfer_bytes");
     for (const Transfer& t : batch.transfers_) {
       bytes_hist.Observe(static_cast<uint64_t>(t.bytes));
+    }
+    // Striping counters exist only once a bulk transfer has actually been
+    // planned, so non-multipath runs export byte-identical metrics.
+    if (multipath_stats_.bulk_transfers > before.bulk_transfers) {
+      reg.GetCounter("gum_comm_bulk_transfers_total")
+          .Increment(multipath_stats_.bulk_transfers - before.bulk_transfers);
+      reg.GetCounter("gum_comm_striped_transfers_total")
+          .Increment(multipath_stats_.striped_transfers -
+                     before.striped_transfers);
+      reg.GetCounter("gum_comm_stripe_paths_total")
+          .Increment(multipath_stats_.paths_used - before.paths_used);
     }
   }
   return out;
@@ -223,60 +283,112 @@ void CommPlane::SettleFair(const std::vector<Transfer>& transfers,
                            SettleResult* out) {
   const int n = topo_.num_devices();
   const size_t m = transfers.size();
-  // Resolve each transfer's hops once. A routed transfer occupies (and is
-  // charged on) both of its lanes; store-and-forward is modeled as both
-  // hops being live for the transfer's whole duration, which is the
+  // Resolve each transfer into flows once. The common case is one flow
+  // over the single best path (hop resolution identical to the pre-plan
+  // build, so single-path fair stays byte-for-byte). A bulk transfer
+  // under multipath expands into one flow per stripe of its TransferPlan;
+  // the flows contend per directed lane like any other transfer, and the
+  // transfer completes when its last stripe does. A routed flow occupies
+  // (and is charged on) both of its lanes; store-and-forward is modeled
+  // as both hops being live for the flow's whole duration, which is the
   // pessimistic (fully pipelined chunks) reading of a 2-hop copy.
-  std::vector<std::vector<Hop>> hops(m);
-  std::vector<double> remaining(m, 0.0);
+  std::vector<std::vector<Hop>> hops;
+  std::vector<double> remaining;
+  std::vector<size_t> flow_transfer;  // flow index -> enqueue index
+  hops.reserve(m);
+  remaining.reserve(m);
+  flow_transfer.reserve(m);
   for (size_t i = 0; i < m; ++i) {
     const Transfer& t = transfers[i];
-    const CommRoute route = Route(t.src, t.dst);
-    if (route.transit >= 0) {
-      hops[i].push_back(
-          {DirectLane(n, t.src, route.transit), t.src, route.transit});
-      hops[i].push_back(
-          {DirectLane(n, route.transit, t.dst), route.transit, t.dst});
-    } else if (route.via_pcie) {
-      hops[i].push_back({PcieLane(n, t.src, t.dst), t.src, t.dst});
-    } else {
-      hops[i].push_back({DirectLane(n, t.src, t.dst), t.src, t.dst});
-    }
-    remaining[i] = t.bytes;
-    for (const Hop& h : hops[i]) link_bytes_[h.src][h.dst] += t.bytes;
     payload_bytes_[t.src][t.dst] += t.bytes;
+    const bool stripe = multipath_ && t.bulk && t.src != t.dst && t.bytes > 0.0;
+    if (!stripe) {
+      const CommRoute route = Route(t.src, t.dst);
+      std::vector<Hop> flow;
+      if (route.transit >= 0) {
+        flow.push_back(
+            {DirectLane(n, t.src, route.transit), t.src, route.transit});
+        flow.push_back(
+            {DirectLane(n, route.transit, t.dst), route.transit, t.dst});
+      } else if (route.via_pcie) {
+        flow.push_back({PcieLane(n, t.src, t.dst), t.src, t.dst});
+      } else {
+        flow.push_back({DirectLane(n, t.src, t.dst), t.src, t.dst});
+      }
+      for (const Hop& h : flow) link_bytes_[h.src][h.dst] += t.bytes;
+      hops.push_back(std::move(flow));
+      remaining.push_back(t.bytes);
+      flow_transfer.push_back(i);
+      continue;
+    }
+    const TransferPlan plan = PlanBulkTransfer(t.src, t.dst, t.bytes);
+    multipath_stats_.bulk_transfers += 1;
+    if (plan.striped()) multipath_stats_.striped_transfers += 1;
+    multipath_stats_.paths_used += static_cast<int64_t>(plan.paths.size());
+    multipath_stats_.paths_dropped += plan.paths_dropped;
+    multipath_stats_.single_path_ns += t.bytes / plan.best_single_gbps;
+    multipath_stats_.striped_ns += t.bytes / plan.total_gbps;
+    double assigned = 0.0;
+    for (size_t p = 0; p < plan.paths.size(); ++p) {
+      const PlanPath& path = plan.paths[p];
+      // The last stripe takes the exact remainder so the chunks conserve
+      // the payload byte-for-byte.
+      const double chunk = p + 1 == plan.paths.size()
+                               ? t.bytes - assigned
+                               : t.bytes * path.fraction;
+      assigned += chunk;
+      std::vector<Hop> flow;
+      if (path.transit >= 0) {
+        flow.push_back(
+            {DirectLane(n, t.src, path.transit), t.src, path.transit});
+        flow.push_back(
+            {DirectLane(n, path.transit, t.dst), path.transit, t.dst});
+        multipath_stats_.transit_bytes += chunk;
+      } else if (path.via_pcie) {
+        flow.push_back({PcieLane(n, t.src, t.dst), t.src, t.dst});
+        multipath_stats_.pcie_bytes += chunk;
+      } else {
+        flow.push_back({DirectLane(n, t.src, t.dst), t.src, t.dst});
+        multipath_stats_.direct_bytes += chunk;
+      }
+      for (const Hop& h : flow) link_bytes_[h.src][h.dst] += chunk;
+      hops.push_back(std::move(flow));
+      remaining.push_back(chunk);
+      flow_transfer.push_back(i);
+    }
   }
+  const size_t num_flows = hops.size();
 
   auto lane_gbps = [&](int lane) {
     if (lane >= n * n) return Topology::kPcieGBps;
     return LaneGbps(lane / n, lane % n);
   };
 
-  out->completion_ns.assign(m, 0.0);
-  std::vector<char> done(m, 0);
-  for (size_t i = 0; i < m; ++i) {
+  std::vector<double> flow_completion_ns(num_flows, 0.0);
+  std::vector<char> done(num_flows, 0);
+  for (size_t i = 0; i < num_flows; ++i) {
     if (remaining[i] <= 0.0) done[i] = 1;
   }
 
   // Progressive filling: repeatedly compute the unique max-min fair rate
-  // allocation over the active transfers, advance to the next completion,
-  // and retire finished transfers. Each round the bottleneck lane is the
+  // allocation over the active flows, advance to the next completion,
+  // and retire finished flows. Each round the bottleneck lane is the
   // one whose equal share is smallest (ties broken on lane id), and all
   // its unfrozen users freeze at that share — the resulting rates do not
   // depend on enqueue order.
   double now_ns = 0.0;
-  std::vector<double> rate(m, 0.0);           // bytes per ns
+  std::vector<double> rate(num_flows, 0.0);   // bytes per ns
   std::vector<double> lane_frozen(2 * n * n, 0.0);
   std::vector<int> lane_unfrozen(2 * n * n, 0);
   while (true) {
     std::vector<size_t> active;
-    for (size_t i = 0; i < m; ++i) {
+    for (size_t i = 0; i < num_flows; ++i) {
       if (!done[i]) active.push_back(i);
     }
     if (active.empty()) break;
 
     // Max-min allocation for this round.
-    std::vector<char> frozen(m, 0);
+    std::vector<char> frozen(num_flows, 0);
     std::fill(lane_frozen.begin(), lane_frozen.end(), 0.0);
     std::fill(lane_unfrozen.begin(), lane_unfrozen.end(), 0);
     for (size_t i : active) {
@@ -337,11 +449,19 @@ void CommPlane::SettleFair(const std::vector<Transfer>& transfers,
       if (remaining[i] / rate[i] <= dt) {
         done[i] = 1;
         remaining[i] = 0.0;
-        out->completion_ns[i] = now_ns;
+        flow_completion_ns[i] = now_ns;
       } else {
         remaining[i] -= rate[i] * dt;
       }
     }
+  }
+
+  // A transfer completes when its last flow does (identity for the
+  // one-flow common case).
+  out->completion_ns.assign(m, 0.0);
+  for (size_t f = 0; f < num_flows; ++f) {
+    double& completion = out->completion_ns[flow_transfer[f]];
+    completion = std::max(completion, flow_completion_ns[f]);
   }
 
   // Under contention the tag's transfers overlap; the charge is the tag's

@@ -35,6 +35,7 @@
 
 #include "common/status.h"
 #include "sim/topology.h"
+#include "sim/transfer_plan.h"
 
 namespace gum::sim {
 
@@ -67,12 +68,16 @@ struct CommRoute {
 
 // One enqueued transfer. `tag` is the charging bucket — engines use the
 // initiating device id, and Settle() folds per-transfer times into a
-// per-tag communication charge.
+// per-tag communication charge. `bulk` marks the transfer plan-eligible:
+// under `fair` with multipath enabled it may be striped across the
+// link-disjoint paths of a TransferPlan (sim/transfer_plan.h); everywhere
+// else the hint is ignored and the transfer settles single-path.
 struct Transfer {
   int src = 0;
   int dst = 0;
   double bytes = 0.0;
   int tag = 0;
+  bool bulk = false;
 };
 
 // A per-iteration batch of transfers that are in flight together.
@@ -80,6 +85,10 @@ class TransferBatch {
  public:
   void Add(int src, int dst, double bytes, int tag) {
     transfers_.push_back(Transfer{src, dst, bytes, tag});
+  }
+  // A plan-eligible bulk payload (FSteal fragments, ownership migrations).
+  void AddBulk(int src, int dst, double bytes, int tag) {
+    transfers_.push_back(Transfer{src, dst, bytes, tag, /*bulk=*/true});
   }
   size_t size() const { return transfers_.size(); }
   bool empty() const { return transfers_.empty(); }
@@ -114,6 +123,31 @@ class CommPlane {
 
   // The explicit path this plane uses for (src, dst).
   CommRoute Route(int src, int dst) const;
+
+  // --- multi-path transfer plans (sim/transfer_plan.h) ---
+  // Enables striping of bulk-hinted transfers across link-disjoint paths
+  // under the fair model. Off by default; kOff contention and non-bulk
+  // transfers are never affected, so disabled runs stay byte-identical.
+  void set_multipath(bool on) { multipath_ = on; }
+  bool multipath() const { return multipath_; }
+  // The plan this plane would stripe a bulk (src, dst) payload across,
+  // over the fault-scaled direct matrix: a downed link is not offered as
+  // a path and a degraded link receives a proportionally smaller stripe.
+  TransferPlan PlanBulkTransfer(int src, int dst, double bytes) const;
+  // Uncontended duration of `bytes` striped under PlanBulkTransfer —
+  // the multi-path analogue of PointToPointNs, used by recovery migration
+  // when multipath is enabled.
+  double StripedTransferNs(int src, int dst, double bytes) const;
+  // Topology-aware census/aggregation tree over the active devices,
+  // built over the fault-scaled direct matrix (link faults reshape it).
+  ReductionTree BuildCensusTree(const std::vector<int>& active) const;
+  // Multi-path checkpoint write-back bandwidth for `device` (GB/s): its
+  // own host PCIe link plus a relay through its fastest (fault-scaled)
+  // NVLink peer forwarding over that peer's PCIe lane at transit
+  // efficiency. Without multipath the write-back is plain kPcieGBps.
+  double CheckpointWritebackGbps(int device) const;
+  // Striping telemetry accumulated across bulk settles.
+  const MultipathStats& multipath_stats() const { return multipath_stats_; }
 
   // --- prediction API (no telemetry, no contention) ---
   // Static uncontended estimates over the legacy path bandwidth. These are
@@ -182,6 +216,7 @@ class CommPlane {
     std::vector<std::vector<double>> payload_bytes;
     std::vector<std::vector<double>> link_busy_ms;
     std::vector<double> lane_busy_until_ms;
+    MultipathStats multipath;
   };
   Telemetry SnapshotTelemetry() const;
   void RestoreTelemetry(const Telemetry& telemetry);
@@ -229,6 +264,8 @@ class CommPlane {
   Topology topo_;
   ContentionModel model_ = ContentionModel::kOff;
   RoutePolicy policy_ = RoutePolicy::kBestPath;
+  bool multipath_ = false;
+  MultipathStats multipath_stats_;
 
   // Fault overlay: per directed pair scale (1 = nominal) plus the routing
   // tables recomputed over the scaled matrix. Inactive (and unallocated)

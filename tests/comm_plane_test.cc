@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -365,6 +366,251 @@ TEST(CommPlaneEngineTest, FairModeIsDeterministicAcrossThreadCounts) {
   EXPECT_EQ(r1.total_ms, r4.total_ms);  // bitwise, not approximately
   EXPECT_EQ(r1.link_bytes, r4.link_bytes);
   EXPECT_EQ(r1.link_busy_ms, r4.link_busy_ms);
+}
+
+// ---------- multi-path transfer plans ----------
+
+TEST(TransferPlanTest, ParseMultipathMode) {
+  auto off = ParseMultipathMode("off");
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(*off, MultipathMode::kOff);
+  auto on = ParseMultipathMode("on");
+  ASSERT_TRUE(on.ok());
+  EXPECT_EQ(*on, MultipathMode::kOn);
+  EXPECT_FALSE(ParseMultipathMode("auto").ok());
+  EXPECT_STREQ(MultipathModeName(MultipathMode::kOff), "off");
+  EXPECT_STREQ(MultipathModeName(MultipathMode::kOn), "on");
+}
+
+TEST(TransferPlanTest, StripesAcrossLinkDisjointPaths) {
+  CommPlane plane(Topology::HybridCubeMesh8(), ContentionModel::kFair);
+  plane.set_multipath(true);
+  const TransferPlan plan = plane.PlanBulkTransfer(0, 5, 4e6);
+  ASSERT_TRUE(plan.striped());
+  EXPECT_LE(plan.paths.size(), 4u);
+  // Candidates are mutually link-disjoint: at most one direct path, at
+  // most one PCIe path, and every transit device distinct.
+  int direct = 0;
+  int pcie = 0;
+  std::vector<int> transits;
+  double fraction_sum = 0.0;
+  double gbps_sum = 0.0;
+  for (const PlanPath& p : plan.paths) {
+    if (p.via_pcie) {
+      ++pcie;
+    } else if (p.transit < 0) {
+      ++direct;
+    } else {
+      transits.push_back(p.transit);
+    }
+    fraction_sum += p.fraction;
+    gbps_sum += p.gbps;
+    EXPECT_GT(p.gbps, 0.0);
+  }
+  EXPECT_LE(direct, 1);
+  EXPECT_LE(pcie, 1);
+  std::sort(transits.begin(), transits.end());
+  EXPECT_EQ(std::adjacent_find(transits.begin(), transits.end()),
+            transits.end());
+  EXPECT_NEAR(fraction_sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(gbps_sum, plan.total_gbps);
+  // Paths come bandwidth-descending; striping beats the best single path.
+  for (size_t i = 1; i < plan.paths.size(); ++i) {
+    EXPECT_LE(plan.paths[i].gbps, plan.paths[i - 1].gbps);
+  }
+  EXPECT_GT(plan.StripeEfficiency(), 1.0);
+  EXPECT_LT(plane.StripedTransferNs(0, 5, 4e6),
+            plane.PointToPointNs(0, 5, 4e6));
+}
+
+TEST(TransferPlanTest, SmallPayloadsStaySinglePath) {
+  CommPlane plane(Topology::HybridCubeMesh8(), ContentionModel::kFair);
+  plane.set_multipath(true);
+  const TransferPlan plan = plane.PlanBulkTransfer(0, 5, 1024.0);
+  ASSERT_EQ(plan.paths.size(), 1u);
+  EXPECT_FALSE(plan.striped());
+  EXPECT_DOUBLE_EQ(plan.paths[0].fraction, 1.0);
+  // The single path is what single-path routing would use, so the striped
+  // estimate degenerates to the point-to-point one.
+  EXPECT_DOUBLE_EQ(plane.StripedTransferNs(0, 5, 1024.0),
+                   plane.PointToPointNs(0, 5, 1024.0));
+}
+
+TEST(TransferPlanTest, StripingReducesFairMakespan) {
+  TransferBatch bulk;
+  TransferBatch plain;
+  for (int src = 0; src < 8; ++src) {
+    const int dst = (src + 3) % 8;
+    bulk.AddBulk(src, dst, 4e6, src);
+    plain.Add(src, dst, 4e6, src);
+  }
+  CommPlane on(Topology::HybridCubeMesh8(), ContentionModel::kFair);
+  on.set_multipath(true);
+  CommPlane off(Topology::HybridCubeMesh8(), ContentionModel::kFair);
+  off.set_multipath(true);  // enabled, but no bulk hint -> no striping
+  const SettleResult s_on = on.Settle(bulk);
+  const SettleResult s_off = off.Settle(plain);
+  double makespan_on = 0.0;
+  double makespan_off = 0.0;
+  for (double ns : s_on.completion_ns) makespan_on = std::max(makespan_on, ns);
+  for (double ns : s_off.completion_ns) {
+    makespan_off = std::max(makespan_off, ns);
+  }
+  EXPECT_LT(makespan_on, makespan_off);
+  EXPECT_EQ(on.multipath_stats().bulk_transfers, 8);
+  EXPECT_GT(on.multipath_stats().striped_transfers, 0);
+  EXPECT_GT(on.multipath_stats().paths_used,
+            on.multipath_stats().bulk_transfers);
+  EXPECT_EQ(off.multipath_stats().bulk_transfers, 0);
+}
+
+TEST(TransferPlanTest, OffContentionIgnoresBulkHint) {
+  // Under kOff the bulk hint is dead: completions, charges, and telemetry
+  // are bit-identical to the plain Add path even with multipath enabled.
+  const auto topo = Topology::HybridCubeMesh8();
+  TransferBatch bulk;
+  TransferBatch plain;
+  for (int i = 0; i < 12; ++i) {
+    const int src = i % 8;
+    const int dst = (src + 1 + (i * 5) % 7) % 8;
+    bulk.AddBulk(src, dst, 1e6 * (1 + i % 3), src);
+    plain.Add(src, dst, 1e6 * (1 + i % 3), src);
+  }
+  CommPlane plane_bulk(topo, ContentionModel::kOff);
+  plane_bulk.set_multipath(true);
+  CommPlane plane_plain(topo, ContentionModel::kOff);
+  const SettleResult sb = plane_bulk.Settle(bulk);
+  const SettleResult sp = plane_plain.Settle(plain);
+  EXPECT_EQ(sb.completion_ns, sp.completion_ns);
+  EXPECT_EQ(sb.tag_comm_ns, sp.tag_comm_ns);
+  EXPECT_EQ(plane_bulk.link_bytes(), plane_plain.link_bytes());
+  EXPECT_EQ(plane_bulk.multipath_stats().bulk_transfers, 0);
+}
+
+TEST(TransferPlanTest, NonBulkFairSettlingIsUnchangedByTheKnob) {
+  // The multipath flag alone (no bulk transfers) must not perturb the fair
+  // settle arithmetic: single-path flows are the pre-plan code path.
+  const auto topo = Topology::HybridCubeMesh8();
+  TransferBatch batch;
+  for (int i = 0; i < 24; ++i) {
+    const int src = i % 8;
+    const int dst = (src + 1 + (i * 5) % 7) % 8;
+    batch.Add(src, dst, 1e5 * (1 + i % 13), src);
+  }
+  CommPlane plane_on(topo, ContentionModel::kFair);
+  plane_on.set_multipath(true);
+  CommPlane plane_off(topo, ContentionModel::kFair);
+  const SettleResult on = plane_on.Settle(batch);
+  const SettleResult off = plane_off.Settle(batch);
+  EXPECT_EQ(on.completion_ns, off.completion_ns);
+  EXPECT_EQ(on.tag_comm_ns, off.tag_comm_ns);
+  EXPECT_EQ(plane_on.link_bytes(), plane_off.link_bytes());
+  EXPECT_EQ(plane_on.link_busy_ms(), plane_off.link_busy_ms());
+}
+
+TEST(TransferPlanTest, LinkFaultDropsThePathNeverTheTransfer) {
+  CommPlane plane(Topology::HybridCubeMesh8(), ContentionModel::kFair);
+  plane.set_multipath(true);
+  const TransferPlan nominal = plane.PlanBulkTransfer(0, 3, 4e6);
+  ASSERT_TRUE(nominal.striped());
+  EXPECT_EQ(nominal.paths_dropped, 0);
+
+  // Kill the direct 0 -- 3 link: the plan re-stripes over the survivors.
+  plane.SetLinkScale(0, 3, 0.0);
+  const TransferPlan faulted = plane.PlanBulkTransfer(0, 3, 4e6);
+  EXPECT_GT(faulted.paths_dropped, 0);
+  EXPECT_LT(faulted.paths.size(), nominal.paths.size());
+  for (const PlanPath& p : faulted.paths) {
+    EXPECT_FALSE(p.transit < 0 && !p.via_pcie)
+        << "downed direct link must not be offered as a path";
+  }
+  // The payload still moves — a settled bulk transfer completes.
+  TransferBatch batch;
+  batch.AddBulk(0, 3, 4e6, 0);
+  const SettleResult s = plane.Settle(batch);
+  ASSERT_EQ(s.completion_ns.size(), 1u);
+  EXPECT_GT(s.completion_ns[0], 0.0);
+  EXPECT_GT(plane.multipath_stats().paths_dropped, 0);
+
+  // Degrading (not killing) a link shrinks its stripe proportionally
+  // instead of dropping it.
+  CommPlane degraded(Topology::HybridCubeMesh8(), ContentionModel::kFair);
+  degraded.set_multipath(true);
+  degraded.SetLinkScale(0, 3, 0.25);
+  const TransferPlan thin = degraded.PlanBulkTransfer(0, 3, 4e6);
+  double nominal_direct = 0.0;
+  double thin_direct = 0.0;
+  for (const PlanPath& p : nominal.paths) {
+    if (p.transit < 0 && !p.via_pcie) nominal_direct = p.fraction;
+  }
+  for (const PlanPath& p : thin.paths) {
+    if (p.transit < 0 && !p.via_pcie) thin_direct = p.fraction;
+  }
+  ASSERT_GT(nominal_direct, 0.0);
+  if (thin_direct > 0.0) EXPECT_LT(thin_direct, nominal_direct);
+}
+
+TEST(TransferPlanTest, ReductionTreeIsDeterministicAndBeatsTheStar) {
+  CommPlane plane(Topology::HybridCubeMesh8(), ContentionModel::kFair);
+  std::vector<int> active = {0, 1, 2, 3, 4, 5, 6, 7};
+  const ReductionTree a = plane.BuildCensusTree(active);
+  const ReductionTree b = plane.BuildCensusTree(active);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.root, b.root);
+  EXPECT_FALSE(a.star);
+  EXPECT_EQ(a.members, 8);
+  EXPECT_GE(a.height, 1);
+  for (int d : active) EXPECT_TRUE(a.InTree(d));
+  // The tree's whole point: leaves sync with their neighborhood + height,
+  // strictly less than the all-to-one group factor m = 8.
+  double max_factor = 0.0;
+  for (int d : active) max_factor = std::max(max_factor, a.SyncFactor(d));
+  EXPECT_LT(max_factor, 8.0);
+}
+
+TEST(TransferPlanTest, ReductionTreeStarFallbackMatchesLegacyCharge) {
+  CommPlane plane(Isolated2(), ContentionModel::kFair);
+  const ReductionTree tree = plane.BuildCensusTree({0, 1});
+  EXPECT_TRUE(tree.star);
+  EXPECT_EQ(tree.members, 2);
+  // Star fallback reproduces the legacy all-to-one charge: factor == m.
+  EXPECT_DOUBLE_EQ(tree.SyncFactor(0), 2.0);
+  EXPECT_DOUBLE_EQ(tree.SyncFactor(1), 2.0);
+}
+
+TEST(CommPlaneEngineTest, MultipathChangesOnlyTimeAcrossThreadsAndShards) {
+  const auto g = SocialGraph(10, 27);
+  BfsApp app;
+  app.source = MaxDegreeSource(g);
+  const auto part = MakePartition(g, 4);
+  auto run = [&](MultipathMode multipath, int threads, int shards,
+                 std::vector<uint32_t>* depths) {
+    auto opt = TestEngineOptions();
+    opt.contention = ContentionModel::kFair;
+    opt.multipath = multipath;
+    opt.num_host_threads = threads;
+    opt.num_msg_shards = shards;
+    opt.enable_osteal = true;
+    core::GumEngine<BfsApp> engine(&g, part, Topo(4), opt);
+    return engine.Run(app, depths);
+  };
+  std::vector<uint32_t> base;
+  const auto off = run(MultipathMode::kOff, 1, 1, &base);
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const int shards : {1, 4}) {
+      std::vector<uint32_t> depths;
+      const auto on = run(MultipathMode::kOn, threads, shards, &depths);
+      EXPECT_EQ(depths, base) << threads << " threads, " << shards
+                              << " shards";
+      EXPECT_EQ(on.iterations, off.iterations);
+      EXPECT_EQ(on.edges_processed, off.edges_processed);
+      EXPECT_TRUE(on.multipath_active);
+    }
+  }
+  // And the knob is observable: the on-run exports striping telemetry,
+  // the off-run none.
+  EXPECT_FALSE(off.multipath_active);
+  EXPECT_EQ(off.multipath.bulk_transfers, 0);
 }
 
 TEST(CommPlaneEngineTest, GunrockContentionChangesOnlyTime) {

@@ -9,6 +9,7 @@
 #include "algos/apps.h"
 #include "core/engine.h"
 #include "fault/fault_plane.h"
+#include "fault/recovery.h"
 #include "tests/test_util.h"
 
 namespace gum::core {
@@ -305,6 +306,124 @@ TEST(FaultRecoveryTest, AutoBackendRecoversExactly) {
   app.source = 1;
   ExpectRecoveryExactUnderBackend(g, MakePartition(g, 4), app,
                                   ExpandBackendKind::kAuto);
+}
+
+// ---------- multi-path striping under the fault overlay ----------
+
+// Link faults hitting a run whose bulk transfers are striped
+// (contention=fair, multipath=on) must only drop paths from the plans —
+// the transfers always land, so values stay byte-identical to the
+// fault-free run, deterministically across thread counts.
+TEST(FaultRecoveryTest, LinkFaultsDuringStripedTransfersDropOnlyPaths) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 8);
+  BfsApp app;
+  app.source = 1;
+
+  auto run = [&](const fault::FaultPlane* plane, int threads,
+                 std::vector<uint32_t>* values) {
+    EngineOptions opt = TestEngineOptions();
+    opt.contention = sim::ContentionModel::kFair;
+    opt.multipath = sim::MultipathMode::kOn;
+    opt.num_host_threads = threads;
+    opt.fault_plane = plane;
+    GumEngine<BfsApp> engine(&g, part, Topo(8), opt);
+    return engine.Run(app, values);
+  };
+
+  std::vector<uint32_t> clean_values;
+  const RunResult clean = run(nullptr, 1, &clean_values);
+  EXPECT_TRUE(clean.multipath_active);
+
+  const auto plane =
+      MustPlane("linkdown:0-1@0-50;degrade:2-3@1-4x0.25;flap:4-5@0-50/1", 8);
+  std::vector<uint32_t> reference_values;
+  const RunResult reference = run(&plane, 1, &reference_values);
+  EXPECT_EQ(reference_values, clean_values);
+  EXPECT_GT(reference.link_fault_iterations, 0);
+  EXPECT_EQ(reference.devices_failed, 0);
+
+  for (const int threads : {2, 4, 8}) {
+    std::vector<uint32_t> values;
+    const RunResult r = run(&plane, threads, &values);
+    EXPECT_EQ(values, clean_values) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(r.total_ms, reference.total_ms)
+        << "threads=" << threads;
+    EXPECT_EQ(r.iterations, reference.iterations) << "threads=" << threads;
+    EXPECT_EQ(r.multipath.paths_dropped, reference.multipath.paths_dropped)
+        << "threads=" << threads;
+  }
+}
+
+// A failstop during a multipath run recovers to byte-identical values
+// while the migration traffic rides the striped peer-to-peer paths.
+TEST(FaultRecoveryTest, FailStopRecoveryExactUnderMultipath) {
+  const auto g = SocialGraph();
+  const auto part = MakePartition(g, 8);
+  BfsApp app;
+  app.source = 1;
+
+  auto run = [&](const fault::FaultPlane* plane, sim::MultipathMode multipath,
+                 std::vector<uint32_t>* values) {
+    EngineOptions opt = TestEngineOptions();
+    opt.contention = sim::ContentionModel::kFair;
+    opt.multipath = multipath;
+    opt.fault_plane = plane;
+    opt.checkpoint.every = 1;
+    GumEngine<BfsApp> engine(&g, part, Topo(8), opt);
+    return engine.Run(app, values);
+  };
+
+  std::vector<uint32_t> clean_values;
+  (void)run(nullptr, sim::MultipathMode::kOff, &clean_values);
+
+  const auto plane = MustPlane("failstop:5@2", 8);
+  std::vector<uint32_t> on_values;
+  const RunResult on = run(&plane, sim::MultipathMode::kOn, &on_values);
+  EXPECT_EQ(on_values, clean_values);
+  EXPECT_EQ(on.devices_failed, 1);
+  EXPECT_GE(on.recovery_events, 1);
+
+  std::vector<uint32_t> off_values;
+  const RunResult off = run(&plane, sim::MultipathMode::kOff, &off_values);
+  EXPECT_EQ(off_values, clean_values);
+  // The striped recovery path is strictly cheaper than the PCIe
+  // round-trip on the same migration set.
+  EXPECT_LE(on.recovery_migrate_ms, off.recovery_migrate_ms);
+}
+
+// Unit-level check of the recovery charge itself: a migrated fragment
+// whose checkpoint owner survived rides the striped NVLink paths, which
+// beat the legacy host PCIe round-trip.
+TEST(FaultRecoveryTest, MultipathRecoveryChargeBeatsLegacy) {
+  const fault::RecoveryConfig config;
+  // Eight fragments on eight devices. Device 1 is dead: fragment 1
+  // migrates to device 2 (host read-back — its checkpoint owner is gone),
+  // and fragment 3 is rebalanced from the *surviving* device 3 to device 4
+  // (the peer-to-peer striping case). Everything else stays put.
+  const std::vector<int> ckpt_owner = {0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<int> new_owner = {0, 2, 2, 4, 4, 5, 6, 7};
+  const std::vector<bool> failed = {false, true, false, false, false,
+                                    false, false, false};
+  const std::vector<double> fragment_bytes(8, 4e6);
+
+  const fault::RecoveryCharge legacy = fault::ComputeRecoveryCharge(
+      config, ckpt_owner, new_owner, failed, fragment_bytes);
+
+  sim::CommPlane plane(sim::Topology::HybridCubeMesh8(),
+                       sim::ContentionModel::kFair);
+  plane.set_multipath(true);
+  const fault::RecoveryCharge striped = fault::ComputeRecoveryCharge(
+      config, ckpt_owner, new_owner, failed, fragment_bytes, &plane);
+
+  EXPECT_EQ(legacy.fragments_migrated, 2);
+  EXPECT_EQ(striped.fragments_migrated, 2);
+  EXPECT_DOUBLE_EQ(legacy.detect_ms, striped.detect_ms);
+  // Both the restore read-back (PCIe + NVLink relay) and the migration
+  // (striped peer-to-peer) are strictly faster under the plans.
+  EXPECT_LT(striped.restore_ms, legacy.restore_ms);
+  EXPECT_LT(striped.migrate_ms, legacy.migrate_ms);
+  EXPECT_GT(striped.migrate_ms, 0.0);
 }
 
 TEST(FaultRecoveryTest, ChaosPlanConvergesByteIdentical) {

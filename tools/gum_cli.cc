@@ -22,6 +22,11 @@
 //   --contention=off|fair        interconnect contention model (default off;
 //                                fair time-slices each lane across the
 //                                transfers occupying it)
+//   --multipath=off|on           stripe bulk transfers across link-disjoint
+//                                paths and sync the census over a topology-
+//                                aware reduction tree (gum engine, fair
+//                                contention; values never change — only
+//                                simulated time and link telemetry)
 //   --host-threads=N             host threads for the superstep runtime
 //                                (0 = hardware concurrency, 1 = serial;
 //                                results are identical for every setting)
@@ -87,6 +92,7 @@ constexpr const char* kKnownFlags[] = {
     "timeline-csv", "host-threads", "contention", "show-links",
     "msg-shards", "trace", "metrics", "report",
     "fault-plan", "fault-seed", "ckpt-every", "expand", "sources",
+    "multipath",
 };
 
 void PrintUsage() {
@@ -99,7 +105,8 @@ void PrintUsage() {
       "[--epsilon=E]\n"
       "               [--no-fsteal] [--no-osteal] [--host-threads=N]\n"
       "               [--msg-shards=N] [--expand=scatter|spmv|auto]\n"
-      "               [--contention=off|fair] [--timeline] [--show-links]\n"
+      "               [--contention=off|fair] [--multipath=off|on]\n"
+      "               [--timeline] [--show-links]\n"
       "               [--save-values=PATH]\n"
       "               [--trace=PATH] [--metrics=PATH] [--report=PATH]\n"
       "               [--fault-plan=SPEC] [--fault-seed=S] "
@@ -176,6 +183,16 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
     std::cerr << contention.status().ToString() << "\n";
     return 1;
   }
+  auto multipath =
+      sim::ParseMultipathMode(flags.GetString("multipath", "off"));
+  if (!multipath.ok()) {
+    std::cerr << multipath.status().ToString() << "\n";
+    return 1;
+  }
+  if (*multipath == sim::MultipathMode::kOn && engine_name != "gum") {
+    std::cerr << "--multipath=on requires --engine=gum\n";
+    return 1;
+  }
 
   // Parse + bind the fault plan before engine dispatch so an invalid spec
   // fails loudly without running anything.
@@ -223,6 +240,7 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
     options.num_host_threads = host_threads;
     options.num_msg_shards = msg_shards;
     options.contention = *contention;
+    options.multipath = *multipath;
     options.expand_backend = expand_backend;
     options.fault_plane = &fault_plane;
     options.checkpoint.every = ckpt_every;
@@ -277,6 +295,11 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
         {"osteal", flags.GetBool("no-osteal", false) ? "off" : "on"},
         {"expand", core::ExpandBackendKindName(expand_backend)},
     };
+    // Only a multipath run records the key, so multipath-off reports stay
+    // byte-identical to the pre-multipath schema.
+    if (*multipath == sim::MultipathMode::kOn) {
+      meta.config.emplace_back("multipath", sim::MultipathModeName(*multipath));
+    }
     // Only a fault-plane run records fault keys; faults-off reports stay
     // byte-identical to the pre-fault-plane schema (modulo schema_version).
     if (fault_plane.active() || ckpt_every > 0) {
@@ -324,6 +347,9 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
               << " contention):\n"
               << sim::CommPlane::RenderAsciiTable(
                      result.link_bytes, result.link_busy_ms, result.total_ms);
+    if (result.multipath_active) {
+      std::cout << sim::RenderMultipathAscii(result.multipath);
+    }
   }
   if (flags.Has("timeline-csv")) {
     std::ofstream out(flags.GetString("timeline-csv", ""));

@@ -24,6 +24,10 @@
 //                                1 = the sequential baseline)
 //   --devices=N --partitioner=random|seg|metis
 //   --host-threads=N --msg-shards=N --expand=scatter|spmv|auto
+//   --contention=off|fair        interconnect contention model (default off)
+//   --multipath=off|on           stripe bulk transfers across link-disjoint
+//                                paths (fair contention only; per-query
+//                                values never change)
 //
 // Fault compose (gum fault plane, DESIGN.md §11):
 //   --fault-plan=SPEC --fault-seed=S
@@ -71,7 +75,9 @@
 #include "obs/trace.h"
 #include "serve/query_queue.h"
 #include "serve/serving.h"
+#include "sim/comm_plane.h"
 #include "sim/topology.h"
+#include "sim/transfer_plan.h"
 
 using namespace gum;  // NOLINT(build/namespaces)
 
@@ -84,6 +90,7 @@ constexpr const char* kKnownFlags[] = {
     "queries",     "query-seed",  "batch-width", "fault-plan",  "fault-seed",
     "fault-batch", "ckpt-every",  "save-values", "report",      "metrics",
     "trace",       "bench-json",  "bench-widths", "bench-threads", "help",
+    "contention",  "multipath",
 };
 
 void PrintUsage() {
@@ -95,6 +102,7 @@ void PrintUsage() {
       "                 [--batch-width=N] [--host-threads=N] "
       "[--msg-shards=N]\n"
       "                 [--expand=scatter|spmv|auto]\n"
+      "                 [--contention=off|fair] [--multipath=off|on]\n"
       "                 [--fault-plan=SPEC] [--fault-seed=S] "
       "[--fault-batch=K] [--ckpt-every=N]\n"
       "                 [--save-values=PREFIX] [--report=PATH] "
@@ -440,6 +448,20 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("host-threads", 0));
   cfg.options.num_msg_shards =
       static_cast<int>(flags.GetInt("msg-shards", 0));
+  const auto contention =
+      sim::ParseContentionModel(flags.GetString("contention", "off"));
+  if (!contention.ok()) {
+    std::cerr << contention.status().ToString() << "\n";
+    return 1;
+  }
+  cfg.options.contention = *contention;
+  const auto multipath =
+      sim::ParseMultipathMode(flags.GetString("multipath", "off"));
+  if (!multipath.ok()) {
+    std::cerr << multipath.status().ToString() << "\n";
+    return 1;
+  }
+  cfg.options.multipath = *multipath;
 
   // --- fault compose ---
   cfg.fault_batch = static_cast<int>(flags.GetInt("fault-batch", -1));
