@@ -1,0 +1,266 @@
+// Mutation-plane soak (DESIGN.md §14): update throughput vs query latency.
+//
+// Two sweeps over a GUM BFS workload on 8 vGPUs:
+//   * per-epoch recompute cost, incremental vs full, across mutation batch
+//     sizes — the BM_MutationEpoch_incremental/bN vs BM_MutationEpoch_full/bN
+//     pairs the CI bench-smoke gates with --expect-faster (warm incremental
+//     restarts must beat from-scratch recompute on small insert batches);
+//   * the serving interleave: queries streamed through ServeSession with a
+//     mutation epoch applied every R batches — as R shrinks, update
+//     throughput rises and the apply/rebuild charge lands on query latency.
+//
+// --bench-json writes the Google-benchmark-shaped artifact
+// (BENCH_mutation.json) that tools/bench_diff.py consumes.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algos/apps.h"
+#include "algos/incremental.h"
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "core/epoch_context.h"
+#include "graph/generators.h"
+#include "graph/mutation.h"
+#include "graph/partition.h"
+#include "serve/query_queue.h"
+#include "serve/serving.h"
+#include "sim/topology.h"
+
+using namespace gum;  // NOLINT(build/namespaces)
+
+namespace {
+
+constexpr const char* kKnownFlags[] = {"bench-json", "scale", "help"};
+constexpr int kDevices = 8;
+
+graph::CsrGraph MakeGraph(int scale) {
+  graph::RmatOptions opt;
+  opt.scale = scale;
+  opt.edge_factor = 8;
+  opt.seed = 2;
+  auto g = graph::CsrGraph::FromEdgeList(graph::Rmat(opt));
+  GUM_CHECK(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+graph::Partition MakePartition(const graph::CsrGraph& g) {
+  auto p = graph::PartitionGraph(g, kDevices, {});
+  GUM_CHECK(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+sim::Topology Topo() {
+  auto t = sim::Topology::HybridCubeMeshSubset(kDevices);
+  GUM_CHECK(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+graph::MutationStream MakeStream(const std::string& spec,
+                                 const graph::CsrGraph& g, uint64_t seed) {
+  auto plan = graph::MutationPlan::Parse(spec);
+  GUM_CHECK(plan.ok()) << plan.status().ToString();
+  auto stream = graph::MutationStream::Create(*plan, g, seed);
+  GUM_CHECK(stream.ok()) << stream.status().ToString();
+  return std::move(*stream);
+}
+
+struct EpochCosts {
+  double incremental_ms = 0.0;  // avg simulated recompute ms per epoch
+  double full_ms = 0.0;
+  int epochs = 0;
+};
+
+// One stream of insert-only epochs, recomputed both ways on the identical
+// epoch contexts. Insert-only keeps every epoch warm-incremental (no
+// checkpoint fallbacks), isolating the restart cost the gate compares.
+EpochCosts MeasureEpochPair(const graph::CsrGraph& g,
+                            const graph::Partition& partition,
+                            const sim::Topology& topology, int batch_size) {
+  const graph::MutationStream stream = MakeStream(
+      "rand-ins:4x" + std::to_string(batch_size), g, /*seed=*/7);
+  core::EngineOptions options;
+  core::EpochedGraphContext ectx(g, partition, topology, options,
+                                 /*symmetric=*/false);
+  algos::BfsApp app;
+  app.source = 0;
+  algos::IncrementalSession<algos::BfsApp> session;
+  session.RunInitial(ectx.ctx(), app);
+  core::RunContext<algos::BfsApp> rc_full;
+
+  EpochCosts costs;
+  for (int e = 1; e <= stream.num_epochs(); ++e) {
+    const auto adv = ectx.AdvanceEpoch(stream.BatchAt(e), /*compact_every=*/0);
+    const auto es = session.RunEpoch(ectx.ctx(), adv.effective);
+    costs.incremental_ms += es.result.total_ms + es.restore_ms;
+
+    algos::BfsApp fresh = app;
+    core::GumEngine<algos::BfsApp> engine(&ectx.ctx());
+    costs.full_ms += engine.Run(fresh, rc_full).total_ms;
+    ++costs.epochs;
+  }
+  costs.incremental_ms /= costs.epochs;
+  costs.full_ms /= costs.epochs;
+  return costs;
+}
+
+struct ServePoint {
+  int update_rate = 0;
+  int epochs_applied = 0;
+  double makespan_ms = 0.0;
+  double update_ms = 0.0;
+  serve::ServeStats stats;
+};
+
+// The gum_serve interleave, inlined: 64 queries in width-8 waves, one
+// insert epoch every `update_rate` batches.
+ServePoint MeasureServeInterleave(const graph::CsrGraph& g,
+                                  const graph::Partition& partition,
+                                  const sim::Topology& topology,
+                                  int update_rate) {
+  const graph::MutationStream stream = MakeStream("rand-ins:32x8", g, 7);
+  core::EngineOptions options;
+  core::EpochedGraphContext ectx(g, partition, topology, options,
+                                 /*symmetric=*/false);
+  serve::ServeSession<serve::BfsServeTraits> session(&ectx.ctx());
+  serve::QueryQueue queue;
+  Rng rng(1);
+  for (int i = 0; i < 64; ++i) {
+    queue.Admit(serve::Query{
+        i, serve::QueryKind::kBfs,
+        static_cast<graph::VertexId>(rng.NextBounded(g.num_vertices()))});
+  }
+  serve::ServeOptions opts;
+  opts.batch_width = 8;
+  opts.keep_values = false;
+  opts.max_batches = update_rate;
+
+  ServePoint point;
+  point.update_rate = update_rate;
+  double clock_ms = 0.0;
+  int batch_index = 0;
+  int epoch = 0;
+  while (!queue.empty()) {
+    opts.clock_base_ms = clock_ms;
+    opts.first_batch_index = batch_index;
+    const auto seg = session.ServeAll(queue, opts);
+    point.stats.queries += seg.stats.queries;
+    point.stats.batches += seg.stats.batches;
+    for (const auto& q : seg.stats.query_results) {
+      point.stats.query_results.push_back(q);
+    }
+    clock_ms = seg.stats.makespan_ms;
+    batch_index += seg.stats.batches;
+    if (!queue.empty() && epoch < stream.num_epochs()) {
+      ++epoch;
+      const auto adv = ectx.AdvanceEpoch(stream.BatchAt(epoch),
+                                         /*compact_every=*/4);
+      session.Rebind(&ectx.ctx());
+      clock_ms += adv.apply_ms + adv.compact_ms;
+      point.update_ms += adv.apply_ms + adv.compact_ms;
+      ++point.epochs_applied;
+    }
+  }
+  point.stats.makespan_ms = clock_ms;
+  point.makespan_ms = clock_ms;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::cout << "usage: mutation_throughput [--scale=N] [--bench-json=PATH]\n";
+    return 0;
+  }
+  if (Status s = flags.KnownFlagsOnly(
+          {std::begin(kKnownFlags), std::end(kKnownFlags)});
+      !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  const int scale = static_cast<int>(flags.GetInt("scale", 12));
+  const graph::CsrGraph g = MakeGraph(scale);
+  const graph::Partition partition = MakePartition(g);
+  const sim::Topology topology = Topo();
+  std::cout << "graph: rmat scale " << scale << ", " << g.num_vertices()
+            << " vertices, " << g.num_edges() << " edges, " << kDevices
+            << " vGPUs\n\n";
+
+  std::ofstream out;
+  JsonWriter* w = nullptr;
+  JsonWriter writer(out, 1);
+  if (flags.Has("bench-json")) {
+    out.open(flags.GetString("bench-json", ""));
+    w = &writer;
+    w->BeginObject();
+    w->Key("benchmarks").BeginArray();
+  }
+
+  std::cout << "=== per-epoch recompute: incremental vs full ===\n";
+  for (const int batch_size : {1, 8, 64}) {
+    const EpochCosts costs =
+        MeasureEpochPair(g, partition, topology, batch_size);
+    std::cout << "batch " << batch_size << ": incremental "
+              << costs.incremental_ms << " ms/epoch, full " << costs.full_ms
+              << " ms/epoch (" << costs.full_ms / costs.incremental_ms
+              << "x)\n";
+    if (w != nullptr) {
+      const std::string suffix = "/b" + std::to_string(batch_size);
+      for (const auto& [name, ms] :
+           {std::pair<std::string, double>{"BM_MutationEpoch_incremental",
+                                           costs.incremental_ms},
+            {"BM_MutationEpoch_full", costs.full_ms}}) {
+        w->BeginObject();
+        w->Key("name").Value(name + suffix);
+        w->Key("run_type").Value("iteration");
+        w->Key("real_time").Value(ms * 1e6);  // simulated ns
+        w->Key("time_unit").Value("ns");
+        w->Key("epochs").Value(costs.epochs);
+        w->EndObject();
+      }
+    }
+  }
+
+  std::cout << "\n=== serving interleave: update rate vs query latency ===\n";
+  for (const int rate : {1, 2, 4, 8}) {
+    const ServePoint point =
+        MeasureServeInterleave(g, partition, topology, rate);
+    const double updates_per_s =
+        point.makespan_ms > 0.0
+            ? point.epochs_applied / (point.makespan_ms / 1000.0)
+            : 0.0;
+    std::cout << "update-rate " << rate << ": " << point.epochs_applied
+              << " epochs, " << updates_per_s << " updates/s, p50 "
+              << point.stats.LatencyPercentile(0.50) << " ms, p99 "
+              << point.stats.LatencyPercentile(0.99) << " ms, makespan "
+              << point.makespan_ms << " ms\n";
+    if (w != nullptr) {
+      w->BeginObject();
+      w->Key("name").Value("BM_MutationServe/r" + std::to_string(rate));
+      w->Key("run_type").Value("iteration");
+      w->Key("real_time").Value(point.makespan_ms * 1e6);  // simulated ns
+      w->Key("time_unit").Value("ns");
+      w->Key("updates_per_s").Value(updates_per_s);
+      w->Key("update_ms").Value(point.update_ms);
+      w->Key("qps").Value(point.stats.QueriesPerSecond());
+      w->Key("p50_ms").Value(point.stats.LatencyPercentile(0.50));
+      w->Key("p99_ms").Value(point.stats.LatencyPercentile(0.99));
+      w->EndObject();
+    }
+  }
+
+  if (w != nullptr) {
+    w->EndArray();
+    w->EndObject();
+    out << "\n";
+  }
+  return 0;
+}

@@ -133,6 +133,16 @@ class GumEngine {
 
   const GraphContext& context() const { return *ctx_; }
 
+  // Repoints the engine at a new externally owned context (which must
+  // outlive the engine) — the mutation-plane epoch barrier, where the
+  // GraphContext is rebuilt over the mutated graph. Only valid between
+  // runs; any legacy-constructor-owned context is released.
+  void Rebind(const GraphContext* ctx) {
+    GUM_CHECK(ctx != nullptr) << "GumEngine needs a GraphContext";
+    ctx_ = ctx;
+    owned_ctx_.reset();
+  }
+
   // Runs the app to convergence; returns timing statistics and, optionally,
   // the final vertex values. Allocates a fresh RunContext — byte-identical
   // to the pre-context-split engine.

@@ -1,0 +1,112 @@
+#include "core/epoch_context.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/checkpoint.h"
+
+namespace gum::core {
+
+namespace {
+
+// Bytes one effective event contributes to an endpoint owner's apply
+// shipment: the delta directory slot (graph/mutation.cc sizing model).
+constexpr double kEventDirectoryBytes = 16.0;
+
+}  // namespace
+
+EpochedGraphContext::EpochedGraphContext(graph::CsrGraph base,
+                                         graph::Partition partition,
+                                         sim::Topology topology,
+                                         EngineOptions options, bool symmetric,
+                                         const ml::RegressionModel* cost_model)
+    : dyn_(std::move(base), symmetric),
+      partition_(std::move(partition)),
+      topology_(topology),
+      options_(options),
+      cost_model_(cost_model),
+      plane_(topology, options.contention) {
+  flat_ = std::make_unique<graph::CsrGraph>(dyn_.base());
+  RebuildContext();
+}
+
+EpochAdvanceStats EpochedGraphContext::AdvanceEpoch(
+    std::span<const graph::MutationEvent> batch, int compact_every) {
+  // The previous epoch's context (and the PullEdges/hub/shard state hanging
+  // off it) dies here; engines must already be unbound.
+  ctx_.reset();
+
+  graph::DynamicGraph::ApplyStats applied = dyn_.Apply(batch);
+
+  EpochAdvanceStats stats;
+  stats.epoch = dyn_.epochs_applied();
+  stats.inserted = applied.inserted;
+  stats.deleted = applied.deleted;
+  stats.noops = applied.noops;
+  stats.effective = std::move(applied.effective);
+  stats.affected = std::move(applied.affected);
+  stats.delta_bytes = applied.delta_bytes;
+
+  // Delta-apply charge: each effective event ships a directory entry to
+  // both endpoint owners; owners ingest in parallel (host->device PCIe,
+  // then the local HBM write), so the barrier waits on the slowest.
+  const int n = plane_.num_devices();
+  std::vector<double> bytes_per_device(static_cast<size_t>(n), 0.0);
+  for (const graph::MutationEvent& ev : stats.effective) {
+    bytes_per_device[partition_.owner[ev.u]] += kEventDirectoryBytes;
+    bytes_per_device[partition_.owner[ev.v]] += kEventDirectoryBytes;
+  }
+  for (int d = 0; d < n; ++d) {
+    const double bytes = bytes_per_device[d];
+    if (bytes <= 0.0) continue;
+    const double ms =
+        fault::CheckpointTransferMs(bytes) + plane_.LaneMs(d, d, bytes);
+    plane_.RecordLinkTraffic(d, d, bytes);
+    stats.apply_ms = std::max(stats.apply_ms, ms);
+  }
+
+  stats.compacted = compact_every > 0 &&
+                    stats.epoch % compact_every == 0 &&
+                    !dyn_.delta().empty();
+  if (stats.compacted) {
+    dyn_.Compact();
+    ++compactions_;
+  }
+  flat_ = std::make_unique<graph::CsrGraph>(
+      stats.compacted ? dyn_.base() : dyn_.Materialize());
+
+  if (stats.compacted) {
+    // Compaction streams each device's owned CSR span through local HBM
+    // twice: read the merged adjacency, write back the folded arrays.
+    const double per_edge_bytes =
+        sizeof(graph::VertexId) + (flat_->has_weights() ? sizeof(float) : 0);
+    std::vector<double> csr_bytes(static_cast<size_t>(n), 0.0);
+    for (graph::VertexId v = 0; v < flat_->num_vertices(); ++v) {
+      csr_bytes[partition_.owner[v]] +=
+          sizeof(graph::EdgeId) + flat_->OutDegree(v) * per_edge_bytes;
+    }
+    for (int d = 0; d < n; ++d) {
+      const double bytes = 2.0 * csr_bytes[d];
+      if (bytes <= 0.0) continue;
+      plane_.RecordLinkTraffic(d, d, bytes);
+      stats.compact_ms = std::max(stats.compact_ms, plane_.LaneMs(d, d, bytes));
+    }
+  }
+
+  graph::RefreshDerivedViews(&partition_, *flat_);
+  RebuildContext();
+
+  total_effective_ += static_cast<int>(stats.effective.size());
+  total_noops_ += stats.noops;
+  total_delta_bytes_ += stats.delta_bytes;
+  total_apply_ms_ += stats.apply_ms;
+  total_compact_ms_ += stats.compact_ms;
+  return stats;
+}
+
+void EpochedGraphContext::RebuildContext() {
+  ctx_ = std::make_unique<GraphContext>(flat_.get(), partition_, topology_,
+                                        options_, cost_model_);
+}
+
+}  // namespace gum::core

@@ -1,0 +1,115 @@
+// Graph epoching over the mutation plane (DESIGN.md §14).
+//
+// GraphContext is immutable by contract, so a mutating graph advances in
+// *epochs*: EpochedGraphContext owns the evolving DynamicGraph, and at
+// every epoch barrier it applies the batch, charges the delta-apply (and
+// the periodic compaction) through its CommPlane, materializes a fresh
+// flat CSR snapshot, refreshes the partition's derived views under the
+// pinned ownership, and rebuilds the GraphContext engines bind to.
+// Everything derived from the graph — PullEdges, the hub cache, the shard
+// map, the cost oracle — is invalidated wholesale by the rebuild rather
+// than patched, which keeps the epoch-K context bit-identical to one
+// built from scratch on the epoch-K graph (the incremental-equals-full
+// determinism contract rests on this).
+//
+// Charging model: an epoch's apply ships each effective event's directory
+// entry to the two endpoint owners (host->device over the checkpoint PCIe
+// lane, then a local HBM write), devices in parallel, so the wall charge
+// is the slowest device's. Compaction streams each device's owned CSR
+// span through HBM twice (read + write-back of the folded arrays).
+
+#ifndef GUM_CORE_EPOCH_CONTEXT_H_
+#define GUM_CORE_EPOCH_CONTEXT_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/engine_options.h"
+#include "core/graph_context.h"
+#include "graph/mutation.h"
+#include "graph/partition.h"
+#include "ml/model.h"
+#include "sim/comm_plane.h"
+#include "sim/topology.h"
+
+namespace gum::core {
+
+// What one AdvanceEpoch did: the batch's effect (from DynamicGraph), the
+// simulated charges, and whether this barrier compacted the overlay.
+struct EpochAdvanceStats {
+  int epoch = 0;  // 1-based epoch just applied
+  int inserted = 0;
+  int deleted = 0;
+  int noops = 0;
+  // Effective events (delv expanded, symmetric mirrors included) — the
+  // seed set for incremental recompute — and their sorted unique endpoints.
+  std::vector<graph::MutationEvent> effective;
+  std::vector<graph::VertexId> affected;
+  size_t delta_bytes = 0;
+  bool compacted = false;
+  double apply_ms = 0.0;
+  double compact_ms = 0.0;
+};
+
+class EpochedGraphContext {
+ public:
+  // `cost_model` (if non-null) must outlive the context; it is re-bound
+  // into every rebuilt GraphContext. `symmetric` mirrors every mutation
+  // (WCC graphs). The base graph is copied into epoch-0 state.
+  EpochedGraphContext(graph::CsrGraph base, graph::Partition partition,
+                      sim::Topology topology, EngineOptions options,
+                      bool symmetric,
+                      const ml::RegressionModel* cost_model = nullptr);
+
+  EpochedGraphContext(const EpochedGraphContext&) = delete;
+  EpochedGraphContext& operator=(const EpochedGraphContext&) = delete;
+
+  // The context for the current epoch's graph. Invalidated (rebuilt) by
+  // AdvanceEpoch; engines and RunContexts bound to the previous epoch's
+  // context must be dropped before advancing.
+  const GraphContext& ctx() const { return *ctx_; }
+  const graph::CsrGraph& graph() const { return *flat_; }
+  const graph::DynamicGraph& dynamic() const { return dyn_; }
+  const graph::Partition& partition() const { return partition_; }
+  int epoch() const { return dyn_.epochs_applied(); }
+
+  // Applies one epoch batch at the barrier: delta-apply into the overlay
+  // (charged), compaction when `compact_every` > 0 and the epoch index is
+  // a multiple of it (charged), then flat-snapshot + partition-view +
+  // GraphContext rebuild.
+  EpochAdvanceStats AdvanceEpoch(std::span<const graph::MutationEvent> batch,
+                                 int compact_every);
+
+  // --- aggregates across all epochs so far ---
+  int compactions() const { return compactions_; }
+  double total_apply_ms() const { return total_apply_ms_; }
+  double total_compact_ms() const { return total_compact_ms_; }
+  size_t total_delta_bytes() const { return total_delta_bytes_; }
+  int total_effective_events() const { return total_effective_; }
+  int total_noops() const { return total_noops_; }
+  // The plane the epoch charges settle on (telemetry for reports).
+  const sim::CommPlane& plane() const { return plane_; }
+
+ private:
+  void RebuildContext();
+
+  graph::DynamicGraph dyn_;
+  graph::Partition partition_;  // owner pinned; derived views per epoch
+  sim::Topology topology_;
+  EngineOptions options_;
+  const ml::RegressionModel* cost_model_;
+  sim::CommPlane plane_;
+  std::unique_ptr<graph::CsrGraph> flat_;  // current epoch's snapshot
+  std::unique_ptr<GraphContext> ctx_;
+  int compactions_ = 0;
+  int total_effective_ = 0;
+  int total_noops_ = 0;
+  size_t total_delta_bytes_ = 0;
+  double total_apply_ms_ = 0.0;
+  double total_compact_ms_ = 0.0;
+};
+
+}  // namespace gum::core
+
+#endif  // GUM_CORE_EPOCH_CONTEXT_H_

@@ -94,6 +94,23 @@ struct RunResult {
   bool multipath_active = false;
   sim::MultipathStats multipath;
 
+  // --- mutation plane (graph/mutation.h, DESIGN.md §14) ---
+  // Filled by the streaming drivers (gum_cli --mutations, gum_serve
+  // --update-rate) on the aggregate result; all zero for a static run, and
+  // the obs run report emits its `mutations` section only when active.
+  bool mutation_plane_active = false;
+  int mutation_epochs = 0;
+  int mutation_events_applied = 0;  // effective inserts + deletes
+  int mutation_noops = 0;
+  double mutation_delta_bytes = 0.0;  // overlay bytes summed over epochs
+  int mutation_compactions = 0;
+  int mutation_incremental_epochs = 0;
+  int mutation_skipped_epochs = 0;
+  int mutation_fallbacks = 0;  // lost-monotonicity full replays
+  double mutation_apply_ms = 0.0;    // charged delta-apply barriers
+  double mutation_compact_ms = 0.0;  // charged CSR compactions
+  double mutation_restore_ms = 0.0;  // charged fallback restores
+
   // Bucket totals over the whole run (simulated ms).
   double ComputeMs() const {
     return timeline.TotalByCategory(sim::TimeCategory::kCompute);

@@ -100,18 +100,23 @@ Result<Partition> PartitionGraph(const CsrGraph& g, int num_parts,
     }
   }
 
-  p.part_vertices.assign(num_parts, {});
-  p.part_out_edges.assign(num_parts, 0);
+  RefreshDerivedViews(&p, g);
+  return p;
+}
+
+void RefreshDerivedViews(Partition* p, const CsrGraph& g) {
+  p->part_vertices.assign(p->num_parts, {});
+  p->part_out_edges.assign(p->num_parts, 0);
+  p->edge_cut = 0;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    p.part_vertices[p.owner[v]].push_back(v);
-    p.part_out_edges[p.owner[v]] += g.OutDegree(v);
+    p->part_vertices[p->owner[v]].push_back(v);
+    p->part_out_edges[p->owner[v]] += g.OutDegree(v);
   }
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
     for (VertexId v : g.OutNeighbors(u)) {
-      if (p.owner[u] != p.owner[v]) ++p.edge_cut;
+      if (p->owner[u] != p->owner[v]) ++p->edge_cut;
     }
   }
-  return p;
 }
 
 }  // namespace gum::graph

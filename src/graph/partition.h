@@ -57,6 +57,13 @@ struct PartitionOptions {
 Result<Partition> PartitionGraph(const CsrGraph& g, int num_parts,
                                  const PartitionOptions& options = {});
 
+// Recomputes the derived views (part_vertices, part_out_edges, edge_cut)
+// of an existing owner assignment against g. Used when the graph mutates
+// under pinned ownership (graph/mutation.h): the id space never changes,
+// so owners stay valid while degrees and the cut drift per epoch.
+// p->owner must cover g.num_vertices().
+void RefreshDerivedViews(Partition* p, const CsrGraph& g);
+
 }  // namespace gum::graph
 
 #endif  // GUM_GRAPH_PARTITION_H_

@@ -141,6 +141,25 @@ void WriteRunReport(std::ostream& os, const RunReportMeta& meta,
     w.EndObject();
   }
 
+  // Mutation-plane counters (DESIGN.md §14). Gated like the faults
+  // section: a mutations-off run emits no "mutations" key, so its report
+  // stays byte-identical to a v2 report modulo schema_version.
+  if (result.mutation_plane_active) {
+    w.Key("mutations").BeginObject();
+    w.Key("epochs").Value(result.mutation_epochs);
+    w.Key("events_applied").Value(result.mutation_events_applied);
+    w.Key("noops").Value(result.mutation_noops);
+    w.Key("delta_bytes").Value(result.mutation_delta_bytes);
+    w.Key("compactions").Value(result.mutation_compactions);
+    w.Key("incremental_epochs").Value(result.mutation_incremental_epochs);
+    w.Key("skipped_epochs").Value(result.mutation_skipped_epochs);
+    w.Key("fallbacks").Value(result.mutation_fallbacks);
+    w.Key("apply_ms").Value(result.mutation_apply_ms);
+    w.Key("compact_ms").Value(result.mutation_compact_ms);
+    w.Key("restore_ms").Value(result.mutation_restore_ms);
+    w.EndObject();
+  }
+
   w.Key("comm").BeginObject();
   w.Key("total_remote_bytes").Value(result.TotalRemoteBytes());
   w.Key("total_payload_bytes").Value(result.TotalPayloadBytes());

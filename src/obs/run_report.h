@@ -30,7 +30,11 @@ class MetricsRegistry;
 // carries an optional "comm.multipath" section (striping telemetry,
 // sim/transfer_plan.h), emitted only when multipath was active — reports
 // from multipath-off runs stay byte-identical to pre-multipath v2 reports.
-inline constexpr int kRunReportSchemaVersion = 2;
+// v3 adds an optional "mutations" section (graph/mutation.h: epoch count,
+// delta bytes, compactions, lost-monotonicity fallbacks), emitted only
+// when a mutation stream was active — mutations-off reports stay
+// byte-identical to v2 reports modulo this version number.
+inline constexpr int kRunReportSchemaVersion = 3;
 
 // Free-form identification of the run. `config` carries whatever knobs the
 // caller wants recorded (flag echoes, dataset scale, seeds, ...); pairs are

@@ -24,6 +24,15 @@ struct ServeOptions {
   // When false, per-query value vectors are dropped after extraction
   // (latency soaks don't pay the copies).
   bool keep_values = true;
+  // Segmented serving (the mutation-plane interleave, DESIGN.md §14):
+  // serve at most `max_batches` batches (< 0 = drain the queue), start the
+  // simulated clock at `clock_base_ms`, and number batches from
+  // `first_batch_index` — so a stream served in segments around epoch
+  // barriers carries one continuous clock and batch numbering, and
+  // fault_batch keeps addressing the absolute batch index.
+  int max_batches = -1;
+  double clock_base_ms = 0.0;
+  int first_batch_index = 0;
 };
 
 struct BatchStats {

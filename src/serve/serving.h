@@ -92,15 +92,28 @@ class ServeSession {
   explicit ServeSession(const core::GraphContext* ctx)
       : ctx_(ctx), single_engine_(ctx), batch_engine_(ctx) {}
 
-  // Drains `queue`, returning per-query results in service order. Every
-  // query in the queue must match Traits::kKind.
+  // Repoints both engines at a new context (which must outlive the
+  // session) — the mutation-plane epoch barrier. RunContext arenas are
+  // kept: the engine rebuilds all per-run state from the context on every
+  // Run, so reuse across rebinds is byte-identical to fresh contexts.
+  void Rebind(const core::GraphContext* ctx) {
+    GUM_CHECK(ctx != nullptr) << "ServeSession needs a GraphContext";
+    ctx_ = ctx;
+    single_engine_.Rebind(ctx);
+    batch_engine_.Rebind(ctx);
+  }
+
+  // Drains `queue` (or its next `opts.max_batches` batches when that is
+  // >= 0, leaving the rest queued), returning per-query results in service
+  // order. Every query in the queue must match Traits::kKind.
   ServeOutcome<ValueType> ServeAll(QueryQueue& queue,
                                    const ServeOptions& opts) {
     ServeOutcome<ValueType> outcome;
     ServeStats& stats = outcome.stats;
-    double clock_ms = 0.0;
-    int batch_index = 0;
-    while (!queue.empty()) {
+    double clock_ms = opts.clock_base_ms;
+    int batch_index = opts.first_batch_index;
+    while (!queue.empty() &&
+           (opts.max_batches < 0 || stats.batches < opts.max_batches)) {
       const std::vector<Query> batch = queue.NextBatch(opts.batch_width);
       GUM_TRACE_SCOPE("serve.batch");
       for (const Query& q : batch) {

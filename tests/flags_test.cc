@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/flags.h"
+#include "graph/mutation.h"
 
 namespace gum {
 namespace {
@@ -157,6 +160,37 @@ TEST(FlagsTest, GetIntListRejectsEmptyTokens) {
 TEST(FlagsTest, GetIntListRejectsBareFlag) {
   // Bare "--sources" parses as the empty string: one empty token, invalid.
   EXPECT_FALSE(Parse({"--sources"}).GetIntList("sources", {}).ok());
+}
+
+// --mutations values flow verbatim into MutationPlan::Parse; like the
+// fault-plan grammar, unknown tokens must be loud InvalidArguments the
+// CLIs turn into non-zero exits — never a silently empty plan.
+TEST(FlagsTest, MutationPlanGrammarRejectsUnknownTokensLoudly) {
+  const auto flags = Parse({"--mutations=frob:1-2@3"});
+  const auto plan =
+      graph::MutationPlan::Parse(flags.GetString("mutations", "none"));
+  ASSERT_FALSE(plan.ok());
+  const std::string msg = plan.status().ToString();
+  EXPECT_NE(msg.find("unknown event kind"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("frob"), std::string::npos) << msg;
+}
+
+TEST(FlagsTest, MutationPlanGrammarRejectsMalformedEvents) {
+  for (const char* spec :
+       {"ins:1-2", "ins:x-2@1", "del:1-2@1x2.0", "rand:0x4", "rand:2"}) {
+    const auto flags = Parse({(std::string("--mutations=") + spec).c_str()});
+    EXPECT_FALSE(
+        graph::MutationPlan::Parse(flags.GetString("mutations", "none")).ok())
+        << "spec accepted: " << spec;
+  }
+}
+
+TEST(FlagsTest, MutationPlanDefaultIsEmpty) {
+  const auto flags = Parse({});
+  const auto plan =
+      graph::MutationPlan::Parse(flags.GetString("mutations", "none"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
 }
 
 }  // namespace

@@ -408,18 +408,66 @@ bool HasKey(const JsonValue& obj, const std::string& key) {
   return false;
 }
 
-TEST(RunReportTest, SchemaV2OmitsFaultsSectionWhenInactive) {
+TEST(RunReportTest, SchemaV3OmitsFaultsSectionWhenInactive) {
   // A faults-off run must not even mention the fault plane: the report
   // stays byte-comparable with pre-fault-plane artifacts.
   core::RunResult result;
   RunReportMeta meta;
   std::ostringstream os;
   WriteRunReport(os, meta, result, nullptr);
-  EXPECT_EQ(kRunReportSchemaVersion, 2);
+  EXPECT_EQ(kRunReportSchemaVersion, 3);
   EXPECT_EQ(os.str().find("faults"), std::string::npos);
   const auto doc = ParseJson(os.str());
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
   EXPECT_FALSE(HasKey(*doc, "faults"));
+}
+
+TEST(RunReportTest, SchemaV3OmitsMutationsSectionWhenInactive) {
+  // A mutations-off run must not even mention the mutation plane: modulo
+  // schema_version the report stays byte-identical to a v2 artifact.
+  core::RunResult result;
+  RunReportMeta meta;
+  std::ostringstream os;
+  WriteRunReport(os, meta, result, nullptr);
+  EXPECT_EQ(os.str().find("mutations"), std::string::npos);
+  const auto doc = ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_FALSE(HasKey(*doc, "mutations"));
+}
+
+TEST(RunReportTest, MutationsSectionRoundTrips) {
+  core::RunResult result;
+  result.mutation_plane_active = true;
+  result.mutation_epochs = 4;
+  result.mutation_events_applied = 96;
+  result.mutation_noops = 5;
+  result.mutation_delta_bytes = 2048.0;
+  result.mutation_compactions = 2;
+  result.mutation_incremental_epochs = 3;
+  result.mutation_skipped_epochs = 1;
+  result.mutation_fallbacks = 1;
+  result.mutation_apply_ms = 0.5;
+  result.mutation_compact_ms = 1.25;
+  result.mutation_restore_ms = 0.75;
+
+  RunReportMeta meta;
+  std::ostringstream os;
+  WriteRunReport(os, meta, result, nullptr);
+  const auto doc = ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(HasKey(*doc, "mutations"));
+  const JsonValue& m = doc->at("mutations");
+  EXPECT_EQ(m.at("epochs").int_value(), 4);
+  EXPECT_EQ(m.at("events_applied").int_value(), 96);
+  EXPECT_EQ(m.at("noops").int_value(), 5);
+  EXPECT_DOUBLE_EQ(m.at("delta_bytes").number(), 2048.0);
+  EXPECT_EQ(m.at("compactions").int_value(), 2);
+  EXPECT_EQ(m.at("incremental_epochs").int_value(), 3);
+  EXPECT_EQ(m.at("skipped_epochs").int_value(), 1);
+  EXPECT_EQ(m.at("fallbacks").int_value(), 1);
+  EXPECT_DOUBLE_EQ(m.at("apply_ms").number(), 0.5);
+  EXPECT_DOUBLE_EQ(m.at("compact_ms").number(), 1.25);
+  EXPECT_DOUBLE_EQ(m.at("restore_ms").number(), 0.75);
 }
 
 TEST(RunReportTest, FaultsSectionRoundTrips) {

@@ -54,6 +54,21 @@
 //   --fault-seed=S               chaos expansion seed (default 1)
 //   --ckpt-every=N               checkpoint cadence in iterations (0 = off)
 //
+// Mutation plane (src/graph/mutation.h, DESIGN.md §14; gum engine only):
+//   --mutations=PLAN             "none" (default) or ';'-joined events:
+//                                ins:u-v@K[xW], del:u-v@K, delv:u@K, or the
+//                                seeded generators rand:ExB / rand-ins:ExB.
+//                                Runs the query once per epoch: a full run
+//                                on the base graph, then one recompute after
+//                                each epoch's update batch.
+//   --mutation-seed=S            rand expansion seed (default 1)
+//   --compact-every=N            fold the CSR delta overlay back into a flat
+//                                CSR every N epochs (0 = never)
+//   --incremental=on|off         warm-start recompute from mutation-affected
+//                                vertices (default on; off forces a full
+//                                recompute per epoch — values are
+//                                byte-identical either way)
+//
 // Example:
 //   gum_cli --gen=road --rows=128 --cols=128 --algo=sssp --devices=8
 
@@ -62,7 +77,10 @@
 #include <utility>
 
 #include "algos/apps.h"
+#include "algos/incremental.h"
 #include "algos/multi_source.h"
+#include "core/epoch_context.h"
+#include "graph/mutation.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
@@ -92,7 +110,7 @@ constexpr const char* kKnownFlags[] = {
     "timeline-csv", "host-threads", "contention", "show-links",
     "msg-shards", "trace", "metrics", "report",
     "fault-plan", "fault-seed", "ckpt-every", "expand", "sources",
-    "multipath",
+    "multipath", "mutations", "mutation-seed", "compact-every", "incremental",
 };
 
 void PrintUsage() {
@@ -110,7 +128,10 @@ void PrintUsage() {
       "               [--save-values=PATH]\n"
       "               [--trace=PATH] [--metrics=PATH] [--report=PATH]\n"
       "               [--fault-plan=SPEC] [--fault-seed=S] "
-      "[--ckpt-every=N]\n";
+      "[--ckpt-every=N]\n"
+      "               [--mutations=PLAN] [--mutation-seed=S] "
+      "[--compact-every=N]\n"
+      "               [--incremental=on|off]\n";
 }
 
 Result<graph::EdgeList> LoadOrGenerate(const FlagParser& flags) {
@@ -379,6 +400,232 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
   return 0;
 }
 
+// Streaming mode (--mutations): the graph advances in epochs and the query
+// re-runs after each update batch — incrementally when sound, as a full
+// recompute otherwise, with values byte-identical either way. Gum engine
+// only; the per-epoch GraphContext rebuild keeps every derived structure
+// honest.
+template <typename App, typename Value = typename App::Value>
+int RunMutationStream(const FlagParser& flags, const graph::CsrGraph& g,
+                      const graph::Partition& partition,
+                      const sim::Topology& topology, App app,
+                      const graph::MutationStream& stream, bool symmetric) {
+  const int host_threads = static_cast<int>(flags.GetInt("host-threads", 0));
+  const int msg_shards = static_cast<int>(flags.GetInt("msg-shards", 0));
+  auto contention =
+      sim::ParseContentionModel(flags.GetString("contention", "off"));
+  if (!contention.ok()) {
+    std::cerr << contention.status().ToString() << "\n";
+    return 1;
+  }
+  auto multipath =
+      sim::ParseMultipathMode(flags.GetString("multipath", "off"));
+  if (!multipath.ok()) {
+    std::cerr << multipath.status().ToString() << "\n";
+    return 1;
+  }
+  const auto expand_or =
+      flags.GetEnum("expand", "scatter", {"scatter", "spmv", "auto"});
+  if (!expand_or.ok()) {
+    std::cerr << expand_or.status().ToString() << "\n";
+    return 1;
+  }
+  core::ExpandBackendKind expand_backend = core::ExpandBackendKind::kScatter;
+  core::ParseExpandBackendKind(*expand_or, &expand_backend);
+  const auto inc_or = flags.GetEnum("incremental", "on", {"on", "off"});
+  if (!inc_or.ok()) {
+    std::cerr << inc_or.status().ToString() << "\n";
+    return 1;
+  }
+  const bool incremental = *inc_or == "on";
+  const int compact_every = static_cast<int>(flags.GetInt("compact-every", 0));
+  if (compact_every < 0) {
+    std::cerr << "--compact-every must be >= 0\n";
+    return 1;
+  }
+
+  // The fault plan (if any) replays inside every epoch's run; recovery is
+  // byte-exact, so it composes with the incremental/full equivalence.
+  fault::FaultPlane fault_plane;
+  {
+    auto plan = fault::FaultPlan::Parse(flags.GetString("fault-plan", "none"));
+    if (!plan.ok()) {
+      std::cerr << plan.status().ToString() << "\n";
+      return 1;
+    }
+    auto plane = fault::FaultPlane::Create(
+        *plan, partition.num_parts,
+        static_cast<uint64_t>(flags.GetInt("fault-seed", 1)));
+    if (!plane.ok()) {
+      std::cerr << plane.status().ToString() << "\n";
+      return 1;
+    }
+    fault_plane = std::move(*plane);
+  }
+
+  const bool want_trace = flags.Has("trace");
+  const bool want_metrics = flags.Has("metrics");
+  const bool want_report = flags.Has("report");
+  obs::TraceSession trace;
+  if (want_trace) trace.Start();
+  if (want_metrics || want_report) obs::SetMetricsEnabled(true);
+
+  core::EngineOptions options;
+  options.enable_fsteal = !flags.GetBool("no-fsteal", false);
+  options.enable_osteal = !flags.GetBool("no-osteal", false);
+  options.num_host_threads = host_threads;
+  options.num_msg_shards = msg_shards;
+  options.contention = *contention;
+  options.multipath = *multipath;
+  options.expand_backend = expand_backend;
+  options.fault_plane = &fault_plane;
+  options.checkpoint.every = static_cast<int>(flags.GetInt("ckpt-every", 0));
+
+  core::EpochedGraphContext ectx(g, partition, topology, options, symmetric);
+  algos::IncrementalSession<App> session;
+  core::RunResult aggregate = session.RunInitial(ectx.ctx(), app);
+  aggregate.mutation_plane_active = true;
+
+  // Full-recompute state for --incremental=off (the equality baseline).
+  core::RunContext<App> rc_full;
+  std::vector<Value> values = session.values();
+
+  std::cout << "epoch 0: initial run, " << aggregate.iterations
+            << " iterations, " << aggregate.total_ms << " ms\n";
+
+  for (int e = 1; e <= stream.num_epochs(); ++e) {
+    const core::EpochAdvanceStats adv =
+        ectx.AdvanceEpoch(stream.BatchAt(e), compact_every);
+    ++aggregate.mutation_epochs;
+    aggregate.mutation_events_applied += adv.inserted + adv.deleted;
+    aggregate.mutation_noops += adv.noops;
+    aggregate.mutation_delta_bytes += static_cast<double>(adv.delta_bytes);
+    if (adv.compacted) ++aggregate.mutation_compactions;
+    aggregate.mutation_apply_ms += adv.apply_ms;
+    aggregate.mutation_compact_ms += adv.compact_ms;
+
+    const char* plan_name = "full";
+    double restore_ms = 0.0;
+    core::RunResult r;
+    if (incremental) {
+      auto er = session.RunEpoch(ectx.ctx(), adv.effective);
+      plan_name = algos::EpochPlanKindName(er.kind);
+      switch (er.kind) {
+        case algos::EpochPlanKind::kSkip:
+          ++aggregate.mutation_skipped_epochs;
+          break;
+        case algos::EpochPlanKind::kIncremental:
+          ++aggregate.mutation_incremental_epochs;
+          break;
+        case algos::EpochPlanKind::kFallback:
+          ++aggregate.mutation_fallbacks;
+          break;
+      }
+      restore_ms = er.restore_ms;
+      aggregate.mutation_restore_ms += er.restore_ms;
+      r = std::move(er.result);
+      values = session.values();
+    } else {
+      core::GumEngine<App> engine(&ectx.ctx());
+      r = engine.Run(app, rc_full);
+      values = rc_full.state.values;
+    }
+    aggregate.iterations += r.iterations;
+    aggregate.total_ms +=
+        adv.apply_ms + adv.compact_ms + restore_ms + r.total_ms;
+    aggregate.edges_processed += r.edges_processed;
+    aggregate.messages_sent += r.messages_sent;
+    aggregate.stolen_edges_total += r.stolen_edges_total;
+    if (r.iterations > 0) {
+      aggregate.timeline = std::move(r.timeline);
+      aggregate.link_bytes = std::move(r.link_bytes);
+      aggregate.payload_bytes = std::move(r.payload_bytes);
+      aggregate.link_busy_ms = std::move(r.link_busy_ms);
+    }
+
+    std::cout << "epoch " << e << ": +" << adv.inserted << "/-" << adv.deleted
+              << " edges (" << adv.noops << " noop"
+              << (adv.compacted ? ", compacted" : "") << "), plan "
+              << plan_name << ", " << r.iterations << " iterations, "
+              << (adv.apply_ms + adv.compact_ms + restore_ms + r.total_ms)
+              << " ms\n";
+  }
+
+  if (want_metrics || want_report) obs::SetMetricsEnabled(false);
+  if (want_trace) {
+    trace.Stop();
+    trace.AddSimulatedTimeline(aggregate.timeline);
+    std::ofstream out(flags.GetString("trace", ""));
+    trace.WriteChromeTrace(out);
+  }
+  if (want_metrics) {
+    std::ofstream out(flags.GetString("metrics", ""));
+    obs::MetricsRegistry::Global().WriteJson(out);
+  }
+  if (want_report) {
+    obs::RunReportMeta meta;
+    meta.system = "gum";
+    meta.algorithm = flags.GetString("algo", "bfs");
+    meta.dataset = flags.Has("graph") ? flags.GetString("graph", "")
+                                      : flags.GetString("gen", "");
+    meta.num_devices = partition.num_parts;
+    meta.config = {
+        {"contention", flags.GetString("contention", "off")},
+        {"partitioner", flags.GetString("partitioner", "random")},
+        {"host_threads", std::to_string(host_threads)},
+        {"msg_shards", std::to_string(msg_shards)},
+        {"fsteal", flags.GetBool("no-fsteal", false) ? "off" : "on"},
+        {"osteal", flags.GetBool("no-osteal", false) ? "off" : "on"},
+        {"expand", core::ExpandBackendKindName(expand_backend)},
+        {"mutations", flags.GetString("mutations", "none")},
+        {"mutation_seed", std::to_string(flags.GetInt("mutation-seed", 1))},
+        {"compact_every", std::to_string(compact_every)},
+        {"incremental", incremental ? "on" : "off"},
+    };
+    std::ofstream out(flags.GetString("report", ""));
+    obs::WriteRunReport(out, meta, aggregate, &obs::MetricsRegistry::Global());
+  }
+
+  std::cout << "engine:          gum\n"
+            << "iterations:      " << aggregate.iterations << "\n"
+            << "simulated time:  " << aggregate.total_ms << " ms\n"
+            << "edges processed: " << aggregate.edges_processed << "\n"
+            << "messages sent:   " << aggregate.messages_sent << "\n"
+            << "mutations:       " << aggregate.mutation_epochs << " epochs, "
+            << aggregate.mutation_events_applied << " applied ("
+            << aggregate.mutation_noops << " noop), "
+            << aggregate.mutation_delta_bytes << " delta bytes, "
+            << aggregate.mutation_compactions << " compactions\n"
+            << "recompute:       " << (incremental ? "incremental" : "full")
+            << " (" << aggregate.mutation_incremental_epochs
+            << " incremental, " << aggregate.mutation_skipped_epochs
+            << " skipped, " << aggregate.mutation_fallbacks
+            << " fallbacks), apply " << aggregate.mutation_apply_ms
+            << " ms, compact " << aggregate.mutation_compact_ms
+            << " ms, restore " << aggregate.mutation_restore_ms << " ms\n";
+  if (flags.GetBool("timeline", false)) {
+    std::cout << aggregate.timeline.RenderAscii(96);
+  }
+  if (flags.GetBool("show-links", false)) {
+    std::cout << "link utilization (" << sim::ContentionModelName(*contention)
+              << " contention):\n"
+              << sim::CommPlane::RenderAsciiTable(aggregate.link_bytes,
+                                                  aggregate.link_busy_ms,
+                                                  aggregate.total_ms);
+  }
+  if (flags.Has("timeline-csv")) {
+    std::ofstream out(flags.GetString("timeline-csv", ""));
+    aggregate.timeline.WriteCsv(out);
+  }
+  if (flags.Has("save-values")) {
+    std::ofstream out(flags.GetString("save-values", ""));
+    for (size_t v = 0; v < values.size(); ++v) {
+      out << v << " " << values[v] << "\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -454,6 +701,64 @@ int main(int argc, char** argv) {
     for (graph::VertexId v = 0; v < g->num_vertices(); ++v) {
       if (g->OutDegree(v) > g->OutDegree(source)) source = v;
     }
+  }
+
+  // Parse + bind the mutation plan before any dispatch so an invalid spec
+  // fails loudly without running anything. "none" stays on the static path
+  // (byte-identical to a run without the flag).
+  graph::MutationStream mstream;
+  if (flags.Has("mutations")) {
+    auto mplan = graph::MutationPlan::Parse(flags.GetString("mutations", ""));
+    if (!mplan.ok()) {
+      std::cerr << mplan.status().ToString() << "\n";
+      return 1;
+    }
+    if (!mplan->empty()) {
+      auto ms = graph::MutationStream::Create(
+          *mplan, *g,
+          static_cast<uint64_t>(flags.GetInt("mutation-seed", 1)));
+      if (!ms.ok()) {
+        std::cerr << ms.status().ToString() << "\n";
+        return 1;
+      }
+      mstream = std::move(*ms);
+    }
+  }
+  if (mstream.active()) {
+    if (flags.GetString("engine", "gum") != "gum") {
+      std::cerr << "--mutations requires --engine=gum\n";
+      return 1;
+    }
+    if (flags.Has("sources")) {
+      std::cerr << "--mutations does not compose with --sources\n";
+      return 1;
+    }
+    if (algo == "bfs") {
+      algos::BfsApp app;
+      app.source = source;
+      return RunMutationStream(flags, *g, *partition, *topology, app, mstream,
+                               /*symmetric=*/false);
+    }
+    if (algo == "sssp") {
+      algos::SsspApp app;
+      app.source = source;
+      return RunMutationStream(flags, *g, *partition, *topology, app, mstream,
+                               /*symmetric=*/false);
+    }
+    if (algo == "wcc") {
+      algos::WccApp app;
+      return RunMutationStream(flags, *g, *partition, *topology, app, mstream,
+                               /*symmetric=*/true);
+    }
+    if (algo == "pr") {
+      algos::PageRankApp app;
+      app.num_vertices = g->num_vertices();
+      app.rounds = static_cast<int>(flags.GetInt("pr-rounds", 20));
+      return RunMutationStream(flags, *g, *partition, *topology, app, mstream,
+                               /*symmetric=*/false);
+    }
+    std::cerr << "--mutations requires --algo=bfs|sssp|wcc|pr\n";
+    return 1;
   }
 
   if (flags.Has("sources")) {

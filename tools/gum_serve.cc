@@ -37,6 +37,18 @@
 //                                results stay byte-identical
 //   --ckpt-every=N
 //
+// Mutation plane (DESIGN.md §14) — streaming updates between query waves:
+//   --mutations=SPEC             mutation plan (graph/mutation.h grammar:
+//                                "ins:u-v@K[xW];del:u-v@K;delv:u@K" or
+//                                "rand:EPOCHSxPER" / "rand-ins:EPOCHSxPER")
+//   --mutation-seed=S            seed for rand streams (default 1)
+//   --update-rate=R              serve R query batches, then apply the next
+//                                mutation epoch at the barrier (default 1);
+//                                apply/compaction charge lands on the
+//                                stream clock, so later queries pay for it
+//   --compact-every=N            fold the delta overlay back into a flat
+//                                CSR every N epochs (0 = never)
+//
 // Output / observability:
 //   --save-values=PREFIX         per-query "vertex value" files
 //                                PREFIX.q<id>.txt
@@ -65,8 +77,10 @@
 #include "common/flags.h"
 #include "common/json.h"
 #include "common/random.h"
+#include "core/epoch_context.h"
 #include "core/graph_context.h"
 #include "fault/fault_plane.h"
+#include "graph/mutation.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/partition.h"
@@ -90,7 +104,8 @@ constexpr const char* kKnownFlags[] = {
     "queries",     "query-seed",  "batch-width", "fault-plan",  "fault-seed",
     "fault-batch", "ckpt-every",  "save-values", "report",      "metrics",
     "trace",       "bench-json",  "bench-widths", "bench-threads", "help",
-    "contention",  "multipath",
+    "contention",  "multipath",   "mutations",   "mutation-seed",
+    "update-rate", "compact-every",
 };
 
 void PrintUsage() {
@@ -105,6 +120,8 @@ void PrintUsage() {
       "                 [--contention=off|fair] [--multipath=off|on]\n"
       "                 [--fault-plan=SPEC] [--fault-seed=S] "
       "[--fault-batch=K] [--ckpt-every=N]\n"
+      "                 [--mutations=SPEC] [--mutation-seed=S] "
+      "[--update-rate=R] [--compact-every=N]\n"
       "                 [--save-values=PREFIX] [--report=PATH] "
       "[--metrics=PATH] [--trace=PATH]\n"
       "                 [--bench-json=PATH] [--bench-widths=LIST] "
@@ -242,23 +259,20 @@ int RunBench(const FlagParser& flags, const graph::CsrGraph& g,
   return 0;
 }
 
-template <typename Traits>
-int RunServe(const FlagParser& flags, const graph::CsrGraph& g,
-             const graph::Partition& partition, const sim::Topology& topology,
-             const ServeConfig& cfg) {
+// Shared tail of the serve drivers: obs artifacts, report, saved values,
+// and the stdout summary. `extra_config` rides along in the report's
+// meta.config (mutation-plane knobs; empty for the static path, keeping
+// mutations-off reports byte-identical).
+template <typename ValueT>
+int FinishServe(
+    const FlagParser& flags, const ServeConfig& cfg,
+    const graph::Partition& partition,
+    const serve::ServeOutcome<ValueT>& outcome, obs::TraceSession& trace,
+    const std::vector<std::pair<std::string, std::string>>& extra_config) {
   const bool want_trace = flags.Has("trace");
   const bool want_metrics = flags.Has("metrics");
   const bool want_report = flags.Has("report");
-  obs::TraceSession trace;
-  if (want_trace) trace.Start();
-  if (want_metrics || want_report) obs::SetMetricsEnabled(true);
-
   const bool keep_values = flags.Has("save-values");
-  serve::ServeOutcome<typename Traits::ValueType> outcome;
-  {
-    const core::GraphContext ctx(&g, partition, topology, cfg.options);
-    outcome = ServeStream<Traits>(ctx, cfg, cfg.batch_width, keep_values);
-  }
   const serve::ServeStats& stats = outcome.stats;
 
   if (want_metrics || want_report) obs::SetMetricsEnabled(false);
@@ -293,6 +307,7 @@ int RunServe(const FlagParser& flags, const graph::CsrGraph& g,
       meta.config.emplace_back("ckpt_every",
                                std::to_string(cfg.ckpt_every));
     }
+    for (const auto& kv : extra_config) meta.config.push_back(kv);
     obs::ServeReportStats report;
     report.batch_width = cfg.batch_width;
     report.queries = stats.queries;
@@ -338,6 +353,120 @@ int RunServe(const FlagParser& flags, const graph::CsrGraph& g,
     std::cout << "recovery:        " << stats.recovery_ms << " ms\n";
   }
   return 0;
+}
+
+template <typename Traits>
+int RunServe(const FlagParser& flags, const graph::CsrGraph& g,
+             const graph::Partition& partition, const sim::Topology& topology,
+             const ServeConfig& cfg) {
+  const bool want_trace = flags.Has("trace");
+  const bool want_metrics = flags.Has("metrics");
+  const bool want_report = flags.Has("report");
+  obs::TraceSession trace;
+  if (want_trace) trace.Start();
+  if (want_metrics || want_report) obs::SetMetricsEnabled(true);
+
+  const bool keep_values = flags.Has("save-values");
+  serve::ServeOutcome<typename Traits::ValueType> outcome;
+  {
+    const core::GraphContext ctx(&g, partition, topology, cfg.options);
+    outcome = ServeStream<Traits>(ctx, cfg, cfg.batch_width, keep_values);
+  }
+  return FinishServe(flags, cfg, partition, outcome, trace, {});
+}
+
+// Streaming serve: interleave mutation epochs with query batches. Every
+// `update_rate` batches the stream pauses at a barrier, the next mutation
+// epoch lands on the epoched context (delta overlay, optional compaction),
+// both engines rebind to the rebuilt GraphContext, and the apply/compaction
+// charge is added to the stream clock — later queries pay the update cost
+// in their latency. Batch numbering and the clock are continuous across
+// segments, so --fault-batch keeps addressing absolute batch indices.
+template <typename Traits>
+int RunServeMutating(const FlagParser& flags, const graph::CsrGraph& g,
+                     const graph::Partition& partition,
+                     const sim::Topology& topology, const ServeConfig& cfg,
+                     const graph::MutationStream& stream,
+                     const std::string& mutation_spec, uint64_t mutation_seed,
+                     int update_rate, int compact_every) {
+  const bool want_trace = flags.Has("trace");
+  const bool want_metrics = flags.Has("metrics");
+  const bool want_report = flags.Has("report");
+  obs::TraceSession trace;
+  if (want_trace) trace.Start();
+  if (want_metrics || want_report) obs::SetMetricsEnabled(true);
+
+  const bool keep_values = flags.Has("save-values");
+  serve::ServeOutcome<typename Traits::ValueType> outcome;
+  int epochs_applied = 0;
+  int events_applied = 0;
+  int noops = 0;
+  int compactions = 0;
+  double update_ms = 0.0;
+  {
+    core::EpochedGraphContext ectx(g, partition, topology, cfg.options,
+                                   /*symmetric=*/false);
+    serve::ServeSession<Traits> session(&ectx.ctx());
+    serve::QueryQueue queue = BuildQueue(cfg.sources, Traits::kKind);
+    serve::ServeOptions opts;
+    opts.batch_width = cfg.batch_width;
+    opts.fault_batch = cfg.fault_batch;
+    opts.fault_plane = cfg.fault_plane;
+    opts.ckpt_every = cfg.ckpt_every;
+    opts.keep_values = keep_values;
+    opts.max_batches = update_rate;
+
+    double clock_ms = 0.0;
+    int batch_index = 0;
+    int epoch = 0;
+    while (!queue.empty()) {
+      opts.clock_base_ms = clock_ms;
+      opts.first_batch_index = batch_index;
+      auto seg = session.ServeAll(queue, opts);
+      outcome.stats.queries += seg.stats.queries;
+      outcome.stats.batches += seg.stats.batches;
+      outcome.stats.recovery_ms += seg.stats.recovery_ms;
+      for (auto& b : seg.stats.batch_stats) {
+        outcome.stats.batch_stats.push_back(b);
+      }
+      for (auto& q : seg.stats.query_results) {
+        outcome.stats.query_results.push_back(q);
+      }
+      for (auto& v : seg.values) outcome.values.push_back(std::move(v));
+      clock_ms = seg.stats.makespan_ms;
+      batch_index += seg.stats.batches;
+
+      if (!queue.empty() && epoch < stream.num_epochs()) {
+        ++epoch;
+        const core::EpochAdvanceStats adv =
+            ectx.AdvanceEpoch(stream.BatchAt(epoch), compact_every);
+        session.Rebind(&ectx.ctx());
+        const double epoch_ms = adv.apply_ms + adv.compact_ms;
+        clock_ms += epoch_ms;
+        update_ms += epoch_ms;
+        ++epochs_applied;
+        events_applied += adv.inserted + adv.deleted;
+        noops += adv.noops;
+        if (adv.compacted) ++compactions;
+        std::cout << "epoch " << epoch << ": +" << adv.inserted << "/-"
+                  << adv.deleted << " edges (" << adv.noops << " noop"
+                  << (adv.compacted ? ", compacted" : "") << "), "
+                  << epoch_ms << " ms\n";
+      }
+    }
+    outcome.stats.makespan_ms = clock_ms;
+  }
+
+  std::cout << "updates:         " << epochs_applied << " epochs, "
+            << events_applied << " applied, " << noops << " noop, "
+            << compactions << " compactions, " << update_ms << " ms\n";
+  const std::vector<std::pair<std::string, std::string>> extra_config = {
+      {"mutations", mutation_spec},
+      {"mutation_seed", std::to_string(mutation_seed)},
+      {"update_rate", std::to_string(update_rate)},
+      {"compact_every", std::to_string(compact_every)},
+  };
+  return FinishServe(flags, cfg, partition, outcome, trace, extra_config);
 }
 
 }  // namespace
@@ -492,6 +621,57 @@ int main(int argc, char** argv) {
     cfg.fault_plane = &fault_plane;
   }
 
+  // --- mutation compose ---
+  const std::string mutation_spec = flags.GetString("mutations", "none");
+  const uint64_t mutation_seed =
+      static_cast<uint64_t>(flags.GetInt("mutation-seed", 1));
+  graph::MutationStream mutation_stream;
+  {
+    auto plan = graph::MutationPlan::Parse(mutation_spec);
+    if (!plan.ok()) {
+      std::cerr << plan.status().ToString() << "\n";
+      return 1;
+    }
+    if (!plan->empty()) {
+      auto stream = graph::MutationStream::Create(*plan, *g, mutation_seed);
+      if (!stream.ok()) {
+        std::cerr << stream.status().ToString() << "\n";
+        return 1;
+      }
+      mutation_stream = std::move(*stream);
+    }
+  }
+  const int update_rate = static_cast<int>(flags.GetInt("update-rate", 1));
+  const int compact_every = static_cast<int>(flags.GetInt("compact-every", 0));
+  if (mutation_stream.active()) {
+    if (update_rate < 1) {
+      std::cerr << "--update-rate must be >= 1\n";
+      return 1;
+    }
+    if (compact_every < 0) {
+      std::cerr << "--compact-every must be >= 0\n";
+      return 1;
+    }
+    if (flags.Has("bench-json")) {
+      std::cerr << "--mutations does not compose with --bench-json (use "
+                   "bench/mutation_throughput)\n";
+      return 1;
+    }
+  } else if (flags.Has("update-rate") || flags.Has("compact-every")) {
+    std::cerr << "--update-rate/--compact-every need an active "
+                 "--mutations stream\n";
+    return 1;
+  }
+
+  if (mutation_stream.active()) {
+    return algo == "bfs"
+               ? RunServeMutating<serve::BfsServeTraits>(
+                     flags, *g, *partition, *topology, cfg, mutation_stream,
+                     mutation_spec, mutation_seed, update_rate, compact_every)
+               : RunServeMutating<serve::SsspServeTraits>(
+                     flags, *g, *partition, *topology, cfg, mutation_stream,
+                     mutation_spec, mutation_seed, update_rate, compact_every);
+  }
   if (flags.Has("bench-json")) {
     return algo == "bfs" ? RunBench<serve::BfsServeTraits>(
                                flags, *g, *partition, *topology, cfg)
