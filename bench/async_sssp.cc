@@ -1,0 +1,183 @@
+// Async-vs-BSP sweep on the paper's hardest regime (DESIGN.md §15): SSSP
+// over a long-diameter road grid — the LT workload where hundreds of
+// near-empty BSP supersteps pay the full barrier each, while the async
+// priority-worklist driver pays only per-micro-batch overhead.
+//
+// Two artifact families in BENCH_async.json:
+//   * the CI-gated ordering pair — BM_AsyncSsspRoad_async/road vs
+//     BM_AsyncSsspRoad_bsp/road, both at stock knobs, which
+//     tools/bench_diff.py --expect-faster asserts keeps async ahead;
+//   * the delta x worklist/steal sweep (BM_AsyncSweep/...), ungated
+//     context for picking knob defaults.
+//
+// --bench-json writes the Google-benchmark-shaped artifact that
+// tools/bench_diff.py consumes.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algos/apps.h"
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "sim/topology.h"
+
+using namespace gum;  // NOLINT(build/namespaces)
+
+namespace {
+
+constexpr const char* kKnownFlags[] = {"bench-json", "side", "devices",
+                                       "help"};
+
+graph::CsrGraph MakeRoad(uint32_t side) {
+  graph::RoadGridOptions opt;
+  opt.rows = side;
+  opt.cols = side;
+  opt.seed = 3;
+  auto g = graph::CsrGraph::FromEdgeList(graph::RoadGrid(opt));
+  GUM_CHECK(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+struct Cell {
+  std::string label;
+  core::RunResult result;
+};
+
+Cell RunCell(const graph::CsrGraph& g, const graph::Partition& partition,
+             const sim::Topology& topology, const core::EngineOptions& options,
+             std::string label) {
+  algos::SsspApp app;
+  app.source = 0;
+  core::GumEngine<algos::SsspApp> engine(&g, partition, topology, options);
+  Cell cell;
+  cell.label = std::move(label);
+  cell.result = engine.Run(app);
+  return cell;
+}
+
+void EmitRow(JsonWriter* w, const std::string& name, const Cell& cell) {
+  if (w == nullptr) return;
+  w->BeginObject();
+  w->Key("name").Value(name);
+  w->Key("run_type").Value("iteration");
+  w->Key("real_time").Value(cell.result.total_ms * 1e6);  // simulated ns
+  w->Key("time_unit").Value("ns");
+  w->Key("iterations_run").Value(cell.result.iterations);
+  w->Key("edges_processed").Value(cell.result.edges_processed);
+  if (cell.result.async_active) {
+    w->Key("stale_skips").Value(cell.result.async_stale_skips);
+    w->Key("range_steals").Value(cell.result.async_range_steals);
+    w->Key("quiescence_rounds").Value(cell.result.quiescence_rounds);
+    w->Key("delta").Value(cell.result.async_delta);
+  }
+  w->EndObject();
+}
+
+void PrintRow(const Cell& cell) {
+  std::cout << "  " << cell.label << ": " << cell.result.total_ms << " ms, "
+            << cell.result.iterations << " batches, "
+            << cell.result.edges_processed << " edges";
+  if (cell.result.async_active) {
+    std::cout << " (delta " << cell.result.async_delta << ", "
+              << cell.result.async_stale_skips << " stale, "
+              << cell.result.async_range_steals << " range steals)";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::cout << "usage: async_sssp [--side=N] [--devices=N] "
+                 "[--bench-json=PATH]\n";
+    return 0;
+  }
+  if (Status s = flags.KnownFlagsOnly(
+          {std::begin(kKnownFlags), std::end(kKnownFlags)});
+      !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  const uint32_t side = static_cast<uint32_t>(flags.GetInt("side", 128));
+  const int devices = static_cast<int>(flags.GetInt("devices", 8));
+  const graph::CsrGraph g = MakeRoad(side);
+  auto partition = graph::PartitionGraph(g, devices, {});
+  GUM_CHECK(partition.ok()) << partition.status().ToString();
+  auto topology = sim::Topology::HybridCubeMeshSubset(devices);
+  GUM_CHECK(topology.ok()) << topology.status().ToString();
+  std::cout << "graph: road " << side << "x" << side << ", "
+            << g.num_vertices() << " vertices, " << g.num_edges()
+            << " edges, " << devices << " vGPUs\n\n";
+
+  std::ofstream out;
+  JsonWriter* w = nullptr;
+  JsonWriter writer(out, 1);
+  if (flags.Has("bench-json")) {
+    out.open(flags.GetString("bench-json", ""));
+    w = &writer;
+    w->BeginObject();
+    w->Key("benchmarks").BeginArray();
+  }
+
+  // --- the gated ordering pair, stock knobs on both sides ---
+  std::cout << "=== bsp vs async (stock knobs, the CI-gated pair) ===\n";
+  core::EngineOptions bsp_options;
+  const Cell bsp = RunCell(g, *partition, *topology, bsp_options, "bsp");
+  PrintRow(bsp);
+  EmitRow(w, "BM_AsyncSsspRoad_bsp/road", bsp);
+
+  core::EngineOptions async_options;
+  async_options.mode = core::EngineMode::kAsync;
+  const Cell async_stock =
+      RunCell(g, *partition, *topology, async_options, "async");
+  PrintRow(async_stock);
+  EmitRow(w, "BM_AsyncSsspRoad_async/road", async_stock);
+  std::cout << "  speedup: "
+            << bsp.result.total_ms / async_stock.result.total_ms << "x\n";
+
+  // --- the knob sweep: delta x worklist/steal ---
+  std::cout << "\n=== async knob sweep: delta x worklist ===\n";
+  struct WorklistVariant {
+    std::string tag;
+    core::AsyncWorklistKind kind;
+    double steal_prob;
+    int steal_batch;
+  };
+  const std::vector<WorklistVariant> variants = {
+      {"buckets", core::AsyncWorklistKind::kBuckets, 0.0, 8},
+      {"smq_p0.5_b8", core::AsyncWorklistKind::kSmq, 0.5, 8},
+      {"smq_p1.0_b32", core::AsyncWorklistKind::kSmq, 1.0, 32},
+  };
+  for (const double delta : {0.0, 8.0, 16.0, 32.0}) {
+    for (const WorklistVariant& v : variants) {
+      core::EngineOptions opt;
+      opt.mode = core::EngineMode::kAsync;
+      opt.async.delta = delta;
+      opt.async.worklist = v.kind;
+      opt.async.steal_prob = v.steal_prob;
+      opt.async.steal_batch_size = v.steal_batch;
+      const std::string dtag = delta <= 0.0 ? "auto" : std::to_string(
+                                                           (int)delta);
+      const std::string label = "d" + dtag + "_" + v.tag;
+      const Cell cell = RunCell(g, *partition, *topology, opt, label);
+      PrintRow(cell);
+      EmitRow(w, "BM_AsyncSweep/" + label, cell);
+    }
+  }
+
+  if (w != nullptr) {
+    w->EndArray();
+    w->EndObject();
+    out << "\n";
+  }
+  return 0;
+}

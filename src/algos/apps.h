@@ -61,6 +61,11 @@ struct BfsApp {
     }
     return false;
   }
+  // Async mode (core/async/): hotter = shallower; one bucket per level.
+  double AsyncPriority(VertexId, const Value& val) const {
+    return static_cast<double>(val);
+  }
+  double AsyncDefaultDelta(VertexId, double) const { return 1.0; }
 };
 
 // Single-source shortest paths over non-negative float edge weights
@@ -95,6 +100,11 @@ struct SsspApp {
       return true;
     }
     return false;
+  }
+  // Async mode: delta-stepping on the tentative distance (bucket width
+  // defaults to 2x the average edge weight, resolved by the driver).
+  double AsyncPriority(VertexId, const Value& val) const {
+    return static_cast<double>(val);
   }
 };
 
@@ -131,6 +141,13 @@ struct WccApp {
       return true;
     }
     return false;
+  }
+  // Async mode: spread small labels first (they win every merge).
+  double AsyncPriority(VertexId, const Value& val) const {
+    return static_cast<double>(val);
+  }
+  double AsyncDefaultDelta(VertexId num_vertices, double) const {
+    return std::max(1.0, static_cast<double>(num_vertices) / 32.0);
   }
 };
 
@@ -210,6 +227,15 @@ struct DeltaPageRankApp {
   bool Apply(VertexId, Value& val, const Message& msg) const {
     val.residual += msg;
     return val.residual > epsilon;
+  }
+  // Async mode: residual pushing — the largest residual is the hottest
+  // work, so the priority is its negation; the default bucket width slices
+  // the uniform initial residual into a handful of bands.
+  double AsyncPriority(VertexId, const Value& val) const {
+    return -val.residual;
+  }
+  double AsyncDefaultDelta(VertexId num_vertices, double) const {
+    return (1.0 - damping) / num_vertices / 8.0;
   }
 };
 

@@ -1,0 +1,46 @@
+#include "algos/astar.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace gum::algos {
+
+std::vector<float> GridManhattanHeuristic(const graph::CsrGraph& g,
+                                          uint32_t rows, uint32_t cols,
+                                          VertexId target) {
+  const VertexId num_v = g.num_vertices();
+  GUM_CHECK(static_cast<uint64_t>(rows) * cols == num_v)
+      << "grid heuristic: rows*cols must equal the vertex count";
+  GUM_CHECK(target < num_v) << "grid heuristic: target out of range";
+
+  float min_w = std::numeric_limits<float>::max();
+  bool any_edge = false;
+  for (VertexId u = 0; u < num_v; ++u) {
+    const auto weights = g.OutWeights(u);
+    if (weights.empty()) {
+      if (g.OutDegree(u) > 0) {
+        min_w = std::min(min_w, 1.0f);
+        any_edge = true;
+      }
+    } else {
+      for (float w : weights) min_w = std::min(min_w, w);
+      any_edge = any_edge || !weights.empty();
+    }
+  }
+  if (!any_edge) min_w = 1.0f;
+
+  const int64_t tr = target / cols;
+  const int64_t tc = target % cols;
+  std::vector<float> h(num_v);
+  for (VertexId v = 0; v < num_v; ++v) {
+    const int64_t r = v / cols;
+    const int64_t c = v % cols;
+    const int64_t manhattan = std::llabs(r - tr) + std::llabs(c - tc);
+    h[v] = min_w * static_cast<float>(manhattan);
+  }
+  return h;
+}
+
+}  // namespace gum::algos

@@ -5,6 +5,7 @@
 
 #include "common/bitmap.h"
 #include "common/logging.h"
+#include "core/async/worklist.h"
 #include "graph/frontier_features.h"
 #include "sim/kernel_cost.h"
 #include "sim/timeline.h"
@@ -12,10 +13,19 @@
 namespace gum::algos {
 
 namespace {
+using core::PriorityWorklist;
+using core::WorklistEntry;
 using graph::VertexId;
 constexpr float kUnreached = std::numeric_limits<float>::max();
 }  // namespace
 
+// Near-far is the degenerate delta-stepping configuration of the shared
+// PriorityWorklist (core/async/worklist.h): the NEAR pile is every bucket
+// at or below the current band, the FAR pile is everything above it, and
+// a band switch is one step of the band cursor. The bespoke two-vector
+// driver loop this file used to carry lives in the worklist now; entries
+// are lazy (a vertex is pushed again whenever its distance improves) and a
+// dirty bitmap drops the superseded ones at pop time.
 core::RunResult NearFarSssp(const graph::CsrGraph& g,
                             const graph::Partition& partition,
                             const sim::Topology& topology,
@@ -49,49 +59,46 @@ core::RunResult NearFarSssp(const graph::CsrGraph& g,
 
   std::vector<float> dist(num_v, kUnreached);
   dist[source] = 0.0f;
-  std::vector<VertexId> near = {source};
-  std::vector<VertexId> far;
-  Bitmap in_near(num_v);
-  in_near.Set(source);
+  PriorityWorklist worklist(core::AsyncWorklistKind::kBuckets, delta,
+                            /*smq_queues=*/0, /*steal_prob=*/0.0,
+                            /*steal_batch_size=*/0, /*seed=*/1);
+  Bitmap dirty(num_v);
+  dirty.Set(source);
+  worklist.Push(source, 0.0);
 
-  int band = 0;
-  double split = delta;
+  int64_t band = 0;  // NEAR = buckets <= band, FAR = the rest
   int step = 0;
+  std::vector<WorklistEntry> pile;
+  std::vector<std::vector<VertexId>> by_owner(n);
 
-  while (!near.empty() || !far.empty()) {
-    if (near.empty()) {
-      // Band switch: drain the far pile into near / still-far.
+  while (!worklist.empty()) {
+    pile.clear();
+    worklist.Pop(band, std::numeric_limits<int>::max(), &pile);
+    for (auto& owned : by_owner) owned.clear();
+    size_t live = 0;
+    for (const WorklistEntry& entry : pile) {
+      if (!dirty.Test(entry.vertex)) continue;  // superseded push
+      dirty.Reset(entry.vertex);
+      by_owner[partition.owner[entry.vertex]].push_back(entry.vertex);
+      ++live;
+    }
+
+    if (live == 0) {
+      // Band switch: everything left sits in the far piles. The split is
+      // one compaction kernel over the far pile on every device (the pile
+      // is distributed by ownership).
+      if (worklist.empty()) break;
       ++band;
-      split = delta * (band + 1);
-      std::vector<VertexId> still_far;
-      still_far.reserve(far.size());
-      for (const VertexId v : far) {
-        if (dist[v] < split) {
-          if (in_near.TestAndSet(v)) near.push_back(v);
-        } else {
-          still_far.push_back(v);
-        }
-      }
-      stats.far_pile_moves += far.size();
-      // The split is one compaction kernel over the far pile on every
-      // device (pile is distributed by ownership).
+      stats.far_pile_moves += worklist.size();
       for (int d = 0; d < n; ++d) {
         result.timeline.Add(step, d, sim::TimeCategory::kOverhead,
                             (dev.kernel_launch_us * 1000.0 +
-                             far.size() / n * 2.0) /
+                             worklist.size() / n * 2.0) /
                                 1e6);
       }
-      far.swap(still_far);
-      if (near.empty()) continue;  // next band (possible with gaps)
+      continue;  // next band (possible with gaps)
     }
 
-    // Relax the near pile, bucketed by owner for per-device accounting.
-    std::vector<std::vector<VertexId>> by_owner(n);
-    for (const VertexId u : near) {
-      by_owner[partition.owner[u]].push_back(u);
-    }
-    near.clear();
-    std::vector<VertexId> next_near;
     for (int d = 0; d < n; ++d) {
       if (by_owner[d].empty()) {
         if (n > 1) {
@@ -102,7 +109,6 @@ core::RunResult NearFarSssp(const graph::CsrGraph& g,
       }
       uint64_t relaxed = 0;
       for (const VertexId u : by_owner[d]) {
-        in_near.Reset(u);
         const auto neighbors = g.OutNeighbors(u);
         const auto weights = g.OutWeights(u);
         for (size_t e = 0; e < neighbors.size(); ++e) {
@@ -111,11 +117,8 @@ core::RunResult NearFarSssp(const graph::CsrGraph& g,
           const float nd = dist[u] + w;
           if (nd < dist[v]) {
             dist[v] = nd;
-            if (nd < split) {
-              if (in_near.TestAndSet(v)) next_near.push_back(v);
-            } else {
-              far.push_back(v);
-            }
+            dirty.Set(v);
+            worklist.Push(v, nd);
           }
           ++relaxed;
         }
@@ -132,13 +135,12 @@ core::RunResult NearFarSssp(const graph::CsrGraph& g,
               1e6);
       result.edges_processed += relaxed;
     }
-    near.swap(next_near);
     result.total_ms += result.timeline.IterationWall(step);
     ++step;
     GUM_CHECK(step < 10 * 1000 * 1000) << "near-far failed to converge";
   }
 
-  stats.bands = band + 1;
+  stats.bands = static_cast<int>(band) + 1;
   result.iterations = step;
   if (dist_out != nullptr) *dist_out = std::move(dist);
   if (stats_out != nullptr) *stats_out = stats;

@@ -1,0 +1,129 @@
+// Per-device priority worklists for the async engine mode (DESIGN.md §15).
+//
+// One abstraction, two flavors:
+//   kBuckets — classic delta-stepping: entries live in buckets of width
+//       `delta` keyed by floor(priority / delta); Pop drains the lowest
+//       buckets first, FIFO within a bucket. Near-far SSSP is the
+//       degenerate two-bucket configuration of this structure (the near
+//       pile is every bucket at or below the current band).
+//   kSmq — stealing multi-queue (the MultiQueue/SMQ family): several
+//       internal min-heaps; Pop samples two queues and serves the better
+//       top, and with probability `steal_prob` first rebalances a batch of
+//       `steal_batch_size` entries from the fuller sampled queue to the
+//       emptier one. All sampling is driven by a seeded Rng, so a fixed
+//       seed reproduces the exact pop order (seed-determinism, §7).
+//
+// Entries are hints, not truth: the driver keeps a dirty bitmap and skips
+// popped entries whose vertex is no longer dirty (lazy deletion), so a
+// vertex may be pushed many times as its priority improves and only the
+// first live pop processes it. Priorities may be negative (delta-PageRank
+// pushes -residual); bucket keys are signed.
+
+#ifndef GUM_CORE_ASYNC_WORKLIST_H_
+#define GUM_CORE_ASYNC_WORKLIST_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "core/async/async_options.h"
+#include "graph/types.h"
+
+namespace gum::core {
+
+struct WorklistEntry {
+  graph::VertexId vertex = 0;
+  double priority = 0.0;
+};
+
+struct WorklistStats {
+  uint64_t pushes = 0;
+  uint64_t pops = 0;
+  uint64_t smq_rebalances = 0;       // intra-worklist queue-to-queue steals
+  uint64_t smq_rebalanced_entries = 0;
+  // Pushes per bucket index, relative to the first bucket ever pushed and
+  // clamped into [0, kHistogramBuckets) — the run report's occupancy
+  // histogram.
+  static constexpr int kHistogramBuckets = 32;
+  std::vector<uint64_t> bucket_histogram =
+      std::vector<uint64_t>(kHistogramBuckets, 0);
+};
+
+class PriorityWorklist {
+ public:
+  static constexpr int64_t kNoBucket = INT64_MAX;
+
+  // delta must be > 0 (resolve the auto default before constructing).
+  PriorityWorklist(AsyncWorklistKind kind, double delta, int smq_queues,
+                   double steal_prob, int steal_batch_size, uint64_t seed);
+
+  void Push(graph::VertexId v, double priority);
+
+  // Lowest occupied bucket index, kNoBucket when empty. For SMQ this is
+  // the bucket of the best sampled-free minimum (exact: scans queue tops).
+  int64_t MinBucket() const;
+
+  // Pops up to max_entries entries into *out (appended). Bucketed: drains
+  // buckets with index <= max_bucket, lowest first, FIFO within. SMQ:
+  // samples two queues per call, optionally rebalances, then serves from
+  // the better queue — max_bucket is ignored (the SMQ family is only
+  // approximately priority-ordered by construction). Returns the count.
+  int Pop(int64_t max_bucket, int max_entries,
+          std::vector<WorklistEntry>* out);
+
+  // Removes ~`fraction` of the live entries from the high-priority tail
+  // downward — whole buckets at a time, never touching the lowest occupied
+  // bucket — and appends them to *out in deterministic order. This is the
+  // priority-range steal payload: a contiguous span of the victim's
+  // coldest buckets. Returns the number of entries extracted.
+  int ExtractTail(double fraction, std::vector<WorklistEntry>* out);
+
+  size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+  int64_t BucketOf(double priority) const;
+  double delta() const { return delta_; }
+  const WorklistStats& stats() const { return stats_; }
+
+ private:
+  struct Bucket {
+    std::vector<WorklistEntry> entries;
+    size_t head = 0;  // entries[0, head) already popped
+    size_t Live() const { return entries.size() - head; }
+  };
+  // Heap entry for the SMQ flavor: ordered by (priority, seq) so ties
+  // break on push order, never on container internals.
+  struct HeapEntry {
+    double priority = 0.0;
+    uint64_t seq = 0;
+    graph::VertexId vertex = 0;
+    bool operator>(const HeapEntry& other) const {
+      if (priority != other.priority) return priority > other.priority;
+      return seq > other.seq;
+    }
+  };
+
+  void RecordHistogram(int64_t bucket);
+  int PopBuckets(int64_t max_bucket, int max_entries,
+                 std::vector<WorklistEntry>* out);
+  int PopSmq(int max_entries, std::vector<WorklistEntry>* out);
+
+  AsyncWorklistKind kind_;
+  double delta_ = 1.0;
+  double steal_prob_ = 0.0;
+  int steal_batch_size_ = 0;
+  Rng rng_;
+
+  std::map<int64_t, Bucket> buckets_;           // kBuckets
+  std::vector<std::vector<HeapEntry>> queues_;  // kSmq (std::*_heap order)
+  uint64_t next_seq_ = 0;
+
+  size_t live_ = 0;
+  bool histogram_based_ = false;
+  int64_t histogram_base_ = 0;
+  WorklistStats stats_;
+};
+
+}  // namespace gum::core
+
+#endif  // GUM_CORE_ASYNC_WORKLIST_H_

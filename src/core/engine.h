@@ -77,6 +77,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "core/async/async_engine.h"
 #include "core/edge_cost_model.h"
 #include "core/engine_options.h"
 #include "core/expand/expand_backend.h"
@@ -165,6 +166,18 @@ class GumEngine {
     const graph::Partition& partition = ctx_->partition();
     const EngineOptions& options =
         run_options != nullptr ? *run_options : ctx_->options();
+    // Async mode routes the whole run through the priority-worklist driver
+    // (core/async/async_engine.h); everything below is the BSP superstep
+    // loop, untouched when mode == kBsp.
+    if (options.mode == EngineMode::kAsync) {
+      if constexpr (AsyncCapable<App>) {
+        AsyncDriver<App> driver(ctx_);
+        return driver.Run(app, rc, values_out, options);
+      } else {
+        GUM_CHECK(false) << "async mode requires an app with AsyncPriority ("
+                         << app.name() << " is BSP-only)";
+      }
+    }
     ThreadPool* pool = ctx_->pool();
     const int n = partition.num_parts;
     const VertexId num_v = g.num_vertices();

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "core/async/async_options.h"
 #include "core/expand/expand_backend.h"
 #include "core/fsteal.h"
 #include "core/osteal.h"
@@ -17,6 +18,17 @@
 namespace gum::core {
 
 struct EngineOptions {
+  // --- execution mode (DESIGN.md §15) ---
+  // kBsp runs the barriered superstep loop below — byte-identical (stdout
+  // and values) to a build without the async subsystem. kAsync routes the
+  // run through src/core/async/: per-device priority worklists drained in
+  // micro-batches with no global barrier, termination via a charged
+  // quiescence census. Async runs are seed-deterministic (byte-identical
+  // for a fixed async.seed across thread and shard counts) and converge
+  // to the same fixpoint for monotone apps (DESIGN.md §7).
+  EngineMode mode = EngineMode::kBsp;
+  AsyncConfig async;
+
   // --- stealing mechanisms (the paper's contribution) ---
   bool enable_fsteal = true;
   bool enable_osteal = true;

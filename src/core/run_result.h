@@ -94,6 +94,22 @@ struct RunResult {
   bool multipath_active = false;
   sim::MultipathStats multipath;
 
+  // --- async engine mode (src/core/async/, DESIGN.md §15) ---
+  // Filled by the async driver; all zero (and the obs run report's `async`
+  // section absent) for a BSP run.
+  bool async_active = false;
+  int64_t async_batches = 0;          // micro-batches processed
+  int64_t async_stale_skips = 0;      // popped entries superseded lazily
+  int64_t async_range_steals = 0;     // priority-range steal events
+  int64_t async_range_steal_entries = 0;  // worklist entries moved by them
+  double async_range_steal_bytes = 0.0;   // state bytes charged for them
+  int64_t async_smq_rebalances = 0;   // intra-worklist SMQ queue steals
+  int quiescence_rounds = 0;          // charged termination censuses
+  double async_delta = 0.0;           // resolved bucket width
+  // Pushes per bucket index across all device worklists (relative to each
+  // worklist's first bucket, clamped; worklist.h kHistogramBuckets wide).
+  std::vector<uint64_t> async_bucket_histogram;
+
   // --- mutation plane (graph/mutation.h, DESIGN.md §14) ---
   // Filled by the streaming drivers (gum_cli --mutations, gum_serve
   // --update-rate) on the aggregate result; all zero for a static run, and

@@ -160,6 +160,26 @@ void WriteRunReport(std::ostream& os, const RunReportMeta& meta,
     w.EndObject();
   }
 
+  // Async-mode counters (core/async/, DESIGN.md §15). Gated like the
+  // faults and mutations sections: a --mode=bsp run emits no "async" key,
+  // so its report stays byte-identical to a v3 report modulo
+  // schema_version.
+  if (result.async_active) {
+    w.Key("async").BeginObject();
+    w.Key("batches").Value(result.async_batches);
+    w.Key("stale_skips").Value(result.async_stale_skips);
+    w.Key("delta").Value(result.async_delta);
+    w.Key("bucket_histogram").BeginArray();
+    for (const uint64_t c : result.async_bucket_histogram) w.Value(c);
+    w.EndArray();
+    w.Key("range_steals").Value(result.async_range_steals);
+    w.Key("range_steal_entries").Value(result.async_range_steal_entries);
+    w.Key("range_steal_bytes").Value(result.async_range_steal_bytes);
+    w.Key("smq_rebalances").Value(result.async_smq_rebalances);
+    w.Key("quiescence_rounds").Value(result.quiescence_rounds);
+    w.EndObject();
+  }
+
   w.Key("comm").BeginObject();
   w.Key("total_remote_bytes").Value(result.TotalRemoteBytes());
   w.Key("total_payload_bytes").Value(result.TotalPayloadBytes());

@@ -34,7 +34,13 @@ class MetricsRegistry;
 // delta bytes, compactions, lost-monotonicity fallbacks), emitted only
 // when a mutation stream was active — mutations-off reports stay
 // byte-identical to v2 reports modulo this version number.
-inline constexpr int kRunReportSchemaVersion = 3;
+// v4 adds an optional "async" section (core/async/, DESIGN.md §15: batch
+// and stale-skip counters, the resolved delta, the bucket-occupancy
+// histogram, priority-range steal stats, quiescence census rounds),
+// emitted only when the run executed under EngineOptions::mode == kAsync —
+// mode-off reports stay byte-identical to v3 reports modulo this version
+// number.
+inline constexpr int kRunReportSchemaVersion = 4;
 
 // Free-form identification of the run. `config` carries whatever knobs the
 // caller wants recorded (flag echoes, dataset scale, seeds, ...); pairs are

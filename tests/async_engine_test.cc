@@ -1,0 +1,400 @@
+// Async engine mode (src/core/async/, DESIGN.md §15): worklist unit tests,
+// convergence-to-reference for every async-capable app, and the relaxed
+// determinism contract — byte-reproducible for a fixed seed across the
+// full {1,2,4,8} threads x {1,4} shards matrix (DESIGN.md §7).
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algos/apps.h"
+#include "algos/astar.h"
+#include "algos/reference.h"
+#include "core/async/worklist.h"
+#include "core/engine.h"
+#include "tests/test_util.h"
+
+namespace gum {
+namespace {
+
+using algos::AStarApp;
+using algos::BfsApp;
+using algos::DeltaPageRankApp;
+using algos::SsspApp;
+using algos::WccApp;
+using core::AsyncWorklistKind;
+using core::EngineMode;
+using core::EngineOptions;
+using core::GumEngine;
+using core::PriorityWorklist;
+using core::RunResult;
+using core::WorklistEntry;
+using graph::VertexId;
+using test::MakePartition;
+using test::MaxDegreeSource;
+using test::RoadGraph;
+using test::SocialGraph;
+using test::SocialGraphSym;
+using test::TestEngineOptions;
+using test::Topo;
+
+PriorityWorklist BucketWl(double delta) {
+  return PriorityWorklist(AsyncWorklistKind::kBuckets, delta,
+                          /*smq_queues=*/0, /*steal_prob=*/0.0,
+                          /*steal_batch_size=*/0, /*seed=*/1);
+}
+
+TEST(PriorityWorklistTest, BucketsPopLowestFirstFifoWithin) {
+  PriorityWorklist wl = BucketWl(1.0);
+  wl.Push(10, 2.5);
+  wl.Push(11, 0.5);
+  wl.Push(12, 2.1);
+  wl.Push(13, 0.9);
+  ASSERT_EQ(wl.size(), 4u);
+  EXPECT_EQ(wl.MinBucket(), 0);
+
+  std::vector<WorklistEntry> out;
+  EXPECT_EQ(wl.Pop(wl.MinBucket(), 100, &out), 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].vertex, 11u);  // FIFO within the bucket
+  EXPECT_EQ(out[1].vertex, 13u);
+
+  out.clear();
+  EXPECT_EQ(wl.MinBucket(), 2);
+  EXPECT_EQ(wl.Pop(wl.MinBucket(), 100, &out), 2);
+  EXPECT_EQ(out[0].vertex, 10u);
+  EXPECT_EQ(out[1].vertex, 12u);
+  EXPECT_TRUE(wl.empty());
+}
+
+TEST(PriorityWorklistTest, PopRespectsBandBoundAndBatchCap) {
+  PriorityWorklist wl = BucketWl(1.0);
+  for (int i = 0; i < 6; ++i) {
+    wl.Push(static_cast<VertexId>(i), static_cast<double>(i));
+  }
+  std::vector<WorklistEntry> out;
+  // Band bound: only buckets <= 2.
+  EXPECT_EQ(wl.Pop(/*max_bucket=*/2, 100, &out), 3);
+  // Batch cap mid-bucket.
+  out.clear();
+  EXPECT_EQ(wl.Pop(/*max_bucket=*/100, 2, &out), 2);
+  EXPECT_EQ(wl.size(), 1u);
+}
+
+TEST(PriorityWorklistTest, ExtractTailTakesColdBucketsKeepsHottest) {
+  PriorityWorklist wl = BucketWl(1.0);
+  // Bucket 0: 2 entries; bucket 5: 3; bucket 9: 3.
+  wl.Push(1, 0.1);
+  wl.Push(2, 0.2);
+  for (int i = 0; i < 3; ++i) wl.Push(static_cast<VertexId>(10 + i), 5.5);
+  for (int i = 0; i < 3; ++i) wl.Push(static_cast<VertexId>(20 + i), 9.5);
+
+  std::vector<WorklistEntry> stolen;
+  const int got = wl.ExtractTail(/*fraction=*/0.5, &stolen);
+  EXPECT_EQ(got, 6);  // whole buckets from the tail: 9 then 5
+  EXPECT_EQ(wl.size(), 2u);
+  EXPECT_EQ(wl.MinBucket(), 0);  // the hottest bucket never leaves
+  // Ascending bucket order in the payload.
+  ASSERT_EQ(stolen.size(), 6u);
+  EXPECT_EQ(stolen.front().vertex, 10u);
+  EXPECT_EQ(stolen.back().vertex, 22u);
+}
+
+TEST(PriorityWorklistTest, ExtractTailNeverDrainsSingleBucket) {
+  PriorityWorklist wl = BucketWl(1.0);
+  for (int i = 0; i < 8; ++i) wl.Push(static_cast<VertexId>(i), 0.5);
+  std::vector<WorklistEntry> stolen;
+  EXPECT_EQ(wl.ExtractTail(0.9, &stolen), 0);
+  EXPECT_EQ(wl.size(), 8u);
+}
+
+TEST(PriorityWorklistTest, SmqSameSeedSamePopSequence) {
+  auto run = [](uint64_t seed) {
+    PriorityWorklist wl(AsyncWorklistKind::kSmq, 1.0, /*smq_queues=*/4,
+                        /*steal_prob=*/0.5, /*steal_batch_size=*/4, seed);
+    for (int i = 0; i < 64; ++i) {
+      wl.Push(static_cast<VertexId>(i), static_cast<double>((i * 7) % 16));
+    }
+    std::vector<VertexId> order;
+    std::vector<WorklistEntry> out;
+    while (!wl.empty()) {
+      out.clear();
+      wl.Pop(wl.MinBucket(), 8, &out);
+      for (const auto& e : out) order.push_back(e.vertex);
+    }
+    return order;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // a different seed explores another order
+}
+
+TEST(PriorityWorklistTest, SmqRebalancesAreCountedAndLossless) {
+  PriorityWorklist wl(AsyncWorklistKind::kSmq, 1.0, /*smq_queues=*/4,
+                      /*steal_prob=*/1.0, /*steal_batch_size=*/4, /*seed=*/3);
+  for (int i = 0; i < 128; ++i) {
+    wl.Push(static_cast<VertexId>(i), static_cast<double>(i % 10));
+  }
+  std::vector<WorklistEntry> out;
+  size_t popped = 0;
+  while (!wl.empty()) {
+    const size_t before = out.size();
+    wl.Pop(wl.MinBucket(), 8, &out);
+    popped += out.size() - before;
+  }
+  EXPECT_EQ(popped, 128u);  // rebalances never lose or duplicate entries
+  EXPECT_GT(wl.stats().smq_rebalances, 0u);
+  EXPECT_GT(wl.stats().smq_rebalanced_entries, 0u);
+}
+
+EngineOptions AsyncOptions() {
+  EngineOptions opt = TestEngineOptions();
+  opt.mode = EngineMode::kAsync;
+  return opt;
+}
+
+TEST(AsyncEngineTest, SsspMatchesDijkstraExactly) {
+  const auto g = SocialGraph(10, 7, /*weighted=*/true);
+  GumEngine<SsspApp> engine(&g, MakePartition(g, 4), Topo(4),
+                            AsyncOptions());
+  SsspApp app;
+  app.source = MaxDegreeSource(g);
+  std::vector<float> dist;
+  const RunResult result = engine.Run(app, &dist);
+  EXPECT_TRUE(result.async_active);
+  EXPECT_GT(result.async_batches, 0);
+  EXPECT_GE(result.quiescence_rounds, 1);
+  const auto expected = algos::ref::Sssp(g, app.source);
+  ASSERT_EQ(dist.size(), expected.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(dist[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(AsyncEngineTest, BfsMatchesReference) {
+  const auto g = SocialGraph();
+  GumEngine<BfsApp> engine(&g, MakePartition(g, 4), Topo(4), AsyncOptions());
+  BfsApp app;
+  app.source = MaxDegreeSource(g);
+  std::vector<uint32_t> depth;
+  engine.Run(app, &depth);
+  EXPECT_EQ(depth, algos::ref::Bfs(g, app.source));
+}
+
+TEST(AsyncEngineTest, WccMatchesReference) {
+  const auto g = SocialGraphSym(9);
+  GumEngine<WccApp> engine(&g, MakePartition(g, 4), Topo(4), AsyncOptions());
+  WccApp app;
+  std::vector<VertexId> labels;
+  engine.Run(app, &labels);
+  EXPECT_EQ(labels, algos::ref::Wcc(g));
+}
+
+TEST(AsyncEngineTest, AStarMatchesSsspReferenceExactly) {
+  const uint32_t side = 28;
+  const auto g = RoadGraph(side);
+  GumEngine<AStarApp> engine(&g, MakePartition(g, 4), Topo(4),
+                             AsyncOptions());
+  AStarApp app;
+  app.source = 0;
+  app.target = g.num_vertices() - 1;
+  app.heuristic = algos::GridManhattanHeuristic(g, side, side, app.target);
+  std::vector<float> dist;
+  const RunResult result = engine.Run(app, &dist);
+  EXPECT_TRUE(result.async_active);
+  // Any heuristic converges to the exact Dijkstra distances — the
+  // heuristic shapes the visit order, never the fixpoint.
+  const auto expected = algos::ref::Sssp(g, app.source);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(dist[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(AsyncEngineTest, DeltaPageRankConvergesToPowerIteration) {
+  const auto g = SocialGraph(9, 5);
+  GumEngine<DeltaPageRankApp> engine(&g, MakePartition(g, 4), Topo(4),
+                                     AsyncOptions());
+  DeltaPageRankApp app;
+  app.num_vertices = g.num_vertices();
+  app.epsilon = 1e-12;
+  std::vector<DeltaPageRankApp::State> state;
+  const RunResult result = engine.Run(app, &state);
+  EXPECT_TRUE(result.async_active);
+  const auto expected = algos::ref::PageRank(g, 0.85, 100);
+  double max_err = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_err = std::max(max_err, std::abs(state[v].rank - expected[v]));
+  }
+  EXPECT_LT(max_err, 1e-6);
+}
+
+TEST(AsyncEngineTest, SmqWorklistStillExact) {
+  const auto g = SocialGraph(10, 7, /*weighted=*/true);
+  EngineOptions opt = AsyncOptions();
+  opt.async.worklist = AsyncWorklistKind::kSmq;
+  opt.async.steal_prob = 0.7;
+  opt.async.steal_batch_size = 16;
+  GumEngine<SsspApp> engine(&g, MakePartition(g, 4), Topo(4), opt);
+  SsspApp app;
+  app.source = MaxDegreeSource(g);
+  std::vector<float> dist;
+  engine.Run(app, &dist);
+  EXPECT_EQ(dist, algos::ref::Sssp(g, app.source));
+}
+
+// The relaxed determinism contract (DESIGN.md §7): for a fixed
+// AsyncConfig::seed the whole run — values, simulated time, batch and
+// steal counts — is byte-reproducible across every host-thread and
+// message-shard count, for both worklist flavors and all three
+// acceptance apps.
+template <typename App, typename Value>
+void ExpectSeedDeterminism(const graph::CsrGraph& g, App app,
+                           EngineOptions base) {
+  std::vector<Value> ref_values;
+  RunResult ref;
+  bool have_ref = false;
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const int shards : {1, 4}) {
+      EngineOptions opt = base;
+      opt.num_host_threads = threads;
+      opt.num_msg_shards = shards;
+      GumEngine<App> engine(&g, MakePartition(g, 4), Topo(4), opt);
+      App run_app = app;
+      std::vector<Value> values;
+      const RunResult result = engine.Run(run_app, &values);
+      if (!have_ref) {
+        ref_values = values;
+        ref = result;
+        have_ref = true;
+        continue;
+      }
+      ASSERT_EQ(values.size(), ref_values.size());
+      for (size_t v = 0; v < values.size(); ++v) {
+        ASSERT_EQ(std::memcmp(&values[v], &ref_values[v], sizeof(Value)), 0)
+            << "vertex " << v << " differs at threads=" << threads
+            << " shards=" << shards;
+      }
+      EXPECT_EQ(result.total_ms, ref.total_ms)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(result.async_batches, ref.async_batches);
+      EXPECT_EQ(result.messages_sent, ref.messages_sent);
+      EXPECT_EQ(result.async_range_steals, ref.async_range_steals);
+      EXPECT_EQ(result.quiescence_rounds, ref.quiescence_rounds);
+    }
+  }
+}
+
+TEST(AsyncEngineTest, SsspSeedDeterministicAcrossThreadsAndShards) {
+  const auto g = SocialGraph(10, 7, /*weighted=*/true);
+  SsspApp app;
+  app.source = MaxDegreeSource(g);
+  EngineOptions opt = AsyncOptions();
+  opt.async.worklist = AsyncWorklistKind::kSmq;  // the stochastic flavor
+  opt.async.seed = 42;
+  ExpectSeedDeterminism<SsspApp, float>(g, app, opt);
+}
+
+TEST(AsyncEngineTest, AStarSeedDeterministicAcrossThreadsAndShards) {
+  const uint32_t side = 24;
+  const auto g = RoadGraph(side);
+  AStarApp app;
+  app.source = 0;
+  app.target = g.num_vertices() - 1;
+  app.heuristic = algos::GridManhattanHeuristic(g, side, side, app.target);
+  ExpectSeedDeterminism<AStarApp, float>(g, app, AsyncOptions());
+}
+
+TEST(AsyncEngineTest, DeltaPrSeedDeterministicAcrossThreadsAndShards) {
+  const auto g = SocialGraph(8, 5);
+  DeltaPageRankApp app;
+  app.num_vertices = g.num_vertices();
+  app.epsilon = 1e-10;
+  ExpectSeedDeterminism<DeltaPageRankApp, DeltaPageRankApp::State>(
+      g, app, AsyncOptions());
+}
+
+TEST(AsyncEngineTest, RangeStealEngagesOnImbalanceAndStaysExact) {
+  // Segment partition on a road grid: the wavefront lives in one strip at
+  // a time, so the other devices idle — exactly the LT regime the range
+  // steal attacks.
+  const uint32_t side = 48;
+  const auto g = RoadGraph(side);
+  EngineOptions opt = AsyncOptions();
+  opt.async.range_steal_min_victim = 32;
+  GumEngine<SsspApp> engine(
+      &g, MakePartition(g, 4, graph::PartitionerKind::kSegment), Topo(4),
+      opt);
+  SsspApp app;
+  app.source = 0;
+  std::vector<float> dist;
+  const RunResult result = engine.Run(app, &dist);
+  EXPECT_GT(result.async_range_steals, 0);
+  EXPECT_GT(result.async_range_steal_entries, 0);
+  EXPECT_GT(result.async_range_steal_bytes, 0.0);
+  EXPECT_EQ(dist, algos::ref::Sssp(g, app.source));
+}
+
+TEST(AsyncEngineTest, RangeStealOffStillConverges) {
+  const uint32_t side = 32;
+  const auto g = RoadGraph(side);
+  EngineOptions opt = AsyncOptions();
+  opt.async.enable_range_steal = false;
+  GumEngine<SsspApp> engine(
+      &g, MakePartition(g, 4, graph::PartitionerKind::kSegment), Topo(4),
+      opt);
+  SsspApp app;
+  app.source = 0;
+  std::vector<float> dist;
+  const RunResult result = engine.Run(app, &dist);
+  EXPECT_EQ(result.async_range_steals, 0);
+  EXPECT_EQ(dist, algos::ref::Sssp(g, app.source));
+}
+
+TEST(AsyncEngineTest, BucketHistogramPopulated) {
+  const auto g = RoadGraph(24);
+  GumEngine<SsspApp> engine(&g, MakePartition(g, 2), Topo(2),
+                            AsyncOptions());
+  SsspApp app;
+  app.source = 0;
+  const RunResult result = engine.Run(app);
+  uint64_t total = 0;
+  int nonzero = 0;
+  for (const uint64_t c : result.async_bucket_histogram) {
+    total += c;
+    if (c > 0) ++nonzero;
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(nonzero, 1) << "a road SSSP spans many delta buckets";
+  EXPECT_GT(result.async_delta, 0.0);
+}
+
+TEST(AsyncEngineTest, BspModeIsUntouchedByDefault) {
+  const auto g = SocialGraph(9, 5);
+  GumEngine<SsspApp> engine(&g, MakePartition(g, 4), Topo(4),
+                            TestEngineOptions());
+  SsspApp app;
+  app.source = MaxDegreeSource(g);
+  const RunResult result = engine.Run(app);
+  EXPECT_FALSE(result.async_active);
+  EXPECT_EQ(result.async_batches, 0);
+  EXPECT_EQ(result.quiescence_rounds, 0);
+  EXPECT_TRUE(result.async_bucket_histogram.empty());
+}
+
+TEST(AsyncEngineTest, SingleDeviceWorks) {
+  const auto g = SocialGraph(9, 5);
+  GumEngine<SsspApp> engine(&g, MakePartition(g, 1), Topo(1),
+                            AsyncOptions());
+  SsspApp app;
+  app.source = MaxDegreeSource(g);
+  std::vector<float> dist;
+  const RunResult result = engine.Run(app, &dist);
+  EXPECT_EQ(result.async_range_steals, 0) << "nothing to steal on 1 GPU";
+  EXPECT_EQ(dist, algos::ref::Sssp(g, app.source));
+}
+
+}  // namespace
+}  // namespace gum

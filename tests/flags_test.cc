@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "core/async/async_options.h"
 #include "graph/mutation.h"
 
 namespace gum {
@@ -191,6 +192,93 @@ TEST(FlagsTest, MutationPlanDefaultIsEmpty) {
       graph::MutationPlan::Parse(flags.GetString("mutations", "none"));
   ASSERT_TRUE(plan.ok());
   EXPECT_TRUE(plan->empty());
+}
+
+// --mode / --worklist values flow verbatim into the async-option parsers;
+// like every other CLI enum they must reject loudly, naming the bad value
+// and the allowed set.
+TEST(FlagsTest, EngineModeParsesBothModes) {
+  const auto flags = Parse({"--mode=async"});
+  const auto mode = core::ParseEngineMode(flags.GetString("mode", "bsp"));
+  ASSERT_TRUE(mode.ok());
+  EXPECT_EQ(*mode, core::EngineMode::kAsync);
+  EXPECT_EQ(*core::ParseEngineMode("bsp"), core::EngineMode::kBsp);
+  EXPECT_STREQ(core::EngineModeName(core::EngineMode::kAsync), "async");
+}
+
+TEST(FlagsTest, EngineModeRejectsUnknownValueLoudly) {
+  const auto flags = Parse({"--mode=turbo"});
+  const auto mode = core::ParseEngineMode(flags.GetString("mode", "bsp"));
+  ASSERT_FALSE(mode.ok());
+  const std::string msg = mode.status().ToString();
+  EXPECT_NE(msg.find("turbo"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bsp|async"), std::string::npos) << msg;
+}
+
+TEST(FlagsTest, AsyncWorklistKindParsesAndRejectsLoudly) {
+  const auto flags = Parse({"--worklist=smq"});
+  const auto kind =
+      core::ParseAsyncWorklistKind(flags.GetString("worklist", "buckets"));
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, core::AsyncWorklistKind::kSmq);
+  EXPECT_EQ(*core::ParseAsyncWorklistKind("buckets"),
+            core::AsyncWorklistKind::kBuckets);
+
+  const auto bad = core::ParseAsyncWorklistKind("deque");
+  ASSERT_FALSE(bad.ok());
+  const std::string msg = bad.status().ToString();
+  EXPECT_NE(msg.find("deque"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("buckets|smq"), std::string::npos) << msg;
+}
+
+// --delta / --steal-prob / --steal-batch range checks (the CLI turns each
+// of these into a non-zero exit before anything runs).
+TEST(FlagsTest, AsyncConfigDefaultsValidate) {
+  EXPECT_TRUE(core::ValidateAsyncConfig(core::AsyncConfig{}).ok());
+}
+
+TEST(FlagsTest, AsyncConfigRejectsOutOfRangeKnobsLoudly) {
+  const auto reject = [](auto mutate, const char* needle) {
+    core::AsyncConfig cfg;
+    mutate(cfg);
+    const Status s = core::ValidateAsyncConfig(cfg);
+    ASSERT_FALSE(s.ok()) << needle;
+    EXPECT_NE(s.ToString().find(needle), std::string::npos) << s.ToString();
+  };
+  reject([](core::AsyncConfig& c) { c.delta = -0.5; }, "--delta");
+  reject([](core::AsyncConfig& c) { c.steal_prob = 1.5; }, "--steal-prob");
+  reject([](core::AsyncConfig& c) { c.steal_prob = -0.1; }, "--steal-prob");
+  reject([](core::AsyncConfig& c) { c.steal_batch_size = 0; },
+         "--steal-batch");
+  reject([](core::AsyncConfig& c) { c.smq_queues = 0; }, "smq_queues");
+  reject([](core::AsyncConfig& c) { c.range_steal_min_victim = -1; },
+         "range_steal_min_victim");
+  reject([](core::AsyncConfig& c) { c.range_steal_fraction = 0.0; },
+         "range_steal_fraction");
+  reject([](core::AsyncConfig& c) { c.range_steal_fraction = 1.5; },
+         "range_steal_fraction");
+  reject([](core::AsyncConfig& c) { c.max_batch = 0; }, "max_batch");
+}
+
+// A parsed flag set maps onto AsyncConfig exactly the way gum_cli binds it.
+TEST(FlagsTest, AsyncFlagsBindToConfig) {
+  const auto flags = Parse({"--mode=async", "--delta=2.5",
+                            "--worklist=smq", "--steal-prob=0.25",
+                            "--steal-batch=16", "--async-seed=99"});
+  core::AsyncConfig cfg;
+  cfg.delta = flags.GetDouble("delta", 0.0);
+  cfg.worklist =
+      *core::ParseAsyncWorklistKind(flags.GetString("worklist", "buckets"));
+  cfg.steal_prob = flags.GetDouble("steal-prob", cfg.steal_prob);
+  cfg.steal_batch_size =
+      static_cast<int>(flags.GetInt("steal-batch", cfg.steal_batch_size));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("async-seed", 1));
+  EXPECT_TRUE(core::ValidateAsyncConfig(cfg).ok());
+  EXPECT_EQ(cfg.delta, 2.5);
+  EXPECT_EQ(cfg.worklist, core::AsyncWorklistKind::kSmq);
+  EXPECT_EQ(cfg.steal_prob, 0.25);
+  EXPECT_EQ(cfg.steal_batch_size, 16);
+  EXPECT_EQ(cfg.seed, 99u);
 }
 
 }  // namespace

@@ -408,21 +408,21 @@ bool HasKey(const JsonValue& obj, const std::string& key) {
   return false;
 }
 
-TEST(RunReportTest, SchemaV3OmitsFaultsSectionWhenInactive) {
+TEST(RunReportTest, SchemaV4OmitsFaultsSectionWhenInactive) {
   // A faults-off run must not even mention the fault plane: the report
   // stays byte-comparable with pre-fault-plane artifacts.
   core::RunResult result;
   RunReportMeta meta;
   std::ostringstream os;
   WriteRunReport(os, meta, result, nullptr);
-  EXPECT_EQ(kRunReportSchemaVersion, 3);
+  EXPECT_EQ(kRunReportSchemaVersion, 4);
   EXPECT_EQ(os.str().find("faults"), std::string::npos);
   const auto doc = ParseJson(os.str());
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
   EXPECT_FALSE(HasKey(*doc, "faults"));
 }
 
-TEST(RunReportTest, SchemaV3OmitsMutationsSectionWhenInactive) {
+TEST(RunReportTest, SchemaV4OmitsMutationsSectionWhenInactive) {
   // A mutations-off run must not even mention the mutation plane: modulo
   // schema_version the report stays byte-identical to a v2 artifact.
   core::RunResult result;
@@ -433,6 +433,53 @@ TEST(RunReportTest, SchemaV3OmitsMutationsSectionWhenInactive) {
   const auto doc = ParseJson(os.str());
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
   EXPECT_FALSE(HasKey(*doc, "mutations"));
+}
+
+TEST(RunReportTest, SchemaV4OmitsAsyncSectionWhenInactive) {
+  // A --mode=bsp run must not even mention the async plane: modulo
+  // schema_version the report stays byte-identical to a v3 artifact.
+  core::RunResult result;
+  RunReportMeta meta;
+  std::ostringstream os;
+  WriteRunReport(os, meta, result, nullptr);
+  EXPECT_EQ(os.str().find("async"), std::string::npos);
+  const auto doc = ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_FALSE(HasKey(*doc, "async"));
+}
+
+TEST(RunReportTest, AsyncSectionRoundTrips) {
+  core::RunResult result;
+  result.async_active = true;
+  result.async_batches = 730;
+  result.async_stale_skips = 45;
+  result.async_delta = 15.5;
+  result.async_bucket_histogram = {4, 0, 9, 2};
+  result.async_range_steals = 3;
+  result.async_range_steal_entries = 96;
+  result.async_range_steal_bytes = 1536.0;
+  result.async_smq_rebalances = 12;
+  result.quiescence_rounds = 5;
+
+  RunReportMeta meta;
+  std::ostringstream os;
+  WriteRunReport(os, meta, result, nullptr);
+  const auto doc = ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(HasKey(*doc, "async"));
+  const JsonValue& a = doc->at("async");
+  EXPECT_EQ(a.at("batches").int_value(), 730);
+  EXPECT_EQ(a.at("stale_skips").int_value(), 45);
+  EXPECT_DOUBLE_EQ(a.at("delta").number(), 15.5);
+  const auto& hist = a.at("bucket_histogram").array();
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0].int_value(), 4);
+  EXPECT_EQ(hist[2].int_value(), 9);
+  EXPECT_EQ(a.at("range_steals").int_value(), 3);
+  EXPECT_EQ(a.at("range_steal_entries").int_value(), 96);
+  EXPECT_DOUBLE_EQ(a.at("range_steal_bytes").number(), 1536.0);
+  EXPECT_EQ(a.at("smq_rebalances").int_value(), 12);
+  EXPECT_EQ(a.at("quiescence_rounds").int_value(), 5);
 }
 
 TEST(RunReportTest, MutationsSectionRoundTrips) {

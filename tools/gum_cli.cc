@@ -8,7 +8,20 @@
 //
 // Execution:
 //   --engine=gum|gunrock|groute  (default gum)
-//   --algo=bfs|sssp|wcc|pr|dpr   (default bfs)
+//   --algo=bfs|sssp|wcc|pr|dpr|astar   (default bfs)
+//   --target=V                   A* goal vertex (astar only; default: last
+//                                vertex). On --gen=road the CLI builds the
+//                                admissible Manhattan grid heuristic; on
+//                                other graphs A* degenerates to SSSP order.
+//   --mode=bsp|async             execution mode (default bsp; async runs the
+//                                priority-worklist driver of src/core/async/,
+//                                gum engine only, DESIGN.md §15)
+//   --delta=W                    async bucket width (> 0; default: app-aware)
+//   --worklist=buckets|smq       async worklist flavor (default buckets)
+//   --steal-prob=P               SMQ rebalance probability in [0,1]
+//   --steal-batch=N              SMQ entries moved per rebalance (>= 1)
+//   --async-seed=S               seed behind async ordering; a fixed seed is
+//                                byte-reproducible across thread counts
 //   --devices=N                  1..8 on the hybrid cube mesh (default 8)
 //   --partitioner=random|seg|metis
 //   --source=V                   traversal source (default: max out-degree)
@@ -77,6 +90,7 @@
 #include <utility>
 
 #include "algos/apps.h"
+#include "algos/astar.h"
 #include "algos/incremental.h"
 #include "algos/multi_source.h"
 #include "core/epoch_context.h"
@@ -111,13 +125,19 @@ constexpr const char* kKnownFlags[] = {
     "msg-shards", "trace", "metrics", "report",
     "fault-plan", "fault-seed", "ckpt-every", "expand", "sources",
     "multipath", "mutations", "mutation-seed", "compact-every", "incremental",
+    "mode", "delta", "worklist", "steal-prob", "steal-batch", "async-seed",
+    "target",
 };
 
 void PrintUsage() {
   std::cout <<
       "usage: gum_cli (--graph=PATH | --gen=rmat|web|road|er [gen flags])\n"
       "               [--engine=gum|gunrock|groute] [--algo=bfs|sssp|wcc|"
-      "pr|dpr]\n"
+      "pr|dpr|astar]\n"
+      "               [--mode=bsp|async] [--delta=W] "
+      "[--worklist=buckets|smq]\n"
+      "               [--steal-prob=P] [--steal-batch=N] [--async-seed=S]\n"
+      "               [--target=V]\n"
       "               [--devices=N] [--partitioner=random|seg|metis]\n"
       "               [--source=V] [--sources=a,b,c] [--pr-rounds=N] "
       "[--epsilon=E]\n"
@@ -254,6 +274,67 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
     return 1;
   }
 
+  // Execution mode (DESIGN.md §15). Every async knob is rejected loudly
+  // under --mode=bsp so a forgotten mode switch can't silently no-op, and
+  // the whole config is range-checked before anything runs.
+  const auto mode_or = core::ParseEngineMode(flags.GetString("mode", "bsp"));
+  if (!mode_or.ok()) {
+    std::cerr << mode_or.status().ToString() << "\n";
+    return 1;
+  }
+  const core::EngineMode mode = *mode_or;
+  core::AsyncConfig async_cfg;
+  if (mode == core::EngineMode::kBsp) {
+    for (const char* f :
+         {"delta", "worklist", "steal-prob", "steal-batch", "async-seed"}) {
+      if (flags.Has(f)) {
+        std::cerr << "--" << f << " requires --mode=async\n";
+        return 1;
+      }
+    }
+  } else {
+    if (engine_name != "gum") {
+      std::cerr << "--mode=async requires --engine=gum\n";
+      return 1;
+    }
+    if (fault_plane.active() || ckpt_every > 0) {
+      std::cerr << "--mode=async does not compose with --fault-plan/"
+                   "--ckpt-every yet\n";
+      return 1;
+    }
+    if constexpr (!core::AsyncCapable<App>) {
+      std::cerr << "--mode=async does not support --algo="
+                << flags.GetString("algo", "bfs")
+                << " (priority-driven apps: bfs, sssp, wcc, dpr, astar; "
+                   "for PageRank use --algo=dpr)\n";
+      return 1;
+    } else {
+      if (flags.Has("delta")) {
+        async_cfg.delta = flags.GetDouble("delta", 0.0);
+        if (async_cfg.delta <= 0.0) {
+          std::cerr << "--delta must be > 0\n";
+          return 1;
+        }
+      }
+      const auto wl_or = core::ParseAsyncWorklistKind(
+          flags.GetString("worklist", "buckets"));
+      if (!wl_or.ok()) {
+        std::cerr << wl_or.status().ToString() << "\n";
+        return 1;
+      }
+      async_cfg.worklist = *wl_or;
+      async_cfg.steal_prob =
+          flags.GetDouble("steal-prob", async_cfg.steal_prob);
+      async_cfg.steal_batch_size = static_cast<int>(
+          flags.GetInt("steal-batch", async_cfg.steal_batch_size));
+      async_cfg.seed = static_cast<uint64_t>(flags.GetInt("async-seed", 1));
+      if (Status s = core::ValidateAsyncConfig(async_cfg); !s.ok()) {
+        std::cerr << s.ToString() << "\n";
+        return 1;
+      }
+    }
+  }
+
   if (engine_name == "gum") {
     core::EngineOptions options;
     options.enable_fsteal = !flags.GetBool("no-fsteal", false);
@@ -265,6 +346,8 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
     options.expand_backend = expand_backend;
     options.fault_plane = &fault_plane;
     options.checkpoint.every = ckpt_every;
+    options.mode = mode;
+    options.async = async_cfg;
     core::GumEngine<App> engine(&g, partition, topology, options);
     result = engine.Run(app, &values);
   } else if (engine_name == "gunrock") {
@@ -321,6 +404,21 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
     if (*multipath == sim::MultipathMode::kOn) {
       meta.config.emplace_back("multipath", sim::MultipathModeName(*multipath));
     }
+    // Only an async run records async keys, so mode-off reports stay
+    // byte-identical to the pre-async schema (modulo schema_version).
+    if (mode == core::EngineMode::kAsync) {
+      meta.config.emplace_back("mode", core::EngineModeName(mode));
+      meta.config.emplace_back("worklist",
+                               core::AsyncWorklistKindName(async_cfg.worklist));
+      meta.config.emplace_back(
+          "delta", flags.Has("delta") ? std::to_string(async_cfg.delta)
+                                      : "auto");
+      meta.config.emplace_back("steal_prob",
+                               std::to_string(async_cfg.steal_prob));
+      meta.config.emplace_back("steal_batch",
+                               std::to_string(async_cfg.steal_batch_size));
+      meta.config.emplace_back("async_seed", std::to_string(async_cfg.seed));
+    }
     // Only a fault-plane run records fault keys; faults-off reports stay
     // byte-identical to the pre-fault-plane schema (modulo schema_version).
     if (fault_plane.active() || ckpt_every > 0) {
@@ -344,6 +442,18 @@ int RunAndReport(const FlagParser& flags, const graph::CsrGraph& g,
   if (engine_name == "gum") {
     std::cout << "edges stolen:    " << result.stolen_edges_total << "\n"
               << "group shrinks:   " << result.osteal_shrink_events << "\n";
+  }
+  // Async-only lines: a --mode=bsp run prints byte-identically to the
+  // pre-async build.
+  if (result.async_active) {
+    std::cout << "async:           " << result.async_batches << " batches, "
+              << result.async_stale_skips << " stale skips, delta "
+              << result.async_delta << "\n"
+              << "range steals:    " << result.async_range_steals << " ("
+              << result.async_range_steal_entries << " entries, "
+              << result.async_range_steal_bytes << " bytes)\n"
+              << "quiescence:      " << result.quiescence_rounds
+              << " census rounds\n";
   }
   if (result.fault_plan_active) {
     std::cout << "faults:          devices failed " << result.devices_failed
@@ -410,6 +520,18 @@ int RunMutationStream(const FlagParser& flags, const graph::CsrGraph& g,
                       const graph::Partition& partition,
                       const sim::Topology& topology, App app,
                       const graph::MutationStream& stream, bool symmetric) {
+  {
+    const auto mode_or =
+        core::ParseEngineMode(flags.GetString("mode", "bsp"));
+    if (!mode_or.ok()) {
+      std::cerr << mode_or.status().ToString() << "\n";
+      return 1;
+    }
+    if (*mode_or == core::EngineMode::kAsync) {
+      std::cerr << "--mutations requires --mode=bsp\n";
+      return 1;
+    }
+  }
   const int host_threads = static_cast<int>(flags.GetInt("host-threads", 0));
   const int msg_shards = static_cast<int>(flags.GetInt("msg-shards", 0));
   auto contention =
@@ -649,14 +771,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto algo_or =
-      flags.GetEnum("algo", "bfs", {"bfs", "sssp", "wcc", "pr", "dpr"});
+  const auto algo_or = flags.GetEnum(
+      "algo", "bfs", {"bfs", "sssp", "wcc", "pr", "dpr", "astar"});
   if (!algo_or.ok()) {
     std::cerr << algo_or.status().ToString() << "\n";
     PrintUsage();
     return 1;
   }
   const std::string algo = *algo_or;
+  if (flags.Has("target") && algo != "astar") {
+    std::cerr << "--target requires --algo=astar\n";
+    return 1;
+  }
   graph::CsrBuildOptions build;
   build.symmetrize = algo == "wcc";
   auto g = graph::CsrGraph::FromEdgeList(*edges, build);
@@ -785,6 +911,11 @@ int main(int argc, char** argv) {
       std::cerr << "--sources requires --engine=gum\n";
       return 1;
     }
+    if (flags.GetString("mode", "bsp") == "async") {
+      std::cerr << "--mode=async does not compose with --sources (the "
+                   "bit-parallel batch has no per-vertex priority)\n";
+      return 1;
+    }
     if (algo == "bfs") {
       algos::MultiSourceBfsApp app(std::move(batch_sources));
       return RunAndReport(flags, *g, *partition, *topology, std::move(app));
@@ -822,6 +953,28 @@ int main(int argc, char** argv) {
     app.num_vertices = g->num_vertices();
     app.epsilon = flags.GetDouble("epsilon", 1e-9);
     return RunAndReport(flags, *g, *partition, *topology, app);
+  }
+  if (algo == "astar") {
+    algos::AStarApp app;
+    app.source = source;
+    app.target = g->num_vertices() - 1;
+    if (flags.Has("target")) {
+      const int64_t t = flags.GetInt("target", 0);
+      if (t < 0 || t >= static_cast<int64_t>(g->num_vertices())) {
+        std::cerr << "--target out of range\n";
+        return 1;
+      }
+      app.target = static_cast<graph::VertexId>(t);
+    }
+    // The grid layout is only known for the road generator; elsewhere the
+    // heuristic stays empty and A* degenerates to SSSP visit order (the
+    // converged distances are identical either way).
+    if (flags.GetString("gen", "") == "road") {
+      app.heuristic = algos::GridManhattanHeuristic(
+          *g, static_cast<uint32_t>(flags.GetInt("rows", 128)),
+          static_cast<uint32_t>(flags.GetInt("cols", 128)), app.target);
+    }
+    return RunAndReport(flags, *g, *partition, *topology, std::move(app));
   }
   std::cerr << "unknown --algo=" << algo << "\n";
   PrintUsage();
